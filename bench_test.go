@@ -1,0 +1,293 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// microbenchmarks of the architectural primitives and the ablations
+// called out in DESIGN.md (LLC on/off, line-size sweep). Regenerate the
+// full tables with cmd/hicampbench; these benches time the same code
+// paths under the standard harness:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/hds"
+	"repro/internal/iterreg"
+	"repro/internal/kvstore"
+	"repro/internal/merge"
+	"repro/internal/segmap"
+	"repro/internal/segment"
+	"repro/internal/spmv"
+	"repro/internal/vmhost"
+	"repro/internal/word"
+)
+
+// --- Figure 6: memcached DRAM accesses ---------------------------------
+
+func BenchmarkFig6Memcached(b *testing.B) {
+	for _, lb := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("line%d", lb), func(b *testing.B) {
+			w := kvstore.NewWorkload(120, 240, 1200, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := kvstore.RunFig6(lb, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCache compares the memcached request path with the
+// HICAMP LLC enabled against every operation going to DRAM — the value
+// of the content-indexed cache of §3.1.
+func BenchmarkAblationCache(b *testing.B) {
+	run := func(b *testing.B, cacheLines int) uint64 {
+		cfg := core.Config{LineBytes: 16, BucketBits: 16, DataWays: 12,
+			CacheLines: cacheLines, CacheWays: 16}
+		w := kvstore.NewWorkload(100, 200, 1000, 9)
+		var dram uint64
+		for i := 0; i < b.N; i++ {
+			st, _, err := kvstore.RunHicamp(cfg, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dram = st.Total()
+		}
+		return dram
+	}
+	b.Run("llc4mb", func(b *testing.B) {
+		dram := run(b, (4<<20)/16)
+		b.ReportMetric(float64(dram), "dram/run")
+	})
+	b.Run("nocache", func(b *testing.B) {
+		dram := run(b, 0)
+		b.ReportMetric(float64(dram), "dram/run")
+	})
+}
+
+// --- Table 1: data compaction ------------------------------------------
+
+func BenchmarkTable1Compaction(b *testing.B) {
+	c := datagen.HTMLCorpus("bench", 60, 3000, 3)
+	for _, lb := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("line%d", lb), func(b *testing.B) {
+			var r float64
+			for i := 0; i < b.N; i++ {
+				r = kvstore.CompactionRatio(lb, c)
+			}
+			b.ReportMetric(r, "compaction")
+		})
+	}
+}
+
+// --- Sec 5.1.1: merge-update under contention ---------------------------
+
+func BenchmarkConflictMCAS(b *testing.B) {
+	h := hds.NewHeap(core.Config{
+		LineBytes: 16, BucketBits: 16, DataWays: 12, CacheLines: 8192, CacheWays: 16,
+	})
+	vsid := h.SM.Create(segmap.Entry{Seg: segment.NewSparse(16), Flags: segmap.FlagMergeUpdate})
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			e, err := h.SM.Load(vsid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := segment.NewTxn(h.M, e.Seg)
+			tx.WriteWord(i%4096, i, word.TagRaw)
+			next := tx.Commit()
+			if _, err := merge.MCAS(h.M, h.SM, vsid, e.Seg, next, 0, nil); err != nil && err != merge.ErrConflict {
+				b.Fatal(err)
+			}
+			segment.ReleaseSeg(h.M, e.Seg)
+		}
+	})
+}
+
+// --- Figure 7: SpMV traffic ---------------------------------------------
+
+func BenchmarkFig7SpMV(b *testing.B) {
+	for _, bench := range []struct {
+		name string
+		m    *spmv.Matrix
+	}{
+		{"fem2d", spmv.FEM2D(32)},
+		{"lp", spmv.LP(8, 5, 8, 3)},
+		{"circuit", spmv.Circuit(192, 4, 5)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var r spmv.TrafficResult
+			for i := 0; i < b.N; i++ {
+				r = spmv.MeasureTraffic(16, bench.m)
+			}
+			b.ReportMetric(r.Ratio(), "hicamp/conv")
+		})
+	}
+}
+
+// --- Figure 8 / Table 2: matrix footprint --------------------------------
+
+func BenchmarkTable2Footprint(b *testing.B) {
+	m := spmv.FEM2D(24)
+	for _, lb := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("line%d", lb), func(b *testing.B) {
+			var r spmv.FootprintResult
+			for i := 0; i < b.N; i++ {
+				r = spmv.MeasureFootprint(lb, m)
+			}
+			b.ReportMetric(r.SizeRatio(), "size-ratio")
+		})
+	}
+}
+
+// --- Figures 9 and 10: VM hosting ----------------------------------------
+
+func BenchmarkFig9VMScaling(b *testing.B) {
+	c, _ := vmhost.ClassByName("database")
+	var last vmhost.Point
+	for i := 0; i < b.N; i++ {
+		pts := vmhost.ScaleVMs(c, 10)
+		last = pts[len(pts)-1]
+	}
+	b.ReportMetric(last.CompactionHicamp(), "hicamp-x")
+}
+
+func BenchmarkFig10Tiles(b *testing.B) {
+	var last vmhost.Point
+	for i := 0; i < b.N; i++ {
+		pts := vmhost.ScaleTiles(10)
+		last = pts[len(pts)-1]
+	}
+	b.ReportMetric(last.CompactionHicamp(), "hicamp-x")
+}
+
+// --- Architectural microbenchmarks ---------------------------------------
+
+func BenchmarkLookupLineDedup(b *testing.B) {
+	m := core.NewMachine(core.DefaultConfig(16))
+	c := word.ContentFromBytes(2, []byte("hot line content"))
+	p := m.LookupLine(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Release(m.LookupLine(c))
+	}
+	_ = p
+}
+
+func BenchmarkSegmentBuild(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("words%d", n), func(b *testing.B) {
+			m := core.NewMachine(core.DefaultConfig(16))
+			ws := make([]uint64, n)
+			for i := range ws {
+				ws[i] = uint64(i) << 40
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ws[0] = uint64(i) << 33 // vary content: real builds, real dedup
+				s := segment.BuildWords(m, ws, nil)
+				segment.ReleaseSeg(m, s)
+			}
+		})
+	}
+}
+
+func BenchmarkIteratorSequentialScan(b *testing.B) {
+	m := core.NewMachine(core.DefaultConfig(16))
+	ws := make([]uint64, 4096)
+	for i := range ws {
+		ws[i] = uint64(i) << 35
+	}
+	seg := segment.BuildWords(m, ws, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := iterreg.NewSegmentIterator(m, seg)
+		var sum uint64
+		for j := uint64(0); j < 4096; j++ {
+			v, _ := it.Load(j)
+			sum += v
+		}
+	}
+}
+
+func BenchmarkMapSetGet(b *testing.B) {
+	h := hds.NewHeap(core.DefaultConfig(16))
+	mp := hds.NewMap(h)
+	keys := make([]hds.String, 256)
+	vals := make([]hds.String, 256)
+	for i := range keys {
+		keys[i] = hds.NewString(h, []byte(fmt.Sprintf("key-%04d", i)))
+		vals[i] = hds.NewString(h, []byte(fmt.Sprintf("value payload %d", i)))
+	}
+	b.Run("set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := mp.Set(keys[i%256], vals[i%256]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("get", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if v, ok := mp.Get(keys[i%256]); ok {
+				v.Release(h)
+			}
+		}
+	})
+}
+
+func BenchmarkMergeDisjoint(b *testing.B) {
+	m := core.NewMachine(core.DefaultConfig(16))
+	mk := func(idx uint64) segment.Seg {
+		tx := segment.NewTxn(m, segment.NewSparse(12))
+		tx.WriteWord(idx, idx+1, word.TagRaw)
+		return tx.Commit()
+	}
+	orig := mk(1)
+	mod := mk(2)
+	cur := mk(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := merge.Merge(m, orig, mod, cur, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segment.ReleaseSeg(m, got)
+	}
+}
+
+func BenchmarkQTSBuild(b *testing.B) {
+	m := spmv.FEM2D(24)
+	for i := 0; i < b.N; i++ {
+		mach := core.NewMachine(core.Config{LineBytes: 16, BucketBits: 18, DataWays: 12})
+		q := spmv.BuildQTS(mach, m)
+		q.Release(mach)
+	}
+}
+
+// BenchmarkExperimentSuite smoke-times the full test-scale harness,
+// the closest single number to "regenerate the paper".
+func BenchmarkExperimentSuite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full suite")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.RunFig6(experiments.ScaleTest); err != nil {
+			b.Fatal(err)
+		}
+		experiments.RunTable1(experiments.ScaleTest)
+		if _, _, err := experiments.RunConflict(experiments.ScaleTest); err != nil {
+			b.Fatal(err)
+		}
+		_, res := experiments.RunFig8(experiments.ScaleTest)
+		experiments.RunTable2(res)
+		experiments.RunFig9()
+		experiments.RunFig10()
+	}
+}

@@ -1,0 +1,98 @@
+// Command hicampbench regenerates every table and figure of the paper's
+// evaluation (§5). With no flags it runs the full set at test scale;
+// -exp selects one experiment and -paper approaches the paper's workload
+// sizes (slower).
+//
+//	hicampbench -exp fig6
+//	hicampbench -exp table2 -paper
+//	hicampbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var experimentOrder = []string{
+	"fig6", "table1", "conflict", "fig7", "fig8", "table2", "fig9", "fig10",
+}
+
+var descriptions = map[string]string{
+	"fig6":     "memcached DRAM accesses, conventional vs HICAMP, 16/32/64B lines",
+	"table1":   "memcached data compaction per dataset and line size",
+	"conflict": "sec 5.1.1 concurrent-update analysis + live mCAS contention",
+	"fig7":     "SpMV off-chip access ratio over the matrix suite",
+	"fig8":     "per-matrix footprint, best HICAMP format vs CSR",
+	"table2":   "footprint savings grouped by matrix category",
+	"fig9":     "memory consumed scaling 1-10 VMs per VMmark workload",
+	"fig10":    "memory consumed scaling 1-10 VMmark tiles",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig6, table1, conflict, fig7, fig8, table2, fig9, fig10, all)")
+	paper := flag.Bool("paper", false, "run at paper-approaching scale (slower)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experimentOrder {
+			fmt.Printf("%-9s %s\n", id, descriptions[id])
+		}
+		return
+	}
+	sc := experiments.ScaleTest
+	if *paper {
+		sc = experiments.ScalePaper
+	}
+	ids := experimentOrder
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		if err := run(id, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "hicampbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(id string, sc experiments.Scale) error {
+	start := time.Now()
+	var tbl experiments.Table
+	switch id {
+	case "fig6":
+		t, _, err := experiments.RunFig6(sc)
+		if err != nil {
+			return err
+		}
+		tbl = t
+	case "table1":
+		tbl, _ = experiments.RunTable1(sc)
+	case "conflict":
+		t, _, err := experiments.RunConflict(sc)
+		if err != nil {
+			return err
+		}
+		tbl = t
+	case "fig7":
+		tbl, _ = experiments.RunFig7(sc)
+	case "fig8":
+		tbl, _ = experiments.RunFig8(sc)
+	case "table2":
+		_, results := experiments.RunFig8(sc)
+		tbl, _ = experiments.RunTable2(results)
+	case "fig9":
+		tbl, _ = experiments.RunFig9()
+	case "fig10":
+		tbl, _ = experiments.RunFig10()
+	default:
+		return fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+	fmt.Print(tbl.Render())
+	fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command hicampkv serves a memcached-style text protocol backed by the
+// HICAMP key-value map (paper §4.4): every connection gets its own
+// read-only iterator register and reads run against private snapshots;
+// writes commit with merge-update, so concurrent clients never block each
+// other and a killed connection can never leave the map inconsistent.
+//
+// Protocol (a text subset of memcached):
+//
+//	set <key> <bytes>\r\n<data>\r\n  -> STORED
+//	get <key>\r\n                    -> VALUE <key> <bytes>\r\n<data>\r\nEND
+//	delete <key>\r\n                 -> DELETED | NOT_FOUND
+//	stats\r\n                        -> memory-system counters
+//	quit\r\n
+//
+// Try it:
+//
+//	hicampkv -addr :11222 &
+//	printf 'set greeting 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc localhost 11222
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11222", "listen address")
+	lineBytes := flag.Int("line", 16, "HICAMP line size (16, 32 or 64)")
+	flag.Parse()
+
+	srv := kvstore.NewHicampServer(core.DefaultConfig(*lineBytes))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hicampkv: %v", err)
+	}
+	log.Printf("hicampkv: serving on %s (%dB lines)", ln.Addr(), *lineBytes)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("hicampkv: accept: %v", err)
+			return
+		}
+		go serve(srv, conn)
+	}
+}
+
+func serve(srv *kvstore.HicampServer, conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+
+	// One iterator register per connection, reloaded per get (§4.4).
+	reader, err := srv.OpenReader()
+	if err != nil {
+		fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+		return
+	}
+	defer reader.Close()
+
+	for {
+		w.Flush()
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "set":
+			if len(fields) != 3 {
+				fmt.Fprint(w, "CLIENT_ERROR usage: set <key> <bytes>\r\n")
+				continue
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 || n > 8<<20 {
+				fmt.Fprint(w, "CLIENT_ERROR bad length\r\n")
+				continue
+			}
+			data := make([]byte, n+2) // payload + trailing \r\n
+			if _, err := io.ReadFull(r, data); err != nil {
+				return
+			}
+			if err := srv.Set([]byte(fields[1]), data[:n]); err != nil {
+				fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+				continue
+			}
+			fmt.Fprint(w, "STORED\r\n")
+		case "get":
+			if len(fields) != 2 {
+				fmt.Fprint(w, "CLIENT_ERROR usage: get <key>\r\n")
+				continue
+			}
+			if v, ok := srv.GetVia(reader, []byte(fields[1])); ok {
+				fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1], len(v))
+				w.Write(v)
+				fmt.Fprint(w, "\r\n")
+			}
+			fmt.Fprint(w, "END\r\n")
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Fprint(w, "CLIENT_ERROR usage: delete <key>\r\n")
+				continue
+			}
+			if _, ok := srv.GetVia(reader, []byte(fields[1])); !ok {
+				fmt.Fprint(w, "NOT_FOUND\r\n")
+				continue
+			}
+			if err := srv.Delete([]byte(fields[1])); err != nil {
+				fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+				continue
+			}
+			fmt.Fprint(w, "DELETED\r\n")
+		case "stats":
+			st := srv.Stats()
+			fmt.Fprintf(w, "STAT live_lines %d\r\n", srv.Heap.M.LiveLines())
+			fmt.Fprintf(w, "STAT footprint_bytes %d\r\n", srv.Heap.M.FootprintBytes())
+			fmt.Fprintf(w, "STAT dram_accesses %d\r\n", st.Store.Total())
+			fmt.Fprintf(w, "STAT dram_lookups %d\r\n", st.Store.LookupTraffic())
+			fmt.Fprintf(w, "STAT cache_hits %d\r\n", st.Cache.Hits)
+			fmt.Fprintf(w, "STAT cache_misses %d\r\n", st.Cache.Misses)
+			fmt.Fprint(w, "END\r\n")
+		case "quit":
+			return
+		default:
+			fmt.Fprint(w, "ERROR\r\n")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command spmvtool inspects the sparse-matrix formats of §5.2: generate a
+// matrix from the synthetic suite families, report its footprint in every
+// format, and run SpMV on both architectures.
+//
+//	spmvtool -gen fem2d -k 32 -report
+//	spmvtool -gen lp -report -multiply
+//	spmvtool -suite            # footprints for the whole 100-matrix suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/spmv"
+)
+
+func main() {
+	gen := flag.String("gen", "fem2d", "family: fem2d, fem3d, lp, banded, circuit, pattern, random")
+	k := flag.Int("k", 24, "size parameter (grid edge / blocks / dimension scale)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	lineBytes := flag.Int("line", 16, "HICAMP line size")
+	report := flag.Bool("report", true, "print footprint report")
+	multiply := flag.Bool("multiply", false, "run SpMV and report traffic")
+	suite := flag.Bool("suite", false, "report the full 100-matrix suite")
+	flag.Parse()
+
+	if *suite {
+		for _, m := range spmv.Suite(1, *seed) {
+			r := spmv.MeasureFootprint(*lineBytes, m)
+			fmt.Printf("%-28s %-8s sym=%-5v csr=%-9d qts=%-9d nzd=%-9d ratio=%.3f\n",
+				r.Name, r.Category, r.Sym, r.CSRBytes, r.QTSBytes, r.NZDBytes, r.SizeRatio())
+		}
+		return
+	}
+
+	m := build(*gen, *k, *seed)
+	fmt.Printf("%s: %dx%d, %d non-zeros, symmetric=%v\n",
+		m.Name, m.Rows, m.Cols, m.NNZ(), m.Sym)
+
+	if *report {
+		r := spmv.MeasureFootprint(*lineBytes, m)
+		fmt.Printf("  CSR baseline : %d bytes\n", r.CSRBytes)
+		fmt.Printf("  HICAMP QTS   : %d bytes\n", r.QTSBytes)
+		fmt.Printf("  HICAMP NZD   : %d bytes\n", r.NZDBytes)
+		fmt.Printf("  best ratio   : %.3f (HICAMP/conventional)\n", r.SizeRatio())
+	}
+	if *multiply {
+		t := spmv.MeasureTraffic(*lineBytes, m)
+		fmt.Printf("  SpMV DRAM    : conventional=%d hicamp=%d ratio=%.3f\n",
+			t.ConvDRAM, t.HicampDRAM, t.Ratio())
+	}
+}
+
+func build(family string, k int, seed int64) *spmv.Matrix {
+	switch family {
+	case "fem2d":
+		return spmv.FEM2D(k)
+	case "fem3d":
+		return spmv.FEM3D(k)
+	case "lp":
+		return spmv.LP(k/2+2, k/3+2, 8, seed)
+	case "banded":
+		return spmv.Banded(k*8, 3, true, seed)
+	case "circuit":
+		return spmv.Circuit(k*8, 4, seed)
+	case "pattern":
+		return spmv.Pattern(k/4+2, 16, seed)
+	case "random":
+		return spmv.Random(k*4, 0.02, seed)
+	default:
+		fmt.Fprintf(os.Stderr, "spmvtool: unknown family %q\n", family)
+		os.Exit(2)
+		return nil
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: the HICAMP memory model in five minutes — content-unique
+// segments, O(1) equality, zero-cost snapshots, copy-on-write updates and
+// single-CAS atomic publication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hds"
+	"repro/internal/iterreg"
+	"repro/internal/segmap"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+func main() {
+	// A machine is the simulated memory system: deduplicated DRAM behind
+	// the HICAMP cache. DefaultConfig(16) is the paper's configuration
+	// with 16-byte lines.
+	h := hds.NewHeap(core.DefaultConfig(16))
+
+	// 1. Content uniqueness: equal contents get equal root PLIDs, so
+	// comparing two strings is comparing two machine words (§2.2).
+	a := hds.NewString(h, []byte("This is a long string containing Another string"))
+	b := hds.NewString(h, []byte("This is a long string containing Another string"))
+	fmt.Printf("a == b in O(1): %v (both roots %#x)\n", a.Equal(b), a.Key())
+
+	// 2. Deduplication: storing the same content twice allocates nothing.
+	before := h.M.LiveLines()
+	c := hds.NewString(h, []byte("This is a long string containing Another string"))
+	fmt.Printf("lines allocated by the third copy: %d\n", h.M.LiveLines()-before)
+	c.Release(h)
+
+	// 3. Segments publish through the virtual segment map; readers get
+	// snapshots that no writer can disturb (§2.3).
+	seg := segment.BuildWords(h.M, []uint64{10, 20, 30, 40}, nil)
+	vsid := h.SM.Create(segmap.Entry{Seg: seg, Size: 32})
+
+	reader, err := iterreg.Open(h.M, h.SM, segmap.ReadOnlyRef(vsid))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reader.Close()
+
+	// 4. Copy-on-write update through an iterator register (§3.3): write
+	// into transient lines, commit with one CAS.
+	writer, err := iterreg.Open(h.M, h.SM, vsid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer writer.Close()
+	writer.Store(1, 999, word.TagRaw)
+	if ok, err := writer.TryCommit(32); !ok || err != nil {
+		log.Fatalf("commit: %v %v", ok, err)
+	}
+
+	snapVal, _ := reader.Load(1)
+	fresh, _ := iterreg.Open(h.M, h.SM, vsid)
+	defer fresh.Close()
+	newVal, _ := fresh.Load(1)
+	fmt.Printf("reader's snapshot still sees %d; new readers see %d\n", snapVal, newVal)
+
+	// 5. The memory system is observable: every simulated DRAM access is
+	// accounted by category (the Figure 6 stack).
+	st := h.M.Stats()
+	fmt.Printf("DRAM accesses so far: %d (lookups %d, RC %d)\n",
+		st.Store.Total(), st.Store.LookupTraffic(), st.Store.RCTraffic())
+
+	a.Release(h)
+	b.Release(h)
+	fmt.Printf("live lines: %d\n", h.M.LiveLines())
+}

@@ -1,0 +1,38 @@
+// The §5.3 scenario: virtual-machine hosting. Scale out VMmark-style
+// workloads and compare plain allocation, an ideal page-sharing
+// hypervisor, and HICAMP 64-byte line deduplication.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/vmhost"
+)
+
+func main() {
+	fmt.Println("memory consumed by 10 VMs of each workload (model scale, MB):")
+	fmt.Printf("%-10s %10s %12s %10s %8s %8s\n",
+		"workload", "allocated", "page-share", "hicamp64", "ps_x", "hic_x")
+	for _, c := range vmhost.Classes() {
+		pts := vmhost.ScaleVMs(c, 10)
+		p := pts[len(pts)-1]
+		fmt.Printf("%-10s %10.2f %12.2f %10.2f %7.2fx %7.2fx\n",
+			c.Name,
+			float64(p.Allocated)/(1<<20),
+			float64(p.PageShared)/(1<<20),
+			float64(p.Hicamp)/(1<<20),
+			p.CompactionPageShare(), p.CompactionHicamp())
+	}
+
+	fmt.Println("\nscaling whole VMmark tiles (6 VMs each):")
+	for _, p := range vmhost.ScaleTiles(10) {
+		fmt.Printf("  %2d tiles: allocated %7.1f MB  page-share %6.1f MB (%.2fx)  hicamp %6.1f MB (%.2fx)\n",
+			p.N,
+			float64(p.Allocated)/(1<<20),
+			float64(p.PageShared)/(1<<20), p.CompactionPageShare(),
+			float64(p.Hicamp)/(1<<20), p.CompactionHicamp())
+	}
+	fmt.Println("\nline-level dedup wins where page sharing cannot: pages that")
+	fmt.Println("differ in a few cache lines (guest page tables, timestamps,")
+	fmt.Println("per-VM config) still share every unchanged 64-byte line.")
+}

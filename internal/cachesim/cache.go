@@ -1,0 +1,183 @@
+// Package cachesim provides the cache models used by both architectures in
+// the evaluation: a generic set-associative write-back cache with LRU
+// replacement, used as the HICAMP last-level cache (paper §3.1, Figure 3)
+// by package core, and a conventional two-level hierarchy standing in for
+// the paper's DineroIV baseline (32 KB 4-way L1D + 4 MB 16-way L2).
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Kind distinguishes what a cache entry holds.
+type Kind uint8
+
+const (
+	// KindData is a HICAMP data line, identified by PLID.
+	KindData Kind = iota
+	// KindRC is a reference-count line, identified by bucket number.
+	KindRC
+	// KindAddr is a conventional-memory line, identified by line address.
+	KindAddr
+)
+
+// Key identifies a cache entry.
+type Key struct {
+	Kind Kind
+	ID   uint64
+}
+
+// Entry is one cache line.
+type Entry struct {
+	Key     Key
+	Content word.Content
+	Dirty   bool
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Evictions uint64
+	DirtyEvts uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement. Each set is
+// kept in MRU-first order.
+type Cache struct {
+	sets  [][]Entry
+	ways  int
+	Stats Stats
+}
+
+// New creates a cache with the given geometry. Sets must be a power of two.
+func New(sets, ways int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cachesim: sets %d not a positive power of two", sets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("cachesim: ways %d", ways))
+	}
+	return &Cache{sets: make([][]Entry, sets), ways: ways}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetMask returns the index mask (Sets-1).
+func (c *Cache) SetMask() uint64 { return uint64(len(c.sets) - 1) }
+
+// Probe looks up key in the given set, promoting it to MRU on hit. The
+// returned pointer stays valid until the next mutation of the set; callers
+// may flip Dirty through it.
+func (c *Cache) Probe(set int, key Key) (*Entry, bool) {
+	s := c.sets[set]
+	for i := range s {
+		if s[i].Key == key {
+			c.promote(set, i)
+			c.Stats.Hits++
+			return &c.sets[set][0], true
+		}
+	}
+	c.Stats.Misses++
+	return nil, false
+}
+
+// ProbeContent searches the set for a data-line entry with the given
+// content — the lookup-by-content path of the HICAMP cache (Figure 3).
+// Because every hash bucket maps to exactly one set, a single set probe
+// suffices; the caller derives set from the content hash.
+func (c *Cache) ProbeContent(set int, cont word.Content) (*Entry, bool) {
+	s := c.sets[set]
+	for i := range s {
+		if s[i].Key.Kind == KindData && s[i].Content == cont {
+			c.promote(set, i)
+			c.Stats.Hits++
+			return &c.sets[set][0], true
+		}
+	}
+	c.Stats.Misses++
+	return nil, false
+}
+
+// Insert places e at the MRU position of the set, evicting the LRU entry
+// when the set is full. It returns the evicted entry, if any. Inserting a
+// key already present replaces that entry in place (promoted to MRU).
+func (c *Cache) Insert(set int, e Entry) (Entry, bool) {
+	s := c.sets[set]
+	for i := range s {
+		if s[i].Key == e.Key {
+			c.promote(set, i)
+			c.sets[set][0] = e
+			return Entry{}, false
+		}
+	}
+	c.Stats.Inserts++
+	if len(s) < c.ways {
+		c.sets[set] = append(s, Entry{})
+		copy(c.sets[set][1:], c.sets[set])
+		c.sets[set][0] = e
+		return Entry{}, false
+	}
+	victim := s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = e
+	c.Stats.Evictions++
+	if victim.Dirty {
+		c.Stats.DirtyEvts++
+	}
+	return victim, true
+}
+
+// Invalidate removes the entry with the given key from the set, reporting
+// whether it was present. Invalidated entries are dropped without
+// writeback — used when a line is de-allocated (paper §3.1: before an
+// immutable line is de-allocated it is invalidated in all caches).
+func (c *Cache) Invalidate(set int, key Key) bool {
+	s := c.sets[set]
+	for i := range s {
+		if s[i].Key == key {
+			c.sets[set] = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// FlushDirty invokes fn for every dirty entry and marks it clean; used at
+// the end of a measurement window to account pending writebacks.
+func (c *Cache) FlushDirty(fn func(Entry)) {
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			if c.sets[set][i].Dirty {
+				fn(c.sets[set][i])
+				c.sets[set][i].Dirty = false
+			}
+		}
+	}
+}
+
+// Len returns the number of resident entries (for tests).
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}
+
+func (c *Cache) promote(set, i int) {
+	if i == 0 {
+		return
+	}
+	s := c.sets[set]
+	e := s[i]
+	copy(s[1:i+1], s[:i])
+	s[0] = e
+}

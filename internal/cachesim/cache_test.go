@@ -1,0 +1,191 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func dataKey(id uint64) Key { return Key{Kind: KindData, ID: id} }
+
+func TestProbeHitMiss(t *testing.T) {
+	c := New(4, 2)
+	if _, ok := c.Probe(0, dataKey(1)); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Insert(0, Entry{Key: dataKey(1)})
+	if _, ok := c.Probe(0, dataKey(1)); !ok {
+		t.Fatal("inserted entry missed")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(1, 2)
+	c.Insert(0, Entry{Key: dataKey(1)})
+	c.Insert(0, Entry{Key: dataKey(2)})
+	c.Probe(0, dataKey(1)) // 1 becomes MRU; 2 is LRU
+	victim, evicted := c.Insert(0, Entry{Key: dataKey(3)})
+	if !evicted || victim.Key != dataKey(2) {
+		t.Fatalf("victim = %+v, want key 2", victim)
+	}
+	if _, ok := c.Probe(0, dataKey(1)); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+}
+
+func TestInsertExistingReplaces(t *testing.T) {
+	c := New(1, 2)
+	c.Insert(0, Entry{Key: dataKey(1)})
+	c.Insert(0, Entry{Key: dataKey(1), Dirty: true})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	e, _ := c.Probe(0, dataKey(1))
+	if !e.Dirty {
+		t.Fatal("replacement lost dirty flag")
+	}
+}
+
+func TestProbeContent(t *testing.T) {
+	c := New(2, 4)
+	cont := word.ContentFromBytes(2, []byte("find me by body"))
+	c.Insert(1, Entry{Key: dataKey(42), Content: cont})
+	e, ok := c.ProbeContent(1, cont)
+	if !ok {
+		t.Fatal("content probe missed")
+	}
+	if e.Key.ID != 42 {
+		t.Fatalf("recovered PLID = %d, want 42", e.Key.ID)
+	}
+	// Content lookup must not match RC entries.
+	c.Insert(1, Entry{Key: Key{Kind: KindRC, ID: 7}, Content: cont})
+	if e, _ := c.ProbeContent(1, cont); e.Key.Kind != KindData {
+		t.Fatal("content probe matched a non-data entry")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(1, 4)
+	c.Insert(0, Entry{Key: dataKey(1), Dirty: true})
+	if !c.Invalidate(0, dataKey(1)) {
+		t.Fatal("invalidate missed present entry")
+	}
+	if c.Invalidate(0, dataKey(1)) {
+		t.Fatal("invalidate found absent entry")
+	}
+	if c.Len() != 0 {
+		t.Fatal("entry still resident")
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c := New(2, 2)
+	c.Insert(0, Entry{Key: dataKey(1), Dirty: true})
+	c.Insert(1, Entry{Key: dataKey(2)})
+	var flushed []uint64
+	c.FlushDirty(func(e Entry) { flushed = append(flushed, e.Key.ID) })
+	if len(flushed) != 1 || flushed[0] != 1 {
+		t.Fatalf("flushed = %v, want [1]", flushed)
+	}
+	c.FlushDirty(func(e Entry) { t.Fatalf("entry %d still dirty", e.Key.ID) })
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 2}, {3, 2}, {4, 0}} {
+		func() {
+			defer func() { recover() }()
+			New(g[0], g[1])
+			t.Errorf("geometry %v accepted", g)
+		}()
+	}
+}
+
+func TestHierarchyBasics(t *testing.T) {
+	h := NewHierarchy(HierConfig{LineBytes: 16, L1Bytes: 256, L1Ways: 2, L2Bytes: 1024, L2Ways: 4})
+	h.Load(0, 8)
+	if h.Stats.DRAMReads != 1 {
+		t.Fatalf("cold load DRAM reads = %d, want 1", h.Stats.DRAMReads)
+	}
+	h.Load(0, 8) // L1 hit
+	if h.Stats.L1Hits != 1 {
+		t.Fatalf("L1 hits = %d, want 1", h.Stats.L1Hits)
+	}
+	if h.Stats.DRAMReads != 1 {
+		t.Fatalf("hit went to DRAM")
+	}
+}
+
+func TestHierarchyLineSplit(t *testing.T) {
+	h := NewHierarchy(HierConfig{LineBytes: 16, L1Bytes: 256, L1Ways: 2, L2Bytes: 1024, L2Ways: 4})
+	h.Load(8, 16) // straddles two 16-byte lines
+	if h.Stats.DRAMReads != 2 {
+		t.Fatalf("straddling load DRAM reads = %d, want 2", h.Stats.DRAMReads)
+	}
+}
+
+func TestHierarchyDirtyWriteback(t *testing.T) {
+	h := NewHierarchy(HierConfig{LineBytes: 16, L1Bytes: 32, L1Ways: 1, L2Bytes: 64, L2Ways: 1})
+	// L2 has 4 sets? 64/16/1 = 4 sets; L1 has 2 sets.
+	h.Store(0, 8)
+	// Evict line 0 from both levels by touching conflicting lines.
+	h.Load(64, 8)  // same L2 set as 0 (4 sets * 16B = 64B period)
+	h.Load(128, 8) // evicts again
+	if h.Stats.DRAMWrites == 0 {
+		t.Fatal("dirty line never written back to DRAM")
+	}
+}
+
+func TestHierarchyFlush(t *testing.T) {
+	h := NewHierarchy(HierConfig{LineBytes: 16, L1Bytes: 256, L1Ways: 2, L2Bytes: 1024, L2Ways: 4})
+	h.Store(0, 8)
+	if h.Stats.DRAMWrites != 0 {
+		t.Fatal("premature writeback")
+	}
+	h.Flush()
+	if h.Stats.DRAMWrites != 1 {
+		t.Fatalf("flush DRAM writes = %d, want 1", h.Stats.DRAMWrites)
+	}
+}
+
+func TestHierarchyCopy(t *testing.T) {
+	h := NewHierarchy(PaperHierConfig(16))
+	h.Copy(1<<20, 0, 64)
+	if h.Stats.Loads != 4 || h.Stats.Stores != 4 {
+		t.Fatalf("copy ops = %d/%d, want 4/4", h.Stats.Loads, h.Stats.Stores)
+	}
+	if h.Stats.DRAMReads != 8 {
+		t.Fatalf("cold copy DRAM reads = %d, want 8", h.Stats.DRAMReads)
+	}
+}
+
+func TestPaperHierConfigGeometry(t *testing.T) {
+	h := NewHierarchy(PaperHierConfig(16))
+	if h.l1.Sets()*h.l1.Ways()*16 != 32<<10 {
+		t.Fatalf("L1 capacity mismatch: %d sets x %d ways", h.l1.Sets(), h.l1.Ways())
+	}
+	if h.l2.Sets()*h.l2.Ways()*16 != 4<<20 {
+		t.Fatalf("L2 capacity mismatch: %d sets x %d ways", h.l2.Sets(), h.l2.Ways())
+	}
+}
+
+func TestWorkingSetFitsInL2(t *testing.T) {
+	// A working set larger than L1 but smaller than L2 must, on a second
+	// pass, hit in L2 and generate no new DRAM reads.
+	h := NewHierarchy(HierConfig{LineBytes: 16, L1Bytes: 1 << 10, L1Ways: 4, L2Bytes: 64 << 10, L2Ways: 16})
+	const n = 32 << 10
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < n; a += 16 {
+			h.Load(a, 8)
+		}
+	}
+	if h.Stats.DRAMReads != n/16 {
+		t.Fatalf("DRAM reads = %d, want %d (second pass must hit L2)",
+			h.Stats.DRAMReads, n/16)
+	}
+	if h.Stats.L2Hits == 0 {
+		t.Fatal("no L2 hits recorded")
+	}
+}

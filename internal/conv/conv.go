@@ -1,0 +1,91 @@
+// Package conv models the conventional Von Neumann baseline the paper
+// compares against: a flat physical address space accessed through the
+// two-level cache hierarchy of package cachesim (the PTLSim + DineroIV
+// setup of §5). Domain packages (kvstore, spmv) emit per-operation memory
+// reference streams against a Space, which forwards them to the
+// hierarchy; the resulting DRAM read/write counts are the baseline bars
+// of Figures 6 and 7.
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+)
+
+// Space is a flat address space with a bump allocator for carving out
+// named regions, fronted by a cache hierarchy.
+type Space struct {
+	H    *cachesim.Hierarchy
+	next uint64
+}
+
+// NewSpace creates an address space over a hierarchy with the paper's
+// baseline cache parameters at the given line size.
+func NewSpace(lineBytes int) *Space {
+	return NewSpaceWith(cachesim.PaperHierConfig(lineBytes))
+}
+
+// NewSpaceWith creates an address space over an explicitly configured
+// hierarchy (experiments scale the caches with their workloads).
+func NewSpaceWith(cfg cachesim.HierConfig) *Space {
+	return &Space{
+		H:    cachesim.NewHierarchy(cfg),
+		next: 1 << 12, // leave page zero unmapped, as an OS would
+	}
+}
+
+// Alloc reserves size bytes aligned to align and returns the base
+// address. Alignment must be a power of two.
+func (s *Space) Alloc(size uint64, align uint64) uint64 {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("conv: alignment %d not a power of two", align))
+	}
+	s.next = (s.next + align - 1) &^ (align - 1)
+	base := s.next
+	s.next += size
+	return base
+}
+
+// Brk returns the current top of the allocated space.
+func (s *Space) Brk() uint64 { return s.next }
+
+// Load and Store issue single references.
+func (s *Space) Load(addr uint64, size int)  { s.H.Load(addr, size) }
+func (s *Space) Store(addr uint64, size int) { s.H.Store(addr, size) }
+
+// ReadRange streams a sequential read of n bytes.
+func (s *Space) ReadRange(addr uint64, n int) {
+	line := s.H.LineBytes()
+	for off := 0; off < n; off += line {
+		chunk := line
+		if rem := n - off; rem < chunk {
+			chunk = rem
+		}
+		s.H.Load(addr+uint64(off), chunk)
+	}
+}
+
+// WriteRange streams a sequential write of n bytes.
+func (s *Space) WriteRange(addr uint64, n int) {
+	line := s.H.LineBytes()
+	for off := 0; off < n; off += line {
+		chunk := line
+		if rem := n - off; rem < chunk {
+			chunk = rem
+		}
+		s.H.Store(addr+uint64(off), chunk)
+	}
+}
+
+// Copy streams a memory copy (the dominant cost of socket IPC).
+func (s *Space) Copy(dst, src uint64, n int) { s.H.Copy(dst, src, n) }
+
+// Stats returns the hierarchy counters.
+func (s *Space) Stats() cachesim.HierStats { return s.H.Stats }
+
+// Flush drains dirty lines so deferred writebacks are charged.
+func (s *Space) Flush() { s.H.Flush() }

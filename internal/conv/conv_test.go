@@ -1,0 +1,52 @@
+package conv
+
+import "testing"
+
+func TestAllocAlignment(t *testing.T) {
+	s := NewSpace(16)
+	a := s.Alloc(100, 64)
+	if a%64 != 0 {
+		t.Fatalf("alloc not aligned: %#x", a)
+	}
+	b := s.Alloc(8, 0)
+	if b < a+100 {
+		t.Fatalf("allocations overlap: %#x after %#x+100", b, a)
+	}
+	if s.Brk() < b+8 {
+		t.Fatal("brk behind allocation")
+	}
+}
+
+func TestAllocBadAlignmentPanics(t *testing.T) {
+	s := NewSpace(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two alignment accepted")
+		}
+	}()
+	s.Alloc(8, 3)
+}
+
+func TestReadWriteRangeTraffic(t *testing.T) {
+	s := NewSpace(16)
+	base := s.Alloc(1024, 64)
+	s.ReadRange(base, 1024)
+	if got := s.Stats().DRAMReads; got != 64 {
+		t.Fatalf("cold 1KB read = %d DRAM reads, want 64", got)
+	}
+	s.WriteRange(base, 1024)
+	s.Flush()
+	if got := s.Stats().DRAMWrites; got != 64 {
+		t.Fatalf("1KB write+flush = %d DRAM writes, want 64", got)
+	}
+}
+
+func TestCopyChargesBothSides(t *testing.T) {
+	s := NewSpace(16)
+	src := s.Alloc(256, 64)
+	dst := s.Alloc(256, 64)
+	s.Copy(dst, src, 256)
+	if s.Stats().Loads != 16 || s.Stats().Stores != 16 {
+		t.Fatalf("copy traffic %d/%d, want 16/16", s.Stats().Loads, s.Stats().Stores)
+	}
+}

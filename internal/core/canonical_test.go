@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// TestCanonicalAcrossConfigs: content uniqueness must hold within any
+// machine configuration — same content, same PLID — and machines with
+// different geometries must still agree on dedup behaviour (the PLIDs
+// differ, the sharing does not).
+func TestCanonicalAcrossConfigs(t *testing.T) {
+	configs := []Config{
+		{LineBytes: 16, BucketBits: 8, DataWays: 4, CacheLines: 64, CacheWays: 4},
+		{LineBytes: 16, BucketBits: 14, DataWays: 12, CacheLines: 4096, CacheWays: 16},
+		{LineBytes: 16, BucketBits: 10, DataWays: 12}, // uncached
+	}
+	rng := rand.New(rand.NewSource(21))
+	contents := make([]word.Content, 200)
+	for i := range contents {
+		c := word.NewContent(2)
+		c.W[0] = rng.Uint64() % 50 // small space forces duplicates
+		c.W[1] = rng.Uint64() % 3
+		contents[i] = c
+	}
+	for _, cfg := range configs {
+		m := NewMachine(cfg)
+		seen := map[word.Content]word.PLID{}
+		for _, c := range contents {
+			if c.IsZero() {
+				continue
+			}
+			p := m.LookupLine(c)
+			if prev, ok := seen[c]; ok {
+				if p != prev {
+					t.Fatalf("cfg %+v: content got two PLIDs (%#x, %#x)", cfg, prev, p)
+				}
+				m.Release(p) // keep exactly one reference per content
+			} else {
+				seen[c] = p
+			}
+		}
+		if m.LiveLines() != uint64(len(seen)) {
+			t.Fatalf("cfg %+v: live %d, distinct %d", cfg, m.LiveLines(), len(seen))
+		}
+		ext := map[word.PLID]uint64{}
+		for _, p := range seen {
+			ext[p]++
+		}
+		if err := m.CheckConsistency(ext); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+	}
+}
+
+// TestBucketPressureKeepsDedup: with very few buckets the overflow area
+// takes over; dedup and reference counting must be unaffected.
+func TestBucketPressureKeepsDedup(t *testing.T) {
+	m := NewMachine(Config{LineBytes: 16, BucketBits: 4, DataWays: 1, CacheLines: 16, CacheWays: 2})
+	rng := rand.New(rand.NewSource(4))
+	var plids []word.PLID
+	contents := make([]word.Content, 300)
+	for i := range contents {
+		c := word.NewContent(2)
+		c.W[0], c.W[1] = rng.Uint64(), rng.Uint64()
+		contents[i] = c
+		plids = append(plids, m.LookupLine(c))
+	}
+	// Re-lookup everything: must dedup to the same PLIDs despite the
+	// store being nearly all overflow.
+	for i, c := range contents {
+		p := m.LookupLine(c)
+		if p != plids[i] {
+			t.Fatalf("content %d changed PLID under bucket pressure", i)
+		}
+		m.Release(p)
+	}
+	for _, p := range plids {
+		m.Release(p)
+	}
+	if m.LiveLines() != 0 {
+		t.Fatalf("%d lines leaked through the overflow path", m.LiveLines())
+	}
+}
+
+// TestOverflowPLIDsUnique is the regression test for an overflow PLID
+// encoding collision (flag OR slot aliased slot 0 and slot 2^(B+4)):
+// hundreds of allocations spilling past the buckets must all receive
+// distinct PLIDs.
+func TestOverflowPLIDsUnique(t *testing.T) {
+	m := NewMachine(Config{LineBytes: 16, BucketBits: 4, DataWays: 1, CacheLines: 16, CacheWays: 2})
+	rng := rand.New(rand.NewSource(4))
+	seen := map[word.PLID]int{}
+	for i := 0; i < 600; i++ {
+		c := word.NewContent(2)
+		c.W[0], c.W[1] = rng.Uint64(), rng.Uint64()
+		p := m.LookupLine(c)
+		if j, dup := seen[p]; dup {
+			t.Fatalf("contents %d and %d share PLID %#x", j, i, p)
+		}
+		seen[p] = i
+	}
+}

@@ -1,0 +1,334 @@
+// Package core composes the HICAMP memory system: the deduplicating line
+// store (package store) fronted by the HICAMP last-level cache (package
+// cachesim), the virtual segment map, iterator registers and merge-update.
+// Machine implements word.Mem and is the single entry point applications
+// use; the programming-model layer (package hds) builds collections on top.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cachesim"
+	"repro/internal/store"
+	"repro/internal/word"
+)
+
+// Config sizes a Machine.
+type Config struct {
+	// LineBytes is the memory line size: 16, 32 or 64.
+	LineBytes int
+	// BucketBits sets the number of DRAM hash buckets (1 << BucketBits).
+	BucketBits int
+	// DataWays is the number of data lines per bucket.
+	DataWays int
+	// CacheLines is the LLC capacity in lines; 0 disables the cache and
+	// sends every operation to DRAM.
+	CacheLines int
+	// CacheWays is the LLC associativity (paper baseline: 16).
+	CacheWays int
+}
+
+// DefaultConfig returns the paper's evaluation parameters at the given
+// line size: a 4 MB 16-way LLC over a deduplicated DRAM of 2^20 lines.
+func DefaultConfig(lineBytes int) Config {
+	return Config{
+		LineBytes:  lineBytes,
+		BucketBits: 20,
+		DataWays:   12,
+		CacheLines: (4 << 20) / lineBytes,
+		CacheWays:  16,
+	}
+}
+
+// TestConfig returns a small configuration for unit tests.
+func TestConfig() Config {
+	return Config{LineBytes: 16, BucketBits: 10, DataWays: 12, CacheLines: 256, CacheWays: 4}
+}
+
+// Stats aggregates the memory-system counters of one Machine.
+type Stats struct {
+	Store store.Stats
+	Cache cachesim.Stats
+	// LookupOps and ReadOps count architectural operations issued to the
+	// machine (before cache filtering).
+	LookupOps uint64
+	ReadOps   uint64
+}
+
+// DRAMAccesses returns the total off-chip accesses — the Figure 6 metric.
+func (s Stats) DRAMAccesses() uint64 { return s.Store.Total() }
+
+// Machine is the HICAMP memory system. All methods are safe for concurrent
+// use; the simulator serializes them with one lock, which is faithful
+// enough for access counting (the paper's metrics are traffic, not timing).
+type Machine struct {
+	mu      sync.Mutex
+	cfg     Config
+	store   *store.Store
+	llc     *cachesim.Cache
+	setMask uint64
+	stats   Stats
+}
+
+// NewMachine builds a Machine. It panics on invalid configuration.
+func NewMachine(cfg Config) *Machine {
+	m := &Machine{
+		cfg: cfg,
+		store: store.New(store.Config{
+			LineBytes:  cfg.LineBytes,
+			BucketBits: cfg.BucketBits,
+			DataWays:   cfg.DataWays,
+		}),
+	}
+	if cfg.CacheLines > 0 {
+		if cfg.CacheWays <= 0 {
+			panic("core: CacheWays must be positive when the cache is enabled")
+		}
+		sets := cfg.CacheLines / cfg.CacheWays
+		if sets <= 0 || sets&(sets-1) != 0 {
+			panic(fmt.Sprintf("core: cache geometry %d lines / %d ways yields %d sets",
+				cfg.CacheLines, cfg.CacheWays, sets))
+		}
+		if sets > 1<<cfg.BucketBits {
+			panic("core: cache sets exceed DRAM buckets; hash-bit indexing would break")
+		}
+		m.llc = cachesim.New(sets, cfg.CacheWays)
+		m.setMask = uint64(sets - 1)
+	}
+	m.store.OnRCTouch = m.rcTouch
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// LineWords returns the line width in 64-bit words (the DAG arity).
+func (m *Machine) LineWords() int { return m.cfg.LineBytes / 8 }
+
+// PLIDBits returns the PLID width in bits, bounding path compaction.
+func (m *Machine) PLIDBits() int { return m.store.PLIDBits() }
+
+// LiveLines returns the number of allocated lines.
+func (m *Machine) LiveLines() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.LiveLines()
+}
+
+// FootprintBytes returns DRAM bytes held by live lines.
+func (m *Machine) FootprintBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.FootprintBytes()
+}
+
+// Stats returns a snapshot of all counters.
+func (m *Machine) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Store = m.store.Stats
+	if m.llc != nil {
+		s.Cache = m.llc.Stats
+	}
+	return s
+}
+
+// ResetStats zeroes all counters (cache and store contents are kept).
+func (m *Machine) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+	m.store.Stats = store.Stats{}
+	if m.llc != nil {
+		m.llc.Stats = cachesim.Stats{}
+	}
+}
+
+// FlushCache writes back all dirty cached lines, charging the deferred
+// DRAM writes. Call at the end of a measurement window.
+func (m *Machine) FlushCache() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.llc == nil {
+		return
+	}
+	m.llc.FlushDirty(func(e cachesim.Entry) {
+		switch e.Key.Kind {
+		case cachesim.KindData:
+			m.store.Writeback(word.PLID(e.Key.ID))
+		case cachesim.KindRC:
+			m.store.RCLineWrite()
+		}
+	})
+}
+
+// LookupLine implements word.Mem: lookup-by-content through the LLC.
+func (m *Machine) LookupLine(c word.Content) word.PLID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lookupLocked(c)
+}
+
+func (m *Machine) lookupLocked(c word.Content) word.PLID {
+	m.stats.LookupOps++
+	if c.IsZero() {
+		return word.Zero
+	}
+	if m.llc != nil {
+		set := int(c.Hash() & m.setMask)
+		if e, ok := m.llc.ProbeContent(set, c); ok {
+			p := word.PLID(e.Key.ID)
+			m.store.Retain(p) // cached hit still bumps the count
+			return p
+		}
+	}
+	p, existed := m.store.Lookup(c)
+	// A fresh allocation stays dirty in the cache and reaches DRAM only
+	// on eviction (§3.1); an existing line is clean by construction — it
+	// can only have left the cache through a writeback.
+	m.fillData(p, c, !existed)
+	return p
+}
+
+// ReadLine implements word.Mem: read-by-PLID through the LLC.
+func (m *Machine) ReadLine(p word.PLID) word.Content {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.readLocked(p)
+}
+
+func (m *Machine) readLocked(p word.PLID) word.Content {
+	m.stats.ReadOps++
+	if p == word.Zero {
+		return word.NewContent(m.LineWords())
+	}
+	if m.llc != nil {
+		set := m.dataSet(p)
+		if e, ok := m.llc.Probe(set, cachesim.Key{Kind: cachesim.KindData, ID: uint64(p)}); ok {
+			return e.Content
+		}
+	}
+	c := m.store.Read(p)
+	m.fillData(p, c, false)
+	return c
+}
+
+// Retain implements word.Mem.
+func (m *Machine) Retain(p word.PLID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store.Retain(p)
+}
+
+// Release implements word.Mem. Freed lines are invalidated in the cache;
+// a line that never left the cache is dropped without ever touching DRAM.
+func (m *Machine) Release(p word.PLID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	freed := m.store.Release(p)
+	if m.llc == nil {
+		return
+	}
+	for _, f := range freed {
+		// The line's content is gone, so its cache set is recovered from
+		// the content hash recorded at free time (overflow lines have no
+		// bucket in their PLID).
+		set := int(f.H & m.setMask)
+		if b, ok := m.store.BucketOf(f.P); ok {
+			set = int(b & m.setMask)
+		}
+		m.llc.Invalidate(set, cachesim.Key{Kind: cachesim.KindData, ID: uint64(f.P)})
+	}
+}
+
+// RefCount exposes a line's reference count for tests and invariants.
+func (m *Machine) RefCount(p word.PLID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.RefCount(p)
+}
+
+// CheckConsistency delegates to the store's invariant checker.
+func (m *Machine) CheckConsistency(external map[word.PLID]uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.CheckConsistency(external)
+}
+
+// dataSet maps a PLID to its LLC set. Bucket-resident lines use their
+// bucket's low bits (the Figure 3 hash-bit indexing); overflow lines use
+// their content hash, which the simulator can recover from the store.
+func (m *Machine) dataSet(p word.PLID) int {
+	if b, ok := m.store.BucketOf(p); ok {
+		return int(b & m.setMask)
+	}
+	c, ok := m.store.Peek(p)
+	if !ok {
+		return 0
+	}
+	return int(c.Hash() & m.setMask)
+}
+
+func (m *Machine) fillData(p word.PLID, c word.Content, dirty bool) {
+	if m.llc == nil {
+		if dirty {
+			m.store.Writeback(p)
+		}
+		return
+	}
+	set := m.dataSet(p)
+	victim, evicted := m.llc.Insert(set, cachesim.Entry{
+		Key:     cachesim.Key{Kind: cachesim.KindData, ID: uint64(p)},
+		Content: c,
+		Dirty:   dirty,
+	})
+	m.handleEviction(victim, evicted)
+}
+
+// rcTouch models one reference-count mutation: the RC line for the PLID's
+// bucket is accessed through the cache and dirtied. A miss costs one DRAM
+// RC-line read — except for the count initialization of a fresh
+// allocation, which is written into the cache without a fetch (§3.1).
+// Dirty eviction later costs one RC-line write.
+func (m *Machine) rcTouch(p word.PLID, init bool) {
+	if m.llc == nil {
+		if !init {
+			m.store.RCLineRead()
+		}
+		m.store.RCLineWrite()
+		return
+	}
+	var id uint64
+	if b, ok := m.store.BucketOf(p); ok {
+		id = b
+	} else {
+		id = 1<<40 | uint64(p)>>4 // overflow RC rows
+	}
+	key := cachesim.Key{Kind: cachesim.KindRC, ID: id}
+	set := int(id & m.setMask)
+	if e, ok := m.llc.Probe(set, key); ok {
+		e.Dirty = true
+		return
+	}
+	if !init {
+		m.store.RCLineRead()
+	}
+	victim, evicted := m.llc.Insert(set, cachesim.Entry{Key: key, Dirty: true})
+	m.handleEviction(victim, evicted)
+}
+
+func (m *Machine) handleEviction(victim cachesim.Entry, evicted bool) {
+	if !evicted || !victim.Dirty {
+		return
+	}
+	switch victim.Key.Kind {
+	case cachesim.KindData:
+		m.store.Writeback(word.PLID(victim.Key.ID))
+	case cachesim.KindRC:
+		m.store.RCLineWrite()
+	}
+}
+
+var _ word.Mem = (*Machine)(nil)

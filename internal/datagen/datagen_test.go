@@ -1,0 +1,100 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestCorporaDeterministic(t *testing.T) {
+	a := HTMLCorpus("wiki", 10, 4096, 42)
+	b := HTMLCorpus("wiki", 10, 4096, 42)
+	if len(a.Items) != len(b.Items) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Items {
+		if !bytes.Equal(a.Items[i], b.Items[i]) {
+			t.Fatalf("item %d differs across identical seeds", i)
+		}
+	}
+	c := HTMLCorpus("wiki", 10, 4096, 43)
+	if bytes.Equal(a.Items[0], c.Items[0]) {
+		t.Fatal("different seeds produced identical items")
+	}
+}
+
+func TestHTMLCorpusDeduplicates(t *testing.T) {
+	c := HTMLCorpus("wiki", 50, 4096, 1)
+	unique := store.UniqueLineCount(16, c.Items...)
+	raw := (c.TotalBytes() + 15) / 16
+	ratio := float64(raw) / float64(unique)
+	if ratio < 1.3 {
+		t.Fatalf("HTML corpus dedup ratio %.2f; want > 1.3 (Table 1 text range)", ratio)
+	}
+}
+
+func TestScriptCorpusDeduplicatesHarder(t *testing.T) {
+	c := ScriptCorpus("fb", 30, 2048, 2)
+	unique := store.UniqueLineCount(16, c.Items...)
+	raw := (c.TotalBytes() + 15) / 16
+	if ratio := float64(raw) / float64(unique); ratio < 1.5 {
+		t.Fatalf("script corpus dedup ratio %.2f; want > 1.5", ratio)
+	}
+}
+
+func TestBinaryCorpusDoesNotDeduplicate(t *testing.T) {
+	c := BinaryCorpus("img", 30, 3000, 3)
+	unique := store.UniqueLineCount(16, c.Items...)
+	raw := (c.TotalBytes() + 15) / 16
+	ratio := float64(raw) / float64(unique)
+	if ratio > 1.1 {
+		t.Fatalf("high-entropy corpus deduped %.2fx; images must not compact", ratio)
+	}
+}
+
+func TestPowerLawSizes(t *testing.T) {
+	c := HTMLCorpus("w", 300, 4096, 7)
+	var total, over int
+	for _, it := range c.Items {
+		total += len(it)
+		if len(it) > 3*4096 {
+			over++
+		}
+	}
+	meanGot := total / len(c.Items)
+	if meanGot < 1024 || meanGot > 16384 {
+		t.Fatalf("mean size %d too far from requested 4096", meanGot)
+	}
+	if over == 0 {
+		t.Fatal("no heavy-tail items; size distribution is not power-law")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.07, 9)
+	counts := make([]int, 1000)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < counts[500]*5 {
+		t.Fatalf("head key %d vs mid key %d: insufficient skew", counts[0], counts[500])
+	}
+}
+
+func TestRequestTraceRatio(t *testing.T) {
+	tr := RequestTrace(1000, 10000, 10, 11)
+	gets := 0
+	for _, r := range tr {
+		if r.Get {
+			gets++
+		}
+		if r.Key < 0 || r.Key >= 1000 {
+			t.Fatalf("key %d out of range", r.Key)
+		}
+	}
+	ratio := float64(gets) / float64(len(tr)-gets)
+	if ratio < 7 || ratio > 14 {
+		t.Fatalf("get:set ratio %.1f, want ~10", ratio)
+	}
+}

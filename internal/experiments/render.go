@@ -1,0 +1,79 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each Run* function returns a Table that prints the
+// same rows or series the paper reports; cmd/hicampbench drives them and
+// EXPERIMENTS.md records paper-vs-measured values. Scale factors let the
+// same harness run test-sized (seconds) or paper-sized (minutes).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// ScaleTest finishes in seconds; used by unit tests and CI.
+	ScaleTest Scale = iota
+	// ScalePaper approaches the paper's workload sizes (minutes).
+	ScalePaper
+)
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func u(v uint64) string    { return fmt.Sprintf("%d", v) }
+func mb(v uint64) string   { return fmt.Sprintf("%.2f", float64(v)/(1<<20)) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

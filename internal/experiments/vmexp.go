@@ -1,0 +1,42 @@
+package experiments
+
+import "repro/internal/vmhost"
+
+// RunFig9 regenerates Figure 9: memory consumed by 1..10 VMs of each
+// VMmark workload class under plain allocation, ideal page sharing and
+// HICAMP 64-byte line dedup. Sizes are the paper's divided by 1024 (see
+// vmhost.Classes); compaction factors are scale-free.
+func RunFig9() (Table, map[string][]vmhost.Point) {
+	t := Table{
+		Title:   "Figure 9: Memory consumption of individual VMmark VMs (MB, model scale)",
+		Headers: []string{"workload", "VMs", "allocated", "page-share", "hicamp64", "ps_x", "hic_x"},
+	}
+	series := map[string][]vmhost.Point{}
+	for _, c := range vmhost.Classes() {
+		pts := vmhost.ScaleVMs(c, 10)
+		series[c.Name] = pts
+		for _, p := range pts {
+			if p.N != 1 && p.N != 5 && p.N != 10 {
+				continue // print the shape; full series returned to callers
+			}
+			t.AddRow(c.Name, u(uint64(p.N)), mb(p.Allocated), mb(p.PageShared),
+				mb(p.Hicamp), f2(p.CompactionPageShare()), f2(p.CompactionHicamp()))
+		}
+	}
+	return t, series
+}
+
+// RunFig10 regenerates Figure 10: the same comparison for 1..10 whole
+// VMmark tiles (six VMs per tile).
+func RunFig10() (Table, []vmhost.Point) {
+	t := Table{
+		Title:   "Figure 10: Memory consumption of VMmark tiles (MB, model scale)",
+		Headers: []string{"tiles", "allocated", "page-share", "hicamp64", "ps_x", "hic_x"},
+	}
+	pts := vmhost.ScaleTiles(10)
+	for _, p := range pts {
+		t.AddRow(u(uint64(p.N)), mb(p.Allocated), mb(p.PageShared), mb(p.Hicamp),
+			f2(p.CompactionPageShare()), f2(p.CompactionHicamp()))
+	}
+	return t, pts
+}

@@ -1,0 +1,340 @@
+package hds
+
+import (
+	"repro/internal/iterreg"
+	"repro/internal/merge"
+	"repro/internal/segmap"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// Map is the paper's key-value map (§4.1, §4.4): a sparse array indexed
+// by the content-unique root PLID of the key string. Deduplication
+// guarantees each possible key content one index, so lookup needs no
+// hashing, probing or key comparison — the index *is* the key identity.
+// Each entry occupies four words: the value string's root PLID (a real
+// protected reference: the map DAG itself keeps the value alive), the
+// value's byte length, the key string's root PLID, and the key's byte
+// length. Pinning the key is load-bearing: the slot index is the key's
+// root PLID, so the key's lines must stay allocated while the binding
+// exists or the PLID could be reused by unrelated content.
+//
+// The map segment is flagged merge-update, so concurrent inserts and
+// deletes of different keys commit without application retries (§4.3).
+type Map struct {
+	h    *Heap
+	vsid word.VSID
+}
+
+// NewMap allocates an empty map.
+func NewMap(h *Heap) *Map {
+	v := h.SM.Create(segmap.Entry{
+		Seg:   segment.NewSparse(0),
+		Flags: segmap.FlagMergeUpdate,
+	})
+	return &Map{h: h, vsid: v}
+}
+
+// VSID returns the map's object identity.
+func (mp *Map) VSID() word.VSID { return mp.vsid }
+
+// ReadOnlyVSID returns the capability to hand to untrusted readers.
+func (mp *Map) ReadOnlyVSID() word.VSID { return segmap.ReadOnlyRef(mp.vsid) }
+
+// Slot layout: four words per possible key.
+const (
+	slotValue  = 0 // value root PLID (TagPLID), zero for empty values
+	slotValLen = 1 // value byte length + 1 (0 = key absent)
+	slotKey    = 2 // key root PLID (TagPLID), pins the key string
+	slotKeyLen = 3
+	slotWords  = 4
+)
+
+// slotFor maps a key to its slot base index.
+func slotFor(key String) uint64 { return uint64(key.Key()) * slotWords }
+
+// Get returns the value for key in the map's current version. The
+// returned string is pinned by the snapshot that found it only while
+// that snapshot lives, so Get retains the value root for the caller;
+// release it with Release.
+func (mp *Map) Get(key String) (String, bool) {
+	snap, err := iterreg.Open(mp.h.M, mp.h.SM, segmap.ReadOnlyRef(mp.vsid))
+	if err != nil {
+		return String{}, false
+	}
+	defer snap.Close()
+	return getFrom(mp.h, snap, key)
+}
+
+// GetFrom reads through an already-open iterator (snapshot), the §4.4
+// client-thread pattern: reload once per request, then access directly.
+func GetFrom(h *Heap, it *iterreg.Iterator, key String) (String, bool) {
+	return getFrom(h, it, key)
+}
+
+func getFrom(h *Heap, it *iterreg.Iterator, key String) (String, bool) {
+	slot := slotFor(key)
+	lenPlus, _ := it.Load(slot + slotValLen)
+	if lenPlus == 0 {
+		return String{}, false
+	}
+	n := lenPlus - 1
+	v, tag := it.Load(slot + slotValue)
+	if v != 0 && tag != word.TagPLID {
+		return String{}, false // corrupt slot; impossible by construction
+	}
+	val := String{Seg: segment.Seg{Root: word.PLID(v), Height: heightForBytes(h, n)}, Len: n}
+	val.Retain(h)
+	return val, true
+}
+
+func heightForBytes(h *Heap, n uint64) int {
+	words := (n + 7) / 8
+	if words == 0 {
+		words = 1
+	}
+	return segment.HeightFor(h.M.LineWords(), words)
+}
+
+// Set binds key to value, replacing any previous binding. Merge-update
+// absorbs concurrent updates to other keys; only a same-key race causes
+// an internal retry. The caller keeps ownership of key and value strings
+// (the map DAG takes its own references).
+func (mp *Map) Set(key, value String) error {
+	for {
+		it, err := iterreg.Open(mp.h.M, mp.h.SM, mp.vsid)
+		if err != nil {
+			return err
+		}
+		slot := slotFor(key)
+		if value.Seg.Root != word.Zero {
+			it.Store(slot+slotValue, uint64(value.Seg.Root), word.TagPLID)
+		} else {
+			it.Store(slot+slotValue, 0, word.TagRaw) // empty/all-zero value
+		}
+		it.Store(slot+slotValLen, value.Len+1, word.TagRaw)
+		if key.Seg.Root != word.Zero {
+			it.Store(slot+slotKey, uint64(key.Seg.Root), word.TagPLID)
+		}
+		it.Store(slot+slotKeyLen, key.Len, word.TagRaw)
+		ok, err := it.CommitMerge(it.Size())
+		it.Close()
+		if err == merge.ErrConflict {
+			continue // same-slot race: re-execute (paper §3.4 "rare")
+		}
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// Delete removes key's binding. Deleting an absent key is a no-op.
+func (mp *Map) Delete(key String) error {
+	for {
+		it, err := iterreg.Open(mp.h.M, mp.h.SM, mp.vsid)
+		if err != nil {
+			return err
+		}
+		slot := slotFor(key)
+		if present, _ := it.Load(slot + slotValLen); present == 0 {
+			it.Close()
+			return nil
+		}
+		for i := uint64(0); i < slotWords; i++ {
+			it.Store(slot+i, 0, word.TagRaw)
+		}
+		ok, err := it.CommitMerge(it.Size())
+		it.Close()
+		if err == merge.ErrConflict {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// Len counts bound keys in the current version (a full scan; maps that
+// need O(1) size pair with a Counter).
+func (mp *Map) Len() uint64 {
+	it, err := iterreg.Open(mp.h.M, mp.h.SM, segmap.ReadOnlyRef(mp.vsid))
+	if err != nil {
+		return 0
+	}
+	defer it.Close()
+	var n uint64
+	for at, ok := it.NextNonZero(0); ok; at, ok = it.NextNonZero(at - at%slotWords + slotWords) {
+		// The length+1 word is the presence marker; a slot's first
+		// non-zero word may be the value root or, for empty values,
+		// the marker itself.
+		if at%slotWords == slotValue || at%slotWords == slotValLen {
+			n++
+		}
+	}
+	return n
+}
+
+// Release drops the map object (values are reclaimed recursively by the
+// hardware reference-count machinery).
+func (mp *Map) Release() error { return mp.h.SM.Delete(mp.vsid) }
+
+// Counter is a segment of 64-bit counters updated with merge-update, so
+// concurrent increments never retry and never lose updates (§3.4, §4.3).
+type Counter struct {
+	h    *Heap
+	vsid word.VSID
+}
+
+// NewCounter allocates a counter array.
+func NewCounter(h *Heap) *Counter {
+	v := h.SM.Create(segmap.Entry{
+		Seg:   segment.NewSparse(0),
+		Flags: segmap.FlagMergeUpdate,
+	})
+	return &Counter{h: h, vsid: v}
+}
+
+// Add atomically adds delta to counter i and reports the updated value as
+// of this thread's commit (later merges may add more).
+func (c *Counter) Add(i uint64, delta uint64) (uint64, error) {
+	it, err := iterreg.Open(c.h.M, c.h.SM, c.vsid)
+	if err != nil {
+		return 0, err
+	}
+	cur, _ := it.Load(i)
+	it.Store(i, cur+delta, word.TagRaw)
+	_, err = it.CommitMerge(it.Size())
+	it.Close()
+	return cur + delta, err
+}
+
+// Value reads counter i.
+func (c *Counter) Value(i uint64) uint64 {
+	e, err := c.h.SM.Load(c.vsid)
+	if err != nil {
+		return 0
+	}
+	defer segment.ReleaseSeg(c.h.M, e.Seg)
+	v, _ := segment.ReadWord(c.h.M, e.Seg, i)
+	return v
+}
+
+// Release drops the counter object.
+func (c *Counter) Release() error { return c.h.SM.Delete(c.vsid) }
+
+// Queue is a multi-producer multi-consumer queue of strings (§4.3):
+// head and tail counters plus a data region in one merge-update segment.
+// Concurrent enqueues race on the same slot, fail the PLID merge rule and
+// retry against the advanced tail; enqueues and dequeues of different
+// slots merge cleanly.
+type Queue struct {
+	h    *Heap
+	vsid word.VSID
+}
+
+const (
+	qHead = 0
+	qTail = 1
+	qBase = 2 // first data slot (two words per element: root, length)
+)
+
+// NewQueue allocates an empty queue.
+func NewQueue(h *Heap) *Queue {
+	v := h.SM.Create(segmap.Entry{
+		Seg:   segment.NewSparse(0),
+		Flags: segmap.FlagMergeUpdate,
+	})
+	return &Queue{h: h, vsid: v}
+}
+
+// Enqueue appends s. The queue takes its own reference on the string.
+func (q *Queue) Enqueue(s String) error {
+	for {
+		it, err := iterreg.Open(q.h.M, q.h.SM, q.vsid)
+		if err != nil {
+			return err
+		}
+		tail, _ := it.Load(qTail)
+		if s.Seg.Root != word.Zero {
+			it.Store(qBase+2*tail, uint64(s.Seg.Root), word.TagPLID)
+		}
+		it.Store(qBase+2*tail+1, s.Len+1, word.TagRaw)
+		it.Store(qTail, tail+1, word.TagRaw)
+		ok, err := it.CommitMerge(0)
+		it.Close()
+		if err == merge.ErrConflict {
+			continue // lost the slot race; retry at the new tail
+		}
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest element; ok is false when the
+// queue is empty. The caller receives ownership of the string reference.
+//
+// Dequeue publishes with plain CAS rather than merge-update: two
+// dequeuers of the same slot write *identical* changes (slot zeroed,
+// head+1), which a three-way merge would accept — returning one item
+// twice. CAS serializes them; the loser retries against the new head.
+func (q *Queue) Dequeue() (String, bool, error) {
+	for {
+		it, err := iterreg.Open(q.h.M, q.h.SM, q.vsid)
+		if err != nil {
+			return String{}, false, err
+		}
+		head, _ := it.Load(qHead)
+		tail, _ := it.Load(qTail)
+		if head == tail {
+			it.Close()
+			return String{}, false, nil
+		}
+		root, _ := it.Load(qBase + 2*head)
+		lenPlus, _ := it.Load(qBase + 2*head + 1)
+		if lenPlus == 0 {
+			it.Close()
+			return String{}, false, nil
+		}
+		n := lenPlus - 1
+		out := String{Seg: segment.Seg{Root: word.PLID(root), Height: heightForBytes(q.h, n)}, Len: n}
+		out.Retain(q.h) // caller's reference, before the slot is cleared
+		it.Store(qBase+2*head, 0, word.TagRaw)
+		it.Store(qBase+2*head+1, 0, word.TagRaw)
+		it.Store(qHead, head+1, word.TagRaw)
+		ok, err := it.TryCommit(0)
+		it.Close()
+		if err != nil {
+			out.Release(q.h)
+			return String{}, false, err
+		}
+		if ok {
+			return out, true, nil
+		}
+		out.Release(q.h)
+	}
+}
+
+// Len returns the current element count.
+func (q *Queue) Len() uint64 {
+	e, err := q.h.SM.Load(q.vsid)
+	if err != nil {
+		return 0
+	}
+	defer segment.ReleaseSeg(q.h.M, e.Seg)
+	head, _ := segment.ReadWord(q.h.M, e.Seg, qHead)
+	tail, _ := segment.ReadWord(q.h.M, e.Seg, qTail)
+	return tail - head
+}
+
+// Release drops the queue object.
+func (q *Queue) Release() error { return q.h.SM.Delete(q.vsid) }

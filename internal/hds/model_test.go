@@ -1,0 +1,109 @@
+package hds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestMapModelEquivalence drives the HICAMP map with random operation
+// sequences and checks it against a plain Go map after every step — a
+// model-based test of the full stack (map -> iterator register -> txn ->
+// segment -> machine -> store).
+func TestMapModelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := heap()
+		m := NewMap(h)
+		model := map[string]string{}
+		keyspace := make([]string, 24)
+		for i := range keyspace {
+			keyspace[i] = fmt.Sprintf("key-%c-%d", 'a'+i%5, i)
+		}
+		for op := 0; op < 300; op++ {
+			k := keyspace[rng.Intn(len(keyspace))]
+			ks := NewString(h, []byte(k))
+			switch rng.Intn(10) {
+			case 0, 1: // delete
+				if err := m.Delete(ks); err != nil {
+					t.Fatalf("seed %d op %d: delete: %v", seed, op, err)
+				}
+				delete(model, k)
+			case 2, 3, 4: // set
+				v := fmt.Sprintf("value-%d-%d", seed, op)
+				if rng.Intn(4) == 0 {
+					v = "" // empty values must work
+				}
+				if err := m.Set(ks, NewString(h, []byte(v))); err != nil {
+					t.Fatalf("seed %d op %d: set: %v", seed, op, err)
+				}
+				model[k] = v
+			default: // get
+				got, ok := m.Get(ks)
+				want, wantOK := model[k]
+				if ok != wantOK {
+					t.Fatalf("seed %d op %d: presence of %q = %v, want %v", seed, op, k, ok, wantOK)
+				}
+				if ok {
+					if string(got.Bytes(h)) != want {
+						t.Fatalf("seed %d op %d: %q = %q, want %q", seed, op, k, got.Bytes(h), want)
+					}
+					got.Release(h)
+				}
+			}
+			ks.Release(h)
+		}
+		if got, want := m.Len(), uint64(len(model)); got != want {
+			t.Fatalf("seed %d: Len = %d, model has %d", seed, got, want)
+		}
+		// Final sweep: every model binding readable, nothing extra.
+		for k, want := range model {
+			ks := NewString(h, []byte(k))
+			got, ok := m.Get(ks)
+			if !ok || string(got.Bytes(h)) != want {
+				t.Fatalf("seed %d: final %q = %q,%v want %q", seed, k, got.Bytes(h), ok, want)
+			}
+			got.Release(h)
+			ks.Release(h)
+		}
+	}
+}
+
+// TestOrderedModelEquivalence does the same for the ordered collection,
+// additionally checking iteration order against the sorted model.
+func TestOrderedModelEquivalence(t *testing.T) {
+	for seed := int64(10); seed < 13; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := heap()
+		o := NewOrdered(h)
+		model := map[uint64]string{}
+		for op := 0; op < 200; op++ {
+			k := uint64(rng.Intn(500)) * 97 // sparse keys
+			switch rng.Intn(4) {
+			case 0:
+				o.Delete(k)
+				delete(model, k)
+			default:
+				v := fmt.Sprintf("v%d", op)
+				o.Put(k, NewString(h, []byte(v)))
+				model[k] = v
+			}
+		}
+		var visited []uint64
+		o.Range(0, func(k uint64, val String) bool {
+			visited = append(visited, k)
+			if want := model[k]; string(val.Bytes(h)) != want {
+				t.Fatalf("seed %d: [%d] = %q want %q", seed, k, val.Bytes(h), want)
+			}
+			return true
+		})
+		if len(visited) != len(model) {
+			t.Fatalf("seed %d: visited %d, model %d", seed, len(visited), len(model))
+		}
+		for i := 1; i < len(visited); i++ {
+			if visited[i-1] >= visited[i] {
+				t.Fatalf("seed %d: out of order at %d", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package hds
+
+import (
+	"repro/internal/iterreg"
+	"repro/internal/merge"
+	"repro/internal/segmap"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// Ordered is the §4.1 ordered collection: values indexed by a 64-bit
+// numeric key (the paper's example is a timestamp), stored as a sparse
+// segment with the value reference at index = key. A conventional system
+// needs a red-black tree with rebalancing and locking; here ordering is
+// the address space itself, lookup is a DAG descent, in-order iteration
+// is the iterator register's next-non-zero walk, and concurrent inserts
+// merge. Each element uses two words: value root PLID and value length.
+type Ordered struct {
+	h    *Heap
+	vsid word.VSID
+}
+
+// NewOrdered allocates an empty ordered collection.
+func NewOrdered(h *Heap) *Ordered {
+	v := h.SM.Create(segmap.Entry{
+		Seg:   segment.NewSparse(0),
+		Flags: segmap.FlagMergeUpdate,
+	})
+	return &Ordered{h: h, vsid: v}
+}
+
+// VSID returns the collection's object identity.
+func (o *Ordered) VSID() word.VSID { return o.vsid }
+
+// Put binds key to value (replacing any previous binding). Concurrent
+// puts at different keys merge without retry.
+func (o *Ordered) Put(key uint64, value String) error {
+	for {
+		it, err := iterreg.Open(o.h.M, o.h.SM, o.vsid)
+		if err != nil {
+			return err
+		}
+		if value.Seg.Root != word.Zero {
+			it.Store(2*key, uint64(value.Seg.Root), word.TagPLID)
+		} else {
+			it.Store(2*key, 0, word.TagRaw)
+		}
+		it.Store(2*key+1, value.Len+1, word.TagRaw)
+		ok, err := it.CommitMerge(it.Size())
+		it.Close()
+		if err == merge.ErrConflict {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// Delete removes key's binding.
+func (o *Ordered) Delete(key uint64) error {
+	for {
+		it, err := iterreg.Open(o.h.M, o.h.SM, o.vsid)
+		if err != nil {
+			return err
+		}
+		if present, _ := it.Load(2*key + 1); present == 0 {
+			it.Close()
+			return nil
+		}
+		it.Store(2*key, 0, word.TagRaw)
+		it.Store(2*key+1, 0, word.TagRaw)
+		ok, err := it.CommitMerge(it.Size())
+		it.Close()
+		if err == merge.ErrConflict {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// Get returns the value at key; the caller receives a retained reference.
+func (o *Ordered) Get(key uint64) (String, bool) {
+	it, err := iterreg.Open(o.h.M, o.h.SM, segmap.ReadOnlyRef(o.vsid))
+	if err != nil {
+		return String{}, false
+	}
+	defer it.Close()
+	return o.loadAt(it, key)
+}
+
+func (o *Ordered) loadAt(it *iterreg.Iterator, key uint64) (String, bool) {
+	lenPlus, _ := it.Load(2*key + 1)
+	if lenPlus == 0 {
+		return String{}, false
+	}
+	n := lenPlus - 1
+	v, _ := it.Load(2 * key)
+	val := String{Seg: segment.Seg{Root: word.PLID(v), Height: heightForBytes(o.h, n)}, Len: n}
+	val.Retain(o.h)
+	return val, true
+}
+
+// Range calls fn in ascending key order for every element of a snapshot
+// taken at the start of the walk, starting at from. fn's string reference
+// is released after it returns unless fn retains it; returning false
+// stops the walk. This is the §2.2 long-running read-only transaction:
+// concurrent puts never disturb the iteration.
+func (o *Ordered) Range(from uint64, fn func(key uint64, val String) bool) error {
+	it, err := iterreg.Open(o.h.M, o.h.SM, segmap.ReadOnlyRef(o.vsid))
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	at := 2 * from
+	for {
+		idx, ok := it.NextNonZero(at)
+		if !ok {
+			return nil
+		}
+		key := idx / 2
+		val, ok := o.loadAt(it, key)
+		if ok {
+			cont := fn(key, val)
+			val.Release(o.h)
+			if !cont {
+				return nil
+			}
+		}
+		at = 2*key + 2
+	}
+}
+
+// First returns the smallest key at or above from.
+func (o *Ordered) First(from uint64) (uint64, bool) {
+	it, err := iterreg.Open(o.h.M, o.h.SM, segmap.ReadOnlyRef(o.vsid))
+	if err != nil {
+		return 0, false
+	}
+	defer it.Close()
+	idx, ok := it.NextNonZero(2 * from)
+	if !ok {
+		return 0, false
+	}
+	return idx / 2, true
+}
+
+// Release drops the collection.
+func (o *Ordered) Release() error { return o.h.SM.Delete(o.vsid) }

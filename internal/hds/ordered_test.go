@@ -1,0 +1,159 @@
+package hds
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestOrderedPutGetDelete(t *testing.T) {
+	h := heap()
+	o := NewOrdered(h)
+	if _, ok := o.Get(42); ok {
+		t.Fatal("empty collection returned a value")
+	}
+	o.Put(42, NewString(h, []byte("answer")))
+	v, ok := o.Get(42)
+	if !ok || string(v.Bytes(h)) != "answer" {
+		t.Fatalf("get = %q, %v", v.Bytes(h), ok)
+	}
+	v.Release(h)
+	o.Delete(42)
+	if _, ok := o.Get(42); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestOrderedIterationInKeyOrder(t *testing.T) {
+	h := heap()
+	o := NewOrdered(h)
+	keys := []uint64{9000, 3, 77, 100000, 512, 1}
+	for _, k := range keys {
+		o.Put(k, NewString(h, []byte(fmt.Sprintf("v%d", k))))
+	}
+	var got []uint64
+	o.Range(0, func(k uint64, val String) bool {
+		got = append(got, k)
+		if want := fmt.Sprintf("v%d", k); string(val.Bytes(h)) != want {
+			t.Fatalf("value at %d = %q", k, val.Bytes(h))
+		}
+		return true
+	})
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(got) != len(sorted) {
+		t.Fatalf("visited %v", got)
+	}
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("order %v, want %v", got, sorted)
+		}
+	}
+}
+
+func TestOrderedRangeFromAndEarlyStop(t *testing.T) {
+	h := heap()
+	o := NewOrdered(h)
+	for _, k := range []uint64{10, 20, 30, 40} {
+		o.Put(k, NewString(h, []byte("x")))
+	}
+	var got []uint64
+	o.Range(15, func(k uint64, _ String) bool {
+		got = append(got, k)
+		return k < 30
+	})
+	if len(got) != 2 || got[0] != 20 || got[1] != 30 {
+		t.Fatalf("got %v, want [20 30]", got)
+	}
+	if k, ok := o.First(21); !ok || k != 30 {
+		t.Fatalf("First(21) = %d,%v", k, ok)
+	}
+}
+
+func TestOrderedSnapshotIterationUnderWrites(t *testing.T) {
+	// §4.2: iteration visits the collection exactly as it was when the
+	// register was loaded, independent of concurrent updates.
+	h := heap()
+	o := NewOrdered(h)
+	for k := uint64(0); k < 50; k++ {
+		o.Put(k*10, NewString(h, []byte("original")))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent writer churning the collection
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := uint64(rng.Intn(50)) * 10
+			o.Put(k, NewString(h, []byte("mutated!")))
+		}
+	}()
+	for round := 0; round < 5; round++ {
+		count := 0
+		var vals []string
+		o.Range(0, func(k uint64, v String) bool {
+			count++
+			vals = append(vals, string(v.Bytes(h)))
+			return true
+		})
+		if count != 50 {
+			t.Fatalf("snapshot saw %d elements, want 50", count)
+		}
+		// Values within one snapshot are whatever was committed at load
+		// time — but each must be intact (never a torn mix).
+		for _, v := range vals {
+			if v != "original" && v != "mutated!" {
+				t.Fatalf("torn value %q", v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestOrderedConcurrentDisjointPuts(t *testing.T) {
+	h := heap()
+	o := NewOrdered(h)
+	var wg sync.WaitGroup
+	const workers, each = 6, 25
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				k := uint64(g*1000 + i)
+				if err := o.Put(k, NewString(h, []byte(fmt.Sprintf("w%d", g)))); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	count := 0
+	o.Range(0, func(uint64, String) bool { count++; return true })
+	if count != workers*each {
+		t.Fatalf("lost inserts: %d of %d visible", count, workers*each)
+	}
+}
+
+func TestOrderedSparseKeysAreCheap(t *testing.T) {
+	// A timestamp-keyed collection has a huge sparse index space; path
+	// compaction must keep the footprint proportional to the population.
+	h := heap()
+	o := NewOrdered(h)
+	before := h.M.LiveLines()
+	o.Put(1<<40, NewString(h, []byte("far future")))
+	added := h.M.LiveLines() - before
+	if added > 30 {
+		t.Fatalf("one element at key 2^40 allocated %d lines", added)
+	}
+}

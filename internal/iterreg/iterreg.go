@@ -1,0 +1,265 @@
+// Package iterreg implements HICAMP iterator registers (paper §3.3,
+// Figure 5): the architectural register that holds a segment reference
+// plus the cached path of DAG lines to its current position. Sequential
+// and nearby accesses reuse the cached path and load only the lines below
+// the divergence point; stores buffer in transient lines (segment.Txn)
+// and convert to content-unique lines at commit, published with CAS or
+// merge-update on the virtual segment map.
+package iterreg
+
+import (
+	"fmt"
+
+	"repro/internal/merge"
+	"repro/internal/segmap"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// Stats counts iterator register activity.
+type Stats struct {
+	Seeks      uint64 // positioning operations
+	LineLoads  uint64 // DAG lines loaded into the register
+	PathReuses uint64 // levels reused from the cached path
+	Commits    uint64
+	Aborts     uint64
+}
+
+// Iterator is one iterator register. It is not safe for concurrent use —
+// a register belongs to one hardware thread; spawn one per goroutine.
+type Iterator struct {
+	m     word.Mem
+	sm    *segmap.Map // nil for detached (segment-only) iterators
+	vsid  word.VSID
+	entry segmap.Entry // snapshot; root reference owned when sm != nil
+	txn   *segment.Txn
+	stack []level
+	Stats Stats
+}
+
+// level caches one step of the path: the expanded children of the node at
+// this depth and which child the path descends into.
+type level struct {
+	kids  []segment.Edge
+	child int
+}
+
+// NewSegmentIterator returns a detached iterator over seg. The caller
+// must keep seg alive for the iterator's lifetime; commits return the new
+// segment instead of publishing it.
+func NewSegmentIterator(m word.Mem, seg segment.Seg) *Iterator {
+	return &Iterator{m: m, entry: segmap.Entry{Seg: seg}}
+}
+
+// Open loads an iterator register with the segment named by vsid,
+// snapshotting its current version (§3.3 "upon initialization ... loads
+// and caches the path"). Close releases the snapshot.
+func Open(m word.Mem, sm *segmap.Map, vsid word.VSID) (*Iterator, error) {
+	e, err := sm.Load(vsid)
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{m: m, sm: sm, vsid: vsid, entry: e}, nil
+}
+
+// Seg returns the snapshot the iterator reads (pending writes excluded).
+func (it *Iterator) Seg() segment.Seg { return it.entry.Seg }
+
+// Entry returns the snapshotted segment-map entry.
+func (it *Iterator) Entry() segmap.Entry { return it.entry }
+
+// Size returns the snapshotted logical byte size.
+func (it *Iterator) Size() uint64 { return it.entry.Size }
+
+// Close releases the snapshot and aborts any pending writes.
+func (it *Iterator) Close() {
+	if it.txn != nil {
+		it.txn.Abort()
+		it.txn = nil
+		it.Stats.Aborts++
+	}
+	if it.sm != nil {
+		segment.ReleaseSeg(it.m, it.entry.Seg)
+	}
+	it.stack = nil
+}
+
+// Load returns the tagged word at idx, reading through pending writes.
+func (it *Iterator) Load(idx uint64) (uint64, word.Tag) {
+	if it.txn != nil {
+		return it.txn.ReadWord(idx)
+	}
+	return it.seek(idx)
+}
+
+// seek positions the cached path at idx and returns the word there.
+func (it *Iterator) seek(idx uint64) (uint64, word.Tag) {
+	it.Stats.Seeks++
+	arity := it.m.LineWords()
+	seg := it.entry.Seg
+	if idx >= seg.Capacity(arity) {
+		return 0, word.TagRaw
+	}
+	// Child index at each depth, top first; the final entry is the word
+	// index within the leaf.
+	h := seg.Height
+	idxs := make([]int, h+1)
+	rem := idx
+	for d := 0; d <= h; d++ {
+		sub := capPow(arity, h-d)
+		idxs[d] = int(rem / sub)
+		rem %= sub
+	}
+	if len(it.stack) == 0 {
+		root := segment.PLIDEdge(seg.Root)
+		it.stack = append(it.stack, level{kids: it.expand(root, h)})
+	}
+	// Reuse the longest valid prefix of the cached path: entry d+1 stays
+	// valid while descent d still takes the same child.
+	keep := 0
+	for keep < len(it.stack)-1 && keep < h && it.stack[keep].child == idxs[keep] {
+		keep++
+	}
+	it.Stats.PathReuses += uint64(keep)
+	it.stack = it.stack[:keep+1]
+	for d := keep; d < h; d++ {
+		it.stack[d].child = idxs[d]
+		childEdge := it.stack[d].kids[idxs[d]]
+		it.stack = append(it.stack, level{kids: it.expand(childEdge, h-d-1)})
+	}
+	leaf := &it.stack[h]
+	leaf.child = idxs[h]
+	e := leaf.kids[idxs[h]]
+	return e.W, e.T
+}
+
+func (it *Iterator) expand(e segment.Edge, lvl int) []segment.Edge {
+	if e.T == word.TagPLID && e.W != 0 {
+		it.Stats.LineLoads++
+	}
+	return segment.Children(it.m, e, lvl)
+}
+
+// NextNonZero returns the first index at or after from holding a non-zero
+// word (value or tag), skipping elided zero subtrees — the §3.3 register
+// increment that "moves to the next non-null element". ok is false at the
+// end of the segment.
+func (it *Iterator) NextNonZero(from uint64) (uint64, bool) {
+	if it.txn != nil {
+		// Pending writes invalidate pure DAG iteration; scan through the
+		// transaction (correct, if slower — committed iteration is the
+		// hot path).
+		capWords := segment.NewSparse(it.txn.Height()).Capacity(it.m.LineWords())
+		for i := from; i < capWords; i++ {
+			if v, tag := it.txn.ReadWord(i); v != 0 || tag != word.TagRaw {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	return segment.NextNonZero(it.m, it.entry.Seg, from)
+}
+
+// Store buffers a write at idx (§3.3: updates go to transient lines).
+func (it *Iterator) Store(idx uint64, v uint64, tag word.Tag) {
+	if it.txn == nil {
+		it.txn = segment.NewTxn(it.m, it.entry.Seg)
+		it.stack = nil // subsequent reads go through the transaction
+	}
+	it.txn.WriteWord(idx, v, tag)
+}
+
+// CommitSegment converts pending transient lines and returns the new
+// segment without publishing it; the caller owns the returned root. Only
+// valid on detached iterators.
+func (it *Iterator) CommitSegment() segment.Seg {
+	if it.sm != nil {
+		panic("iterreg: CommitSegment on an attached iterator; use TryCommit")
+	}
+	it.Stats.Commits++
+	if it.txn == nil {
+		seg := it.entry.Seg
+		segment.RetainSeg(it.m, seg)
+		return seg
+	}
+	seg := it.txn.Commit()
+	it.txn = nil
+	return seg
+}
+
+// TryCommit converts pending writes and publishes the new root with a CAS
+// against the snapshotted root (§2.2). On success the iterator's snapshot
+// advances to the committed version and the result is true. On failure
+// (another thread committed first) all pending writes are discarded, the
+// snapshot is reloaded, and the application retries its operation.
+func (it *Iterator) TryCommit(size uint64) (bool, error) {
+	return it.commit(size, false)
+}
+
+// CommitMerge is TryCommit with merge-update (§3.4): on CAS conflict the
+// versions are three-way merged and only true data conflicts fail. The
+// segment must be flagged segmap.FlagMergeUpdate.
+func (it *Iterator) CommitMerge(size uint64) (bool, error) {
+	return it.commit(size, true)
+}
+
+func (it *Iterator) commit(size uint64, useMerge bool) (bool, error) {
+	if it.sm == nil {
+		return false, fmt.Errorf("iterreg: commit on detached iterator")
+	}
+	if it.txn == nil {
+		return true, nil // nothing to publish
+	}
+	next := it.txn.Commit()
+	it.txn = nil
+	it.stack = nil
+	it.Stats.Commits++
+
+	var ok bool
+	var err error
+	if useMerge {
+		ok, err = merge.MCAS(it.m, it.sm, it.vsid, it.entry.Seg, next, size, nil)
+	} else {
+		ok = it.sm.CAS(it.vsid, it.entry.Seg, next, size)
+		if !ok {
+			segment.ReleaseSeg(it.m, next)
+		}
+	}
+	// Whatever happened, resynchronize the snapshot with the published
+	// version (after a merge the committed root differs from next).
+	if rerr := it.Reload(); rerr != nil && err == nil {
+		err = rerr
+	}
+	return ok, err
+}
+
+// Reload abandons the current snapshot (and pending writes) and
+// re-snapshots the segment's current version.
+func (it *Iterator) Reload() error {
+	if it.sm == nil {
+		return fmt.Errorf("iterreg: reload on detached iterator")
+	}
+	if it.txn != nil {
+		it.txn.Abort()
+		it.txn = nil
+		it.Stats.Aborts++
+	}
+	e, err := it.sm.Load(it.vsid)
+	if err != nil {
+		return err
+	}
+	segment.ReleaseSeg(it.m, it.entry.Seg)
+	it.entry = e
+	it.stack = nil
+	return nil
+}
+
+// capPow returns arity^depth: the number of words one child slot covers
+// when it sits depth levels above the leaf words.
+func capPow(arity, depth int) uint64 {
+	c := uint64(1)
+	for i := 0; i < depth; i++ {
+		c *= uint64(arity)
+	}
+	return c
+}

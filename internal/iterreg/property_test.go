@@ -1,0 +1,93 @@
+package iterreg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/segmap"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// TestSeekEquivalentToReadWord: arbitrary seek sequences through the
+// register must return exactly what the stateless segment reader returns.
+func TestSeekEquivalentToReadWord(t *testing.T) {
+	f := func(seed int64, seeks []uint16) bool {
+		m := core.NewMachine(core.Config{
+			LineBytes: 16, BucketBits: 10, DataWays: 12, CacheLines: 128, CacheWays: 4,
+		})
+		rng := rand.New(rand.NewSource(seed))
+		ws := make([]uint64, 300)
+		for i := range ws {
+			if rng.Intn(3) == 0 {
+				ws[i] = rng.Uint64()
+			}
+		}
+		seg := segment.BuildWords(m, ws, nil)
+		it := NewSegmentIterator(m, seg)
+		for _, s := range seeks {
+			idx := uint64(s) % 512 // includes out-of-capacity reads
+			got, _ := it.Load(idx)
+			want, _ := segment.ReadWord(m, seg, idx)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteReadBackProperty: any interleaving of stores and loads through
+// one iterator behaves like a flat array, before and after commit.
+func TestWriteReadBackProperty(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		m := core.NewMachine(core.Config{
+			LineBytes: 16, BucketBits: 10, DataWays: 12, CacheLines: 128, CacheWays: 4,
+		})
+		sm := segmap.New(m)
+		v := sm.Create(segmap.Entry{Seg: segment.NewSparse(8)})
+		it, err := Open(m, sm, v)
+		if err != nil {
+			return false
+		}
+		defer it.Close()
+		rng := rand.New(rand.NewSource(seed))
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			idx := uint64(op) % 600
+			if op%3 == 0 {
+				val := rng.Uint64() >> (op % 40)
+				it.Store(idx, val, word.TagRaw)
+				model[idx] = val
+			} else {
+				got, _ := it.Load(idx)
+				if got != model[idx] {
+					return false
+				}
+			}
+		}
+		ok, err := it.TryCommit(0)
+		if !ok || err != nil {
+			return false
+		}
+		final, err := sm.Load(v)
+		if err != nil {
+			return false
+		}
+		defer segment.ReleaseSeg(m, final.Seg)
+		for idx, val := range model {
+			if got, _ := segment.ReadWord(m, final.Seg, idx); got != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package kvstore
+
+import (
+	"repro/internal/conv"
+)
+
+// ConvServer models stock memcached on the conventional architecture at
+// the memory-reference level. Each command emits the reference stream of
+// the real implementation's steps — socket copies in and out of kernel
+// buffers, hash computation over the key, hash-table probe and chain
+// walk, item header and key compare, slab allocation, LRU bookkeeping —
+// into the baseline L1/L2 hierarchy. The paper obtained this stream by
+// tracing memcached under VMware and replaying it through DineroIV; the
+// model reproduces the same per-operation access pattern (see DESIGN.md).
+type ConvServer struct {
+	Space *conv.Space
+
+	htBase   uint64 // hash table: buckets * 8-byte chain heads
+	htMask   uint64
+	lruBase  uint64 // global LRU list head/tail pointers
+	connBase uint64 // per-connection state + socket buffers
+
+	slabNext uint64           // bump allocator inside slab region
+	items    map[string]*item // model bookkeeping (not traced)
+	free     map[int][]uint64 // size-class free lists, like slabs
+}
+
+type item struct {
+	addr   uint64
+	keyLen int
+	valLen int
+	next   uint64 // chain successor address (0 = end)
+}
+
+const (
+	itemHeaderBytes = 48 // next, prev, h_next, exptime, nbytes, refcount, flags
+	reqHeaderBytes  = 40 // command, key length, opaque, cas fields
+	connStateBytes  = 256
+	sockBufBytes    = 64 << 10
+)
+
+// NewConvServer sizes the model like the paper's runs: nBuckets should be
+// on the order of the item count (memcached grows the table to keep
+// chains short).
+func NewConvServer(lineBytes int, nBuckets int) *ConvServer {
+	// Round buckets up to a power of two.
+	b := 1
+	for b < nBuckets {
+		b <<= 1
+	}
+	sp := conv.NewSpace(lineBytes)
+	s := &ConvServer{
+		Space:  sp,
+		htMask: uint64(b - 1),
+		items:  make(map[string]*item),
+		free:   make(map[int][]uint64),
+	}
+	s.htBase = sp.Alloc(uint64(b)*8, 4096)
+	s.lruBase = sp.Alloc(64, 64)
+	s.connBase = sp.Alloc(connStateBytes+2*sockBufBytes, 4096)
+	s.slabNext = sp.Alloc(0, 1<<20) // slab region grows from here
+	return s
+}
+
+func (s *ConvServer) rxBuf() uint64 { return s.connBase + connStateBytes }
+func (s *ConvServer) txBuf() uint64 { return s.connBase + connStateBytes + sockBufBytes }
+
+// hashOf gives the model's bucket for a key (any deterministic spread).
+func hashOf(key string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sizeClass rounds an item to its slab class, memcached's 1.25x ladder.
+func sizeClass(n int) int {
+	c := 96
+	for c < n {
+		c = c * 5 / 4
+	}
+	return c
+}
+
+// readRequest models the socket receive path: the client's bytes land in
+// the kernel socket buffer and are copied to user space, then parsed.
+func (s *ConvServer) readRequest(payload int) {
+	userBuf := s.connBase // reuse connection scratch as user buffer
+	s.Space.Copy(userBuf, s.rxBuf(), reqHeaderBytes+payload)
+	s.Space.Load(s.connBase, 16) // connection state machine fields
+	s.Space.Store(s.connBase, 8)
+}
+
+// writeResponse models the send path: user-space response copied into the
+// kernel socket buffer.
+func (s *ConvServer) writeResponse(payload int) {
+	s.Space.Copy(s.txBuf(), s.connBase, reqHeaderBytes+payload)
+	s.Space.Store(s.connBase, 8)
+}
+
+// probe walks the hash chain for key, emitting the table load, per-item
+// header loads and the key compare on the final candidate. It returns the
+// found item (model state) or nil.
+func (s *ConvServer) probe(key string) *item {
+	bucket := hashOf(key) & s.htMask
+	// Hash the key: every key byte is read from the user buffer.
+	s.Space.ReadRange(s.connBase+reqHeaderBytes, len(key))
+	s.Space.Load(s.htBase+bucket*8, 8)
+	it := s.items[key]
+	// Chain walk: header of each predecessor in the chain. The model
+	// approximates the expected chain position with one extra header
+	// visit per resident item hashing to the bucket beyond the first.
+	if it != nil {
+		s.Space.ReadRange(it.addr, itemHeaderBytes)
+		s.Space.ReadRange(it.addr+itemHeaderBytes, it.keyLen) // key compare
+	} else {
+		// Miss: memcached still loads the first chain header if any.
+		s.Space.Load(s.htBase+bucket*8, 8)
+	}
+	return it
+}
+
+// Get models one get command.
+func (s *ConvServer) Get(key string) bool {
+	s.readRequest(len(key))
+	it := s.probe(key)
+	if it == nil {
+		s.writeResponse(0)
+		return false
+	}
+	// Reference count, LRU unlink/relink: header writes + global list.
+	s.Space.Store(it.addr, 24)
+	s.Space.Load(s.lruBase, 16)
+	s.Space.Store(s.lruBase, 16)
+	// Value is copied into the response buffer (user -> kernel follows).
+	s.Space.Copy(s.connBase+reqHeaderBytes, it.addr+itemHeaderBytes+uint64(it.keyLen), it.valLen)
+	s.writeResponse(it.valLen)
+	return true
+}
+
+// Set models one set command.
+func (s *ConvServer) Set(key string, valLen int) {
+	s.readRequest(len(key) + valLen)
+	old := s.probe(key)
+	if old != nil {
+		s.unlink(old, key)
+	}
+	it := s.alloc(key, valLen)
+	// Fill header, copy key and value from the user buffer into the item.
+	s.Space.WriteRange(it.addr, itemHeaderBytes)
+	s.Space.Copy(it.addr+itemHeaderBytes, s.connBase+reqHeaderBytes, len(key)+valLen)
+	// Link into hash chain and LRU.
+	bucket := hashOf(key) & s.htMask
+	s.Space.Load(s.htBase+bucket*8, 8)
+	s.Space.Store(s.htBase+bucket*8, 8)
+	s.Space.Store(it.addr+8, 8) // h_next pointer
+	s.Space.Load(s.lruBase, 16)
+	s.Space.Store(s.lruBase, 16)
+	s.items[key] = it
+	s.writeResponse(0)
+}
+
+// Delete models one delete command.
+func (s *ConvServer) Delete(key string) bool {
+	s.readRequest(len(key))
+	it := s.probe(key)
+	if it == nil {
+		s.writeResponse(0)
+		return false
+	}
+	s.unlink(it, key)
+	s.writeResponse(0)
+	return true
+}
+
+func (s *ConvServer) alloc(key string, valLen int) *item {
+	need := itemHeaderBytes + len(key) + valLen
+	class := sizeClass(need)
+	var addr uint64
+	if fl := s.free[class]; len(fl) > 0 {
+		addr = fl[len(fl)-1]
+		s.free[class] = fl[:len(fl)-1]
+		s.Space.Load(addr, 8) // pop free-list link
+	} else {
+		addr = s.Space.Alloc(uint64(class), 64)
+		s.slabNext = addr + uint64(class)
+	}
+	return &item{addr: addr, keyLen: len(key), valLen: valLen}
+}
+
+func (s *ConvServer) unlink(it *item, key string) {
+	bucket := hashOf(key) & s.htMask
+	s.Space.Load(s.htBase+bucket*8, 8)
+	s.Space.Store(s.htBase+bucket*8, 8)
+	s.Space.Load(s.lruBase, 16)
+	s.Space.Store(s.lruBase, 16)
+	s.Space.Store(it.addr, 8) // free-list link write
+	class := sizeClass(itemHeaderBytes + it.keyLen + it.valLen)
+	s.free[class] = append(s.free[class], it.addr)
+	delete(s.items, key)
+}
+
+// FootprintBytes returns the bytes the conventional layout occupies:
+// table, connection buffers and all slab-resident items (live and freed —
+// slabs are never returned to the OS).
+func (s *ConvServer) FootprintBytes() uint64 { return s.Space.Brk() }

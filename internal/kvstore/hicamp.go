@@ -1,0 +1,99 @@
+// Package kvstore implements the paper's running application study (§4.4,
+// §5.1): memcached. The HICAMP implementation is the paper's design — the
+// key-value map is a sparse segment indexed by the content-unique root
+// PLID of the key string, read under snapshot isolation and updated with
+// merge-update. The conventional implementation is an operation-level
+// model of stock memcached (hash table + slab allocator + socket IPC)
+// that emits its memory reference stream into the baseline cache
+// hierarchy. Both sides process identical request traces; their off-chip
+// access counts reproduce Figure 6.
+package kvstore
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hds"
+	"repro/internal/iterreg"
+)
+
+// HicampServer is memcached on HICAMP (§4.4).
+type HicampServer struct {
+	Heap *hds.Heap
+	kvp  *hds.Map
+}
+
+// NewHicampServer creates a server over a fresh machine.
+func NewHicampServer(cfg core.Config) *HicampServer {
+	h := hds.NewHeap(cfg)
+	return &HicampServer{Heap: h, kvp: hds.NewMap(h)}
+}
+
+// Set stores a key-value pair. Building the value into content-unique
+// lines is the set path's dominant memory cost, exactly as the paper's
+// §5.1.1 analysis assumes; the map update itself touches log(N) lines.
+func (s *HicampServer) Set(key, value []byte) error {
+	k := hds.NewString(s.Heap, key)
+	v := hds.NewString(s.Heap, value)
+	err := s.kvp.Set(k, v)
+	// The map's DAG now owns the value (and the key is findable by
+	// content); drop the request-local references.
+	k.Release(s.Heap)
+	v.Release(s.Heap)
+	return err
+}
+
+// Get returns the value for key. The read runs against a private
+// snapshot: no locking, no interference from concurrent sets (§4.4).
+func (s *HicampServer) Get(key []byte) ([]byte, bool) {
+	k := hds.NewString(s.Heap, key)
+	defer k.Release(s.Heap)
+	v, ok := s.kvp.Get(k)
+	if !ok {
+		return nil, false
+	}
+	out := v.Bytes(s.Heap) // stream the value out (to the NIC, in life)
+	v.Release(s.Heap)
+	return out, true
+}
+
+// GetVia is Get through a caller-owned read-only iterator, the §4.4
+// client-thread pattern: the register is reloaded once per request and
+// the map is accessed directly, with zero IPC.
+func (s *HicampServer) GetVia(it *iterreg.Iterator, key []byte) ([]byte, bool) {
+	if err := it.Reload(); err != nil {
+		return nil, false
+	}
+	k := hds.NewString(s.Heap, key)
+	defer k.Release(s.Heap)
+	v, ok := hds.GetFrom(s.Heap, it, k)
+	if !ok {
+		return nil, false
+	}
+	out := v.Bytes(s.Heap)
+	v.Release(s.Heap)
+	return out, true
+}
+
+// Delete removes a key.
+func (s *HicampServer) Delete(key []byte) error {
+	k := hds.NewString(s.Heap, key)
+	defer k.Release(s.Heap)
+	return s.kvp.Delete(k)
+}
+
+// OpenReader returns a read-only iterator register bound to the map, for
+// GetVia. Close it when the connection ends.
+func (s *HicampServer) OpenReader() (*iterreg.Iterator, error) {
+	return iterreg.Open(s.Heap.M, s.Heap.SM, s.kvp.ReadOnlyVSID())
+}
+
+// Map exposes the underlying key-value map.
+func (s *HicampServer) Map() *hds.Map { return s.kvp }
+
+// Stats returns the machine's memory-system counters.
+func (s *HicampServer) Stats() core.Stats { return s.Heap.M.Stats() }
+
+func (s *HicampServer) String() string {
+	return fmt.Sprintf("kvstore.HicampServer(lines=%d)", s.Heap.M.LiveLines())
+}

@@ -1,0 +1,195 @@
+// Package merge implements HICAMP merge-update (paper §3.4): when a CAS
+// on a merge-update segment fails because another thread committed first,
+// the system three-way merges the thread's version with the new current
+// version instead of aborting back to the application.
+//
+// The merge walks the original, modified and current DAGs together. The
+// content-uniqueness of segments makes the identical-sub-DAG check a PLID
+// comparison, so unchanged regions are skipped without reading them — the
+// property that gives merge-update its O(changed paths) cost. At the word
+// level:
+//
+//   - a raw data word merges by delta: cur + (mod − orig), which for the
+//     common cases degenerates to "take the changed side" and for counter
+//     segments produces the sum of concurrent increments;
+//   - a PLID or VSID word must match the original or the modified value
+//     on the current side (two threads must not store distinct new
+//     references into the same field), otherwise the merge fails.
+package merge
+
+import (
+	"errors"
+
+	"repro/internal/segmap"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// ErrConflict reports a true data conflict that merge-update cannot
+// resolve; the application must re-execute its operation.
+var ErrConflict = errors.New("merge: conflicting concurrent updates")
+
+// Stats counts merge activity for the §5.1.1 experiments.
+type Stats struct {
+	Merges      uint64 // three-way merges attempted
+	Failures    uint64 // merges that hit ErrConflict
+	NodesWalked uint64 // DAG nodes expanded (skipped sub-DAGs excluded)
+	SubDAGSkips uint64 // identical sub-DAGs skipped by PLID equality
+}
+
+// Merge three-way merges segments of equal height: orig is the common
+// ancestor, mod the calling thread's version, cur the version committed
+// meanwhile. On success the caller owns one reference on the result root.
+// Stats, when non-nil, accumulates walk counters.
+func Merge(m word.Mem, orig, mod, cur segment.Seg, st *Stats) (segment.Seg, error) {
+	if orig.Height != mod.Height || orig.Height != cur.Height {
+		// Height changes restructure the DAG; treat as a real conflict.
+		return segment.Seg{}, ErrConflict
+	}
+	if st != nil {
+		st.Merges++
+	}
+	e, err := mergeEdge(m,
+		segment.PLIDEdge(orig.Root),
+		segment.PLIDEdge(mod.Root),
+		segment.PLIDEdge(cur.Root),
+		orig.Height, st)
+	if err != nil {
+		if st != nil {
+			st.Failures++
+		}
+		return segment.Seg{}, err
+	}
+	return segment.SegFromEdge(m, e, orig.Height), nil
+}
+
+// mergeEdge returns an owned edge merging the three subtrees at level.
+func mergeEdge(m word.Mem, orig, mod, cur segment.Edge, level int, st *Stats) (segment.Edge, error) {
+	// Identical sub-DAG skipping by content-unique edge comparison.
+	if mod == orig {
+		if st != nil {
+			st.SubDAGSkips++
+		}
+		cur.Retain(m)
+		return cur, nil
+	}
+	if cur == orig || cur == mod {
+		if st != nil {
+			st.SubDAGSkips++
+		}
+		mod.Retain(m)
+		return mod, nil
+	}
+	if st != nil {
+		st.NodesWalked++
+	}
+	if level == 0 {
+		return mergeLeaf(m, orig, mod, cur)
+	}
+	co := segment.Children(m, orig, level)
+	cm := segment.Children(m, mod, level)
+	cc := segment.Children(m, cur, level)
+	arity := m.LineWords()
+	merged := make([]segment.Edge, arity)
+	for i := 0; i < arity; i++ {
+		e, err := mergeEdge(m, co[i], cm[i], cc[i], level-1, st)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				merged[j].Release(m)
+			}
+			return segment.Edge{}, err
+		}
+		merged[i] = e
+	}
+	out := segment.CanonNode(m, merged)
+	for _, e := range merged {
+		e.Release(m)
+	}
+	return out, nil
+}
+
+func mergeLeaf(m word.Mem, orig, mod, cur segment.Edge) (segment.Edge, error) {
+	arity := m.LineWords()
+	wo := segment.Children(m, orig, 0)
+	wm := segment.Children(m, mod, 0)
+	wc := segment.Children(m, cur, 0)
+	ws := make([]uint64, arity)
+	ts := make([]word.Tag, arity)
+	for i := 0; i < arity; i++ {
+		o, md, cu := wo[i], wm[i], wc[i]
+		switch {
+		case md == o:
+			ws[i], ts[i] = cu.W, cu.T
+		case cu == o || cu == md:
+			ws[i], ts[i] = md.W, md.T
+		case o.T == word.TagRaw && md.T == word.TagRaw && cu.T == word.TagRaw:
+			// Concurrent raw-data updates merge by delta (§3.4): the
+			// difference the thread applied, re-applied to the current
+			// value. For counters this sums concurrent increments.
+			ws[i], ts[i] = cu.W+(md.W-o.W), word.TagRaw
+		default:
+			// Two threads stored distinct references (or changed a
+			// word's type) in the same field: a true conflict.
+			return segment.Edge{}, ErrConflict
+		}
+	}
+	return segment.CanonLeaf(m, ws, ts), nil
+}
+
+// MCAS publishes next over old at vsid with merge-update retry, following
+// the paper's mCAS pseudo-code: on CAS failure the thread's changes are
+// merged with the interleaving committer's and the CAS retried, failing
+// only on a true data conflict. Ownership of the caller's reference on
+// next transfers on success and is released on failure; the caller's
+// reference on old is never consumed. The entry must carry
+// segmap.FlagMergeUpdate.
+func MCAS(m word.Mem, sm *segmap.Map, vsid word.VSID, old, next segment.Seg, size uint64, st *Stats) (bool, error) {
+	flags, err := sm.Flags(vsid)
+	if err != nil {
+		segment.ReleaseSeg(m, next)
+		return false, err
+	}
+	if flags&segmap.FlagMergeUpdate == 0 {
+		segment.ReleaseSeg(m, next)
+		return false, errors.New("merge: segment not flagged for merge-update")
+	}
+	return mcas(m, sm, vsid, old, next, size, st)
+}
+
+func mcas(m word.Mem, sm *segmap.Map, vsid word.VSID, old, next segment.Seg, size uint64, st *Stats) (bool, error) {
+	// The caller's reference on old is never consumed. next is owned by
+	// this function: transferred to the map on success, released on
+	// failure. anc is the merge ancestor — the caller's old at first,
+	// then each observed current version (whose Load reference we own).
+	anc, ancOwned := old, false
+	done := func(err error) (bool, error) {
+		segment.ReleaseSeg(m, next)
+		if ancOwned {
+			segment.ReleaseSeg(m, anc)
+		}
+		return false, err
+	}
+	for {
+		if sm.CAS(vsid, anc, next, size) {
+			if ancOwned {
+				segment.ReleaseSeg(m, anc)
+			}
+			return true, nil
+		}
+		e, err := sm.Load(vsid) // cur in the paper's pseudo-code
+		if err != nil {
+			return done(err)
+		}
+		merged, err := Merge(m, anc, next, e.Seg, st)
+		if err != nil {
+			segment.ReleaseSeg(m, e.Seg)
+			return done(err)
+		}
+		segment.ReleaseSeg(m, next)
+		if ancOwned {
+			segment.ReleaseSeg(m, anc)
+		}
+		anc, ancOwned = e.Seg, true
+		next = merged
+	}
+}

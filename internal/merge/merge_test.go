@@ -1,0 +1,276 @@
+package merge
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/segmap"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+func setup() (*core.Machine, *segmap.Map) {
+	m := core.NewMachine(core.TestConfig())
+	return m, segmap.New(m)
+}
+
+func buildAt(m *core.Machine, height int, kv map[uint64]uint64) segment.Seg {
+	tx := segment.NewTxn(m, segment.NewSparse(height))
+	for k, v := range kv {
+		tx.WriteWord(k, v, word.TagRaw)
+	}
+	return tx.Commit()
+}
+
+func modify(m *core.Machine, base segment.Seg, kv map[uint64]uint64) segment.Seg {
+	tx := segment.NewTxn(m, base)
+	for k, v := range kv {
+		tx.WriteWord(k, v, word.TagRaw)
+	}
+	return tx.Commit()
+}
+
+func TestMergeDisjointWrites(t *testing.T) {
+	// §3.4: two non-conflicting entries added concurrently both land.
+	m, _ := setup()
+	orig := buildAt(m, 8, map[uint64]uint64{10: 1, 200: 2})
+	mod := modify(m, orig, map[uint64]uint64{50: 77})  // this thread
+	cur := modify(m, orig, map[uint64]uint64{400: 88}) // interleaver
+	var st Stats
+	got, err := Merge(m, orig, mod, cur, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{10: 1, 200: 2, 50: 77, 400: 88}
+	for k, v := range want {
+		if g, _ := segment.ReadWord(m, got, k); g != v {
+			t.Fatalf("merged[%d] = %d, want %d", k, g, v)
+		}
+	}
+	if st.SubDAGSkips == 0 {
+		t.Fatal("identical sub-DAGs not skipped by PLID comparison")
+	}
+}
+
+func TestMergeInsertAndDelete(t *testing.T) {
+	// Concurrent insert (zero -> value) and delete (value -> zero) on
+	// different entries resolve without conflict (§4.3).
+	m, _ := setup()
+	orig := buildAt(m, 8, map[uint64]uint64{100: 5})
+	mod := modify(m, orig, map[uint64]uint64{100: 0}) // delete
+	cur := modify(m, orig, map[uint64]uint64{101: 9}) // insert
+	got, err := Merge(m, orig, mod, cur, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := segment.ReadWord(m, got, 100); v != 0 {
+		t.Fatal("delete lost in merge")
+	}
+	if v, _ := segment.ReadWord(m, got, 101); v != 9 {
+		t.Fatal("insert lost in merge")
+	}
+}
+
+func TestMergeCounterDeltas(t *testing.T) {
+	// §3.4: counter segments merge by summing concurrent increments.
+	m, _ := setup()
+	orig := buildAt(m, 4, map[uint64]uint64{3: 100})
+	mod := modify(m, orig, map[uint64]uint64{3: 107}) // +7
+	cur := modify(m, orig, map[uint64]uint64{3: 104}) // +4
+	got, err := Merge(m, orig, mod, cur, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := segment.ReadWord(m, got, 3); v != 111 {
+		t.Fatalf("merged counter = %d, want 111", v)
+	}
+}
+
+func TestMergeSameValueBothSides(t *testing.T) {
+	m, _ := setup()
+	orig := buildAt(m, 4, map[uint64]uint64{1: 1})
+	mod := modify(m, orig, map[uint64]uint64{2: 42})
+	cur := modify(m, orig, map[uint64]uint64{2: 42})
+	got, err := Merge(m, orig, mod, cur, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := segment.ReadWord(m, got, 2); v != 42 {
+		t.Fatalf("merged = %d, want 42", v)
+	}
+	if !got.Equal(cur) {
+		t.Fatal("identical updates must merge to the identical segment")
+	}
+}
+
+func TestMergePLIDConflictFails(t *testing.T) {
+	// Two threads storing distinct references into the same field is a
+	// true conflict (§3.4).
+	m, _ := setup()
+	pa := m.LookupLine(word.ContentFromBytes(m.LineWords(), []byte("target A")))
+	pb := m.LookupLine(word.ContentFromBytes(m.LineWords(), []byte("target B")))
+	orig := buildAt(m, 4, map[uint64]uint64{7: 1})
+	mkRef := func(p word.PLID) segment.Seg {
+		tx := segment.NewTxn(m, orig)
+		tx.WriteWord(9, uint64(p), word.TagPLID)
+		return tx.Commit()
+	}
+	mod, cur := mkRef(pa), mkRef(pb)
+	if _, err := Merge(m, orig, mod, cur, nil); !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+}
+
+func TestMergeVSIDSameRefBothSides(t *testing.T) {
+	m, _ := setup()
+	orig := buildAt(m, 4, map[uint64]uint64{1: 1})
+	mk := func(extra uint64) segment.Seg {
+		tx := segment.NewTxn(m, orig)
+		tx.WriteWord(5, 123, word.TagVSID)
+		if extra != 0 {
+			tx.WriteWord(6, extra, word.TagRaw)
+		}
+		return tx.Commit()
+	}
+	mod, cur := mk(0), mk(99)
+	got, err := Merge(m, orig, mod, cur, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, tag := segment.ReadWord(m, got, 5); v != 123 || tag != word.TagVSID {
+		t.Fatalf("VSID word = %d/%v", v, tag)
+	}
+	if v, _ := segment.ReadWord(m, got, 6); v != 99 {
+		t.Fatal("cur-side write lost")
+	}
+}
+
+func TestMergeHeightMismatchConflicts(t *testing.T) {
+	m, _ := setup()
+	a := buildAt(m, 3, map[uint64]uint64{1: 1})
+	b := buildAt(m, 4, map[uint64]uint64{1: 1})
+	if _, err := Merge(m, a, b, a, nil); !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+}
+
+func TestMCASResolvesContention(t *testing.T) {
+	// The paper's mCAS: concurrent disjoint updates all land without
+	// application-level retry.
+	m, sm := setup()
+	base := buildAt(m, 10, map[uint64]uint64{0: 1})
+	v := sm.Create(segmap.Entry{Seg: base, Flags: segmap.FlagMergeUpdate})
+
+	const workers, updates = 8, 25
+	var wg sync.WaitGroup
+	var st Stats
+	var mu sync.Mutex
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < updates; i++ {
+				old, err := sm.Load(v)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				idx := uint64(1 + g*updates + i) // disjoint per worker
+				tx := segment.NewTxn(m, old.Seg)
+				tx.WriteWord(idx, uint64(g+1), word.TagRaw)
+				next := tx.Commit()
+				var local Stats
+				ok, err := MCAS(m, sm, v, old.Seg, next, 0, &local)
+				segment.ReleaseSeg(m, old.Seg)
+				if err != nil || !ok {
+					t.Errorf("worker %d update %d: ok=%v err=%v", g, i, ok, err)
+					return
+				}
+				mu.Lock()
+				st.Merges += local.Merges
+				st.Failures += local.Failures
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	final, _ := sm.Load(v)
+	defer segment.ReleaseSeg(m, final.Seg)
+	for g := 0; g < workers; g++ {
+		for i := 0; i < updates; i++ {
+			idx := uint64(1 + g*updates + i)
+			if val, _ := segment.ReadWord(m, final.Seg, idx); val != uint64(g+1) {
+				t.Fatalf("update [%d] lost: %d", idx, val)
+			}
+		}
+	}
+	if st.Failures != 0 {
+		t.Fatalf("%d merge failures for disjoint updates", st.Failures)
+	}
+}
+
+func TestMCASCounterSegment(t *testing.T) {
+	// §4.3: concurrent counter increments resolve to the sum.
+	m, sm := setup()
+	base := buildAt(m, 6, map[uint64]uint64{0: 0})
+	v := sm.Create(segmap.Entry{Seg: base, Flags: segmap.FlagMergeUpdate})
+	const workers, incs = 6, 40
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				old, _ := sm.Load(v)
+				cur, _ := segment.ReadWord(m, old.Seg, 0)
+				tx := segment.NewTxn(m, old.Seg)
+				tx.WriteWord(0, cur+1, word.TagRaw)
+				next := tx.Commit()
+				if ok, err := MCAS(m, sm, v, old.Seg, next, 0, nil); !ok || err != nil {
+					t.Errorf("mcas: %v %v", ok, err)
+				}
+				segment.ReleaseSeg(m, old.Seg)
+			}
+		}()
+	}
+	wg.Wait()
+	final, _ := sm.Load(v)
+	defer segment.ReleaseSeg(m, final.Seg)
+	if got, _ := segment.ReadWord(m, final.Seg, 0); got != workers*incs {
+		t.Fatalf("counter = %d, want %d", got, workers*incs)
+	}
+}
+
+func TestMCASRequiresFlag(t *testing.T) {
+	m, sm := setup()
+	base := buildAt(m, 4, map[uint64]uint64{0: 1})
+	v := sm.Create(segmap.Entry{Seg: base}) // no merge-update flag
+	old, _ := sm.Load(v)
+	next := modify(m, old.Seg, map[uint64]uint64{1: 2})
+	if ok, err := MCAS(m, sm, v, old.Seg, next, 0, nil); ok || err == nil {
+		t.Fatal("MCAS on unflagged segment succeeded")
+	}
+	segment.ReleaseSeg(m, old.Seg)
+}
+
+func TestMergeLeavesNoLeaks(t *testing.T) {
+	m, sm := setup()
+	base := buildAt(m, 8, map[uint64]uint64{5: 50})
+	v := sm.Create(segmap.Entry{Seg: base, Flags: segmap.FlagMergeUpdate})
+	for i := 0; i < 20; i++ {
+		old, _ := sm.Load(v)
+		next := modify(m, old.Seg, map[uint64]uint64{uint64(i): uint64(i + 1)})
+		if ok, _ := MCAS(m, sm, v, old.Seg, next, 0, nil); !ok {
+			t.Fatal("mcas failed")
+		}
+		segment.ReleaseSeg(m, old.Seg)
+	}
+	final, _ := sm.Load(v)
+	ext := map[word.PLID]uint64{final.Seg.Root: 2} // map's ref + our load
+	if err := m.CheckConsistency(ext); err != nil {
+		t.Fatal(err)
+	}
+	segment.ReleaseSeg(m, final.Seg)
+}

@@ -1,0 +1,326 @@
+// Package segmap implements the HICAMP virtual segment map (paper §2.3):
+// the mapping from virtual segment IDs to [root PLID, height, flags]
+// entries. The map is the only mutable state in the architecture; every
+// segment update is published by atomically replacing a root PLID here,
+// which is what gives HICAMP its snapshot isolation and single-CAS atomic
+// update.
+//
+// Read-only references are modelled as a capability bit inside the VSID
+// value itself: a thread handed a read-only VSID can load snapshots but
+// its CAS attempts fail, matching the paper's "a reference can be passed
+// as read-only, restricting the process from updating the root PLID".
+//
+// Weak references are aliases that do not pin the segment: after the
+// target entry is deleted, loads through the alias return the zero
+// segment rather than keeping the DAG alive.
+//
+// The paper allows the map itself to live either in a HICAMP segment (so
+// several entries commit atomically) or in conventional memory. Batch
+// provides the former's semantics: a group of entry updates that commits
+// atomically, all-or-nothing, with write-write conflict detection.
+package segmap
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// Flags annotate a segment map entry.
+type Flags uint8
+
+const (
+	// FlagMergeUpdate marks the segment as eligible for merge-update
+	// (paper §3.4): conflicting CAS attempts try a three-way merge
+	// instead of failing back to the application.
+	FlagMergeUpdate Flags = 1 << iota
+)
+
+// roBit marks a VSID value as a read-only capability.
+const roBit word.VSID = 1 << 62
+
+// weakBit marks a VSID value as a weak alias.
+const weakBit word.VSID = 1 << 61
+
+// ReadOnlyRef derives the read-only capability for a VSID.
+func ReadOnlyRef(v word.VSID) word.VSID { return v | roBit }
+
+// IsReadOnly reports whether a VSID is a read-only capability.
+func IsReadOnly(v word.VSID) bool { return v&roBit != 0 }
+
+func baseID(v word.VSID) word.VSID { return v &^ (roBit | weakBit) }
+
+// Entry is one segment map record. Size is the segment's logical byte
+// length — software metadata kept alongside the architectural
+// [rootPLID, height, flags] triple (see DESIGN.md deviations).
+type Entry struct {
+	Seg   segment.Seg
+	Flags Flags
+	Size  uint64
+}
+
+type slot struct {
+	used     bool
+	weak     bool
+	gen      uint64    // bumped on delete, detects slot reuse
+	alias    word.VSID // weak aliases point at their target's VSID
+	aliasGen uint64    // target generation observed at alias creation
+	e        Entry
+}
+
+// Map is a virtual segment map. All methods are safe for concurrent use.
+type Map struct {
+	mu    sync.Mutex
+	mem   word.Mem
+	slots []slot
+	free  []word.VSID
+	// Stats
+	casOK   uint64
+	casFail uint64
+}
+
+// New creates an empty map over the given memory.
+func New(mem word.Mem) *Map { return &Map{mem: mem} }
+
+// Create installs a new entry and returns its VSID. Ownership of the
+// caller's reference on e.Seg.Root transfers to the map.
+func (sm *Map) Create(e Entry) word.VSID {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.install(slot{used: true, e: e})
+}
+
+// CreateWeakAlias returns a weak VSID for target: loading through it
+// yields target's current segment until target is deleted, after which it
+// yields the zero segment (the paper's "reference that should be zeroed
+// when the segment is reclaimed").
+func (sm *Map) CreateWeakAlias(target word.VSID) word.VSID {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	id := baseID(target)
+	var gen uint64
+	if id != 0 && uint64(id) <= uint64(len(sm.slots)) {
+		gen = sm.slots[id-1].gen
+	}
+	return sm.install(slot{used: true, weak: true, alias: id, aliasGen: gen}) | weakBit
+}
+
+func (sm *Map) install(s slot) word.VSID {
+	if n := len(sm.free); n > 0 {
+		v := sm.free[n-1]
+		sm.free = sm.free[:n-1]
+		s.gen = sm.slots[v-1].gen // preserve reuse detection
+		sm.slots[v-1] = s
+		return v
+	}
+	sm.slots = append(sm.slots, s)
+	return word.VSID(len(sm.slots))
+}
+
+func (sm *Map) slotFor(v word.VSID) (*slot, error) {
+	id := baseID(v)
+	if id == 0 || uint64(id) > uint64(len(sm.slots)) {
+		return nil, fmt.Errorf("segmap: invalid VSID %#x", uint64(v))
+	}
+	s := &sm.slots[id-1]
+	if !s.used {
+		return nil, fmt.Errorf("segmap: dangling VSID %#x", uint64(v))
+	}
+	if s.weak {
+		if s.alias == 0 || uint64(s.alias) > uint64(len(sm.slots)) {
+			return nil, nil
+		}
+		t := &sm.slots[s.alias-1]
+		if !t.used || t.gen != s.aliasGen {
+			return nil, nil // weak target reclaimed (or slot reused): zero
+		}
+		return t, nil
+	}
+	return s, nil
+}
+
+// Load returns a stable snapshot of the segment: the root reference count
+// is bumped so concurrent commits cannot reclaim the DAG under the
+// reader. Callers release it with segment.ReleaseSeg when done. Loading
+// through a reclaimed weak alias returns the zero segment.
+func (sm *Map) Load(v word.VSID) (Entry, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	s, err := sm.slotFor(v)
+	if err != nil {
+		return Entry{}, err
+	}
+	if s == nil {
+		return Entry{}, nil // zeroed weak reference
+	}
+	segment.RetainSeg(sm.mem, s.e.Seg)
+	return s.e, nil
+}
+
+// Flags returns the entry's flags.
+func (sm *Map) Flags(v word.VSID) (Flags, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	s, err := sm.slotFor(v)
+	if err != nil || s == nil {
+		return 0, err
+	}
+	return s.e.Flags, nil
+}
+
+// CAS atomically replaces the entry's segment with next if its current
+// root still equals old's root — the non-blocking atomic update of §2.2.
+// On success the map takes ownership of the caller's reference on
+// next.Root and releases its reference on the old root; on failure the
+// caller keeps ownership of next. CAS through a read-only or weak
+// reference always fails.
+func (sm *Map) CAS(v word.VSID, old segment.Seg, next segment.Seg, size uint64) bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if IsReadOnly(v) || v&weakBit != 0 {
+		sm.casFail++
+		return false
+	}
+	s, err := sm.slotFor(v)
+	if err != nil || s == nil {
+		sm.casFail++
+		return false
+	}
+	if s.e.Seg.Root != old.Root {
+		sm.casFail++
+		return false
+	}
+	prev := s.e.Seg
+	s.e.Seg = next
+	s.e.Size = size
+	sm.casOK++
+	segment.ReleaseSeg(sm.mem, prev)
+	return true
+}
+
+// Delete removes the entry, releasing its reference on the root. Weak
+// aliases to it start reading as zero. Deleting through a read-only
+// reference fails.
+func (sm *Map) Delete(v word.VSID) error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if IsReadOnly(v) {
+		return fmt.Errorf("segmap: delete through read-only VSID %#x", uint64(v))
+	}
+	id := baseID(v)
+	if id == 0 || uint64(id) > uint64(len(sm.slots)) || !sm.slots[id-1].used {
+		return fmt.Errorf("segmap: invalid VSID %#x", uint64(v))
+	}
+	s := &sm.slots[id-1]
+	if !s.weak {
+		segment.ReleaseSeg(sm.mem, s.e.Seg)
+	}
+	*s = slot{gen: s.gen + 1}
+	sm.free = append(sm.free, id)
+	return nil
+}
+
+// CASStats returns (successes, failures) of CAS attempts.
+func (sm *Map) CASStats() (uint64, uint64) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.casOK, sm.casFail
+}
+
+// Batch is an atomic multi-entry update: the semantics of a segment map
+// that is itself a HICAMP segment, where revised entries become visible
+// only when the revised map commits (paper §2.3). Conflict detection is
+// per-entry: the batch fails if any written entry changed since the
+// batch snapshotted it. A Batch belongs to one thread (it models one
+// core's pending map revision); Commit and Abort serialize against the
+// map itself.
+type Batch struct {
+	sm     *Map
+	reads  map[word.VSID]word.PLID // root observed at first access
+	writes map[word.VSID]Entry
+}
+
+// Begin opens a batch.
+func (sm *Map) Begin() *Batch {
+	return &Batch{
+		sm:     sm,
+		reads:  make(map[word.VSID]word.PLID),
+		writes: make(map[word.VSID]Entry),
+	}
+}
+
+// Load reads an entry within the batch, recording its root for conflict
+// detection. The returned segment is retained like Map.Load.
+func (b *Batch) Load(v word.VSID) (Entry, error) {
+	if e, ok := b.writes[baseID(v)]; ok {
+		segment.RetainSeg(b.sm.mem, e.Seg)
+		return e, nil
+	}
+	e, err := b.sm.Load(v)
+	if err != nil {
+		return Entry{}, err
+	}
+	if _, seen := b.reads[baseID(v)]; !seen {
+		b.reads[baseID(v)] = e.Seg.Root
+	}
+	return e, nil
+}
+
+// Store buffers an entry update. Ownership of the caller's reference on
+// e.Seg.Root transfers to the batch (released if the batch fails).
+func (b *Batch) Store(v word.VSID, e Entry) error {
+	if IsReadOnly(v) {
+		return fmt.Errorf("segmap: batch store through read-only VSID %#x", uint64(v))
+	}
+	id := baseID(v)
+	if prev, ok := b.writes[id]; ok {
+		segment.ReleaseSeg(b.sm.mem, prev.Seg)
+	}
+	b.writes[id] = e
+	return nil
+}
+
+// Commit applies every buffered store atomically if no written entry has
+// changed since the batch read it. On failure all buffered references are
+// released and no entry changes. It reports success.
+func (b *Batch) Commit() bool {
+	sm := b.sm
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	for v := range b.writes {
+		s, err := sm.slotFor(v)
+		if err != nil || s == nil {
+			b.dropLocked()
+			return false
+		}
+		if seen, ok := b.reads[v]; ok && s.e.Seg.Root != seen {
+			sm.casFail++
+			b.dropLocked()
+			return false
+		}
+	}
+	for v, e := range b.writes {
+		s, _ := sm.slotFor(v)
+		segment.ReleaseSeg(sm.mem, s.e.Seg)
+		s.e = e
+		sm.casOK++
+	}
+	b.writes = nil
+	return true
+}
+
+// Abort releases all buffered references without applying anything.
+func (b *Batch) Abort() {
+	b.sm.mu.Lock()
+	defer b.sm.mu.Unlock()
+	b.dropLocked()
+}
+
+func (b *Batch) dropLocked() {
+	for _, e := range b.writes {
+		segment.ReleaseSeg(b.sm.mem, e.Seg)
+	}
+	b.writes = nil
+}

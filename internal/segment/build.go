@@ -1,0 +1,140 @@
+package segment
+
+import "repro/internal/word"
+
+// BuildWords builds the canonical segment holding the given tagged words.
+// The segment's height is the minimum covering len(ws); trailing capacity
+// reads as zero. The returned segment owns one reference on its root.
+// Passing nil tags treats every word as raw data.
+func BuildWords(m word.Mem, ws []uint64, ts []word.Tag) Seg {
+	arity := m.LineWords()
+	n := uint64(len(ws))
+	if n == 0 {
+		return Seg{Root: word.Zero, Height: 0}
+	}
+	height := HeightFor(arity, n)
+
+	tagAt := func(i int) word.Tag {
+		if ts == nil {
+			return word.TagRaw
+		}
+		return ts[i]
+	}
+
+	// Level 0: leaves, filled left to right (§2.2 canonical rule).
+	leaves := int((n + uint64(arity) - 1) / uint64(arity))
+	edges := make([]Edge, leaves)
+	lw := make([]uint64, arity)
+	lt := make([]word.Tag, arity)
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < arity; i++ {
+			j := l*arity + i
+			if j < len(ws) {
+				lw[i], lt[i] = ws[j], tagAt(j)
+			} else {
+				lw[i], lt[i] = 0, word.TagRaw
+			}
+		}
+		edges[l] = CanonLeaf(m, lw, lt)
+	}
+
+	// Interior levels.
+	kids := make([]Edge, arity)
+	for level := 1; level <= height; level++ {
+		parents := (len(edges) + arity - 1) / arity
+		next := make([]Edge, parents)
+		for p := 0; p < parents; p++ {
+			for i := 0; i < arity; i++ {
+				if j := p*arity + i; j < len(edges) {
+					kids[i] = edges[j]
+				} else {
+					kids[i] = ZeroEdge
+				}
+			}
+			next[p] = CanonNode(m, kids)
+			releaseAll(m, kids[:min(arity, len(edges)-p*arity)])
+		}
+		edges = next
+	}
+	return Seg{Root: materializeRoot(m, edges[0]), Height: height}
+}
+
+// BuildBytes builds the canonical segment holding the byte string b,
+// packed little-endian into raw words.
+func BuildBytes(m word.Mem, b []byte) Seg {
+	n := (len(b) + 7) / 8
+	ws := make([]uint64, n)
+	for i := range ws {
+		lo := i * 8
+		hi := lo + 8
+		if hi > len(b) {
+			hi = len(b)
+		}
+		var v uint64
+		for k := lo; k < hi; k++ {
+			v |= uint64(b[k]) << (8 * (k - lo))
+		}
+		ws[i] = v
+	}
+	return BuildWords(m, ws, nil)
+}
+
+// NewSparse returns an empty segment of the given height, ready for sparse
+// writes through a transaction or iterator register.
+func NewSparse(height int) Seg { return Seg{Root: word.Zero, Height: height} }
+
+// materializeRoot converts an arbitrary edge into a root PLID: the segment
+// map can only store PLIDs, so a compacted or inlined top edge is expanded
+// into a real line. Ownership of the input edge transfers to the result.
+func materializeRoot(m word.Mem, e Edge) word.PLID {
+	switch e.T {
+	case word.TagRaw:
+		if e.W == 0 {
+			return word.Zero
+		}
+	case word.TagPLID:
+		return word.PLID(e.W)
+	case word.TagInline:
+		// Expand the inlined leaf back into a real leaf line.
+		vals := word.UnpackInline(e.W, m.LineWords())
+		c := word.NewContent(m.LineWords())
+		copy(c.W[:], vals)
+		return m.LookupLine(c)
+	case word.TagCompact:
+		// Materialize the top node of the compacted chain: a line with a
+		// single non-zero entry holding the rest of the chain.
+		arity := m.LineWords()
+		p, path := word.DecodeCompact(e.W, arity, m.PLIDBits())
+		var inner Edge
+		if len(path) == 1 {
+			inner = PLIDEdge(p) // owns the ref e owned
+		} else {
+			w, ok := word.EncodeCompact(p, path[1:], arity, m.PLIDBits())
+			if !ok {
+				panic("segment: shrinking a compact path cannot fail")
+			}
+			inner = Edge{W: w, T: word.TagCompact}
+		}
+		c := word.NewContent(arity)
+		c.W[path[0]], c.T[path[0]] = inner.W, inner.T
+		root := m.LookupLine(c)
+		inner.Release(m) // line owns its own child ref now
+		return root
+	}
+	panic("segment: cannot materialize edge " + e.T.String())
+}
+
+// ReleaseSeg drops the reference a segment owns on its root.
+func ReleaseSeg(m word.Mem, s Seg) {
+	if s.Root != word.Zero {
+		m.Release(s.Root)
+	}
+}
+
+// RetainSeg acquires an extra reference on the segment root (e.g. when a
+// snapshot is handed to another thread).
+func RetainSeg(m word.Mem, s Seg) {
+	if s.Root != word.Zero {
+		m.Retain(s.Root)
+	}
+}

@@ -1,0 +1,63 @@
+package segment
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFigure1Scenario reproduces the paper's Figure 1 end to end: two
+// string segments where the second is a substring of the first (sharing
+// all its lines), then extended with "append to string" (sharing all the
+// original lines, adding only new leaves and parents).
+func TestFigure1Scenario(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+
+	first := []byte("This is a long string containing Another string that is short. ")
+	second := first[:48] // "This is a long string containing Another string"
+
+	sFirst := BuildBytes(m, first)
+	linesAfterFirst := m.LiveLines()
+
+	// Figure 1a: the substring shares every one of its leaf lines.
+	sSecond := BuildBytes(m, second)
+	addedBySecond := m.LiveLines() - linesAfterFirst
+	secondLines := Measure(m, sSecond).Lines
+	if addedBySecond >= secondLines/2 {
+		t.Fatalf("substring allocated %d of its %d lines; Figure 1a sharing broken",
+			addedBySecond, secondLines)
+	}
+
+	// Figure 1b: extending the second string with new content shares all
+	// existing lines and adds only the new leaves plus parent spine.
+	extended := append(append([]byte{}, second...), []byte("append to string")...)
+	before := m.LiveLines()
+	sExt := BuildBytes(m, extended)
+	addedByExt := m.LiveLines() - before
+	newLeaves := uint64((len("append to string") + 15) / 16)
+	budget := newLeaves + uint64(sExt.Height) + 2
+	if addedByExt > budget {
+		t.Fatalf("extension allocated %d lines, want <= %d (new content + spine)",
+			addedByExt, budget)
+	}
+	if got := ReadBytes(m, sExt, 0, uint64(len(extended))); !bytes.Equal(got, extended) {
+		t.Fatalf("extended content corrupted: %q", got)
+	}
+
+	// The original is untouched (immutability).
+	if got := ReadBytes(m, sFirst, 0, uint64(len(first))); !bytes.Equal(got, first) {
+		t.Fatal("original segment changed by extension")
+	}
+
+	// And releasing the extension reclaims only its private lines.
+	ReleaseSeg(m, sExt)
+	if m.LiveLines() != before {
+		t.Fatalf("release after extension: %d lines vs %d before", m.LiveLines(), before)
+	}
+	ReleaseSeg(m, sFirst)
+	ReleaseSeg(m, sSecond)
+	if m.LiveLines() != 0 {
+		t.Fatalf("%d lines leaked", m.LiveLines())
+	}
+}

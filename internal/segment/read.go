@@ -1,0 +1,206 @@
+package segment
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// ReadWord returns the tagged word at index idx. Indexes at or beyond the
+// segment capacity read as zero, as do elided zero subtrees.
+func ReadWord(m word.Mem, s Seg, idx uint64) (uint64, word.Tag) {
+	arity := m.LineWords()
+	if idx >= s.Capacity(arity) {
+		return 0, word.TagRaw
+	}
+	return readEdge(m, PLIDEdge(s.Root), s.Height, idx)
+}
+
+// readEdge resolves idx within the subtree the edge covers at the given
+// level (an edge at level L covers arity^(L+1) words).
+func readEdge(m word.Mem, e Edge, level int, idx uint64) (uint64, word.Tag) {
+	arity := m.LineWords()
+	for {
+		switch {
+		case e.IsZero():
+			return 0, word.TagRaw
+		case e.T == word.TagInline:
+			if level != 0 {
+				panic("segment: inline edge above leaf level")
+			}
+			return word.UnpackInline(e.W, arity)[idx], word.TagRaw
+		case e.T == word.TagCompact:
+			p, path := word.DecodeCompact(e.W, arity, m.PLIDBits())
+			for _, want := range path {
+				sub := capacity(arity, level-1)
+				if int(idx/sub) != want {
+					return 0, word.TagRaw // off the compacted spine: zero
+				}
+				idx %= sub
+				level--
+			}
+			e = PLIDEdge(p)
+		case e.T == word.TagPLID:
+			c := m.ReadLine(word.PLID(e.W))
+			if level == 0 {
+				return c.W[idx], c.T[idx]
+			}
+			sub := capacity(arity, level-1)
+			child := idx / sub
+			e = Edge{W: c.W[child], T: c.T[child]}
+			idx %= sub
+			level--
+		default:
+			panic(fmt.Sprintf("segment: unexpected edge tag %v", e.T))
+		}
+	}
+}
+
+// NextNonZero returns the index of the first word at or after from whose
+// value or tag is non-zero, exploiting the DAG to skip elided zero
+// subtrees in O(height) per skipped run — the iterator-register increment
+// of §3.3. ok is false when no such word exists.
+func NextNonZero(m word.Mem, s Seg, from uint64) (uint64, bool) {
+	arity := m.LineWords()
+	if from >= s.Capacity(arity) {
+		return 0, false
+	}
+	return nextInEdge(m, PLIDEdge(s.Root), s.Height, 0, from)
+}
+
+func nextInEdge(m word.Mem, e Edge, level int, base, from uint64) (uint64, bool) {
+	arity := m.LineWords()
+	cover := capacity(arity, level)
+	if from >= base+cover {
+		return 0, false
+	}
+	switch {
+	case e.IsZero():
+		return 0, false
+	case e.T == word.TagInline:
+		vals := word.UnpackInline(e.W, arity)
+		start := 0
+		if from > base {
+			start = int(from - base)
+		}
+		for i := start; i < arity; i++ {
+			if vals[i] != 0 {
+				return base + uint64(i), true
+			}
+		}
+		return 0, false
+	case e.T == word.TagCompact:
+		p, path := word.DecodeCompact(e.W, arity, m.PLIDBits())
+		for _, step := range path {
+			sub := capacity(arity, level-1)
+			subBase := base + uint64(step)*sub
+			if from >= subBase+sub {
+				return 0, false // requested range is past the spine
+			}
+			base = subBase
+			level--
+		}
+		return nextInEdge(m, PLIDEdge(p), level, base, from)
+	case e.T == word.TagPLID:
+		c := m.ReadLine(word.PLID(e.W))
+		if level == 0 {
+			start := 0
+			if from > base {
+				start = int(from - base)
+			}
+			for i := start; i < arity; i++ {
+				if c.W[i] != 0 || c.T[i] != word.TagRaw {
+					return base + uint64(i), true
+				}
+			}
+			return 0, false
+		}
+		sub := capacity(arity, level-1)
+		startChild := 0
+		if from > base {
+			startChild = int((from - base) / sub)
+		}
+		for i := startChild; i < arity; i++ {
+			child := Edge{W: c.W[i], T: c.T[i]}
+			if child.IsZero() {
+				continue
+			}
+			if idx, ok := nextInEdge(m, child, level-1, base+uint64(i)*sub, from); ok {
+				return idx, true
+			}
+		}
+		return 0, false
+	}
+	panic("segment: unexpected edge tag in iteration")
+}
+
+// ReadWords reads n words starting at off (a test and tooling helper; the
+// hot paths use iterator registers).
+func ReadWords(m word.Mem, s Seg, off, n uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		out[i], _ = ReadWord(m, s, off+i)
+	}
+	return out
+}
+
+// ReadBytes reads n bytes starting at byte offset off.
+func ReadBytes(m word.Mem, s Seg, off, n uint64) []byte {
+	out := make([]byte, n)
+	for i := uint64(0); i < n; i++ {
+		w, _ := ReadWord(m, s, (off+i)/8)
+		out[i] = byte(w >> (8 * ((off + i) % 8)))
+	}
+	return out
+}
+
+// Metrics describes the physical shape of a segment DAG.
+type Metrics struct {
+	Lines       uint64 // distinct lines reachable from the root
+	InlineWords uint64 // data-compacted (inlined) leaf edges
+	CompactRefs uint64 // path-compacted edges
+	MaxDepth    int    // longest physical path in lines
+}
+
+// Measure walks the DAG and reports its physical shape. Shared subtrees
+// are counted once, mirroring their single instantiation in memory.
+func Measure(m word.Mem, s Seg) Metrics {
+	var mt Metrics
+	seen := make(map[word.PLID]struct{})
+	var walk func(e Edge, depth int)
+	walk = func(e Edge, depth int) {
+		switch e.T {
+		case word.TagInline:
+			mt.InlineWords++
+			return
+		case word.TagCompact:
+			mt.CompactRefs++
+		case word.TagPLID:
+		default:
+			return
+		}
+		p, ok := e.Target(m)
+		if !ok {
+			return
+		}
+		if depth > mt.MaxDepth {
+			mt.MaxDepth = depth
+		}
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		mt.Lines++
+		c := m.ReadLine(p)
+		for i := 0; i < int(c.N); i++ {
+			walk(Edge{W: c.W[i], T: c.T[i]}, depth+1)
+		}
+	}
+	walk(PLIDEdge(s.Root), 1)
+	return mt
+}
+
+// FootprintBytes returns the deduplicated DRAM bytes the segment occupies.
+func FootprintBytes(m word.Mem, s Seg) uint64 {
+	return Measure(m, s).Lines * uint64(m.LineWords()*8)
+}

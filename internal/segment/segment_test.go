@@ -1,0 +1,364 @@
+package segment
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+func machines(t *testing.T) []*core.Machine {
+	t.Helper()
+	var ms []*core.Machine
+	for _, ls := range []int{16, 32, 64} {
+		ms = append(ms, core.NewMachine(core.Config{
+			LineBytes: ls, BucketBits: 12, DataWays: 12, CacheLines: 512, CacheWays: 4,
+		}))
+	}
+	return ms
+}
+
+func TestBuildReadRoundTrip(t *testing.T) {
+	for _, m := range machines(t) {
+		data := []byte("This is a long string containing another string that is short.")
+		s := BuildBytes(m, data)
+		got := ReadBytes(m, s, 0, uint64(len(data)))
+		if !bytes.Equal(got, data) {
+			t.Fatalf("arity %d: round trip mismatch:\n got %q\nwant %q", m.LineWords(), got, data)
+		}
+	}
+}
+
+func TestContentUniquenessExtendsToSegments(t *testing.T) {
+	// §2.2: rebuilding the same content yields the same root PLID.
+	for _, m := range machines(t) {
+		a := BuildBytes(m, []byte("identical segment content, built twice"))
+		b := BuildBytes(m, []byte("identical segment content, built twice"))
+		if !a.Equal(b) {
+			t.Fatalf("arity %d: equal content, roots %#x vs %#x", m.LineWords(), a.Root, b.Root)
+		}
+		c := BuildBytes(m, []byte("identical segment content, built once!"))
+		if a.Equal(c) {
+			t.Fatalf("arity %d: different content compared equal", m.LineWords())
+		}
+	}
+}
+
+func TestSubstringSharesLines(t *testing.T) {
+	// Figure 1: a segment that is a prefix of another shares its leaves.
+	m := core.NewMachine(core.TestConfig())
+	long := BuildBytes(m, []byte("This is a long string containing Another string that is short. "))
+	before := m.LiveLines()
+	short := BuildBytes(m, []byte("This is a long string containing Another string")) // 48 B = 3 leaves
+	added := m.LiveLines() - before
+	mt := Measure(m, short)
+	if added >= mt.Lines {
+		t.Fatalf("substring allocated %d new lines for a %d-line DAG; leaves must be shared",
+			added, mt.Lines)
+	}
+	_ = long
+}
+
+func TestZeroSegment(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	s := BuildWords(m, make([]uint64, 64), nil)
+	if s.Root != word.Zero {
+		t.Fatalf("all-zero content root = %#x, want zero PLID", s.Root)
+	}
+	if v, _ := ReadWord(m, s, 13); v != 0 {
+		t.Fatal("zero segment read non-zero")
+	}
+	if m.LiveLines() != 0 {
+		t.Fatalf("zero segment allocated %d lines", m.LiveLines())
+	}
+}
+
+func TestSparseReadsBeyondCapacity(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	s := BuildWords(m, []uint64{1, 2}, nil)
+	if v, _ := ReadWord(m, s, 1<<40); v != 0 {
+		t.Fatal("read beyond capacity non-zero")
+	}
+}
+
+func TestPathCompactionSparse(t *testing.T) {
+	// A single non-zero word in a huge index space must use O(1) lines,
+	// not one line per level (Figure 4a).
+	m := core.NewMachine(core.TestConfig())
+	tx := NewTxn(m, NewSparse(12)) // arity 2: capacity 2^13 words
+	tx.WriteWord(5000, 77, word.TagRaw)
+	s := tx.Commit()
+	if v, _ := ReadWord(m, s, 5000); v != 77 {
+		t.Fatalf("read = %d, want 77", v)
+	}
+	if v, _ := ReadWord(m, s, 5001); v != 0 {
+		t.Fatal("neighbor of sparse word non-zero")
+	}
+	mt := Measure(m, s)
+	if mt.Lines > 4 {
+		t.Fatalf("sparse single-element segment uses %d lines; path compaction broken", mt.Lines)
+	}
+	if mt.CompactRefs == 0 {
+		t.Fatal("no compact edges in a sparse DAG")
+	}
+}
+
+func TestDataCompactionInlinesSmallValues(t *testing.T) {
+	// Figure 4b: small values inline into the parent, eliding leaf lines.
+	m := core.NewMachine(core.TestConfig()) // arity 2: fields are 32-bit
+	ws := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	s := BuildWords(m, ws, nil)
+	mt := Measure(m, s)
+	if mt.InlineWords == 0 {
+		t.Fatal("no inline edges for small-value leaves")
+	}
+	big := []uint64{1 << 40, 2 << 40, 3 << 40, 4 << 40, 5 << 40, 6 << 40, 7 << 40, 8 << 40}
+	sb := BuildWords(m, big, nil)
+	if Measure(m, sb).Lines <= mt.Lines {
+		t.Fatal("large values should need more lines than inlined small values")
+	}
+	for i, w := range ws {
+		if v, _ := ReadWord(m, s, uint64(i)); v != w {
+			t.Fatalf("inline read [%d] = %d, want %d", i, v, w)
+		}
+	}
+}
+
+func TestCanonicalAcrossConstructionOrder(t *testing.T) {
+	// Canonical representation: building dense vs. writing sparsely in
+	// arbitrary order must converge to the same root.
+	m := core.NewMachine(core.TestConfig())
+	ws := make([]uint64, 32)
+	ws[3], ws[17], ws[31] = 100, 200, 300
+	dense := BuildWords(m, ws, nil)
+
+	tx := NewTxn(m, NewSparse(dense.Height))
+	for _, i := range []int{31, 3, 17} {
+		tx.WriteWord(uint64(i), ws[i], word.TagRaw)
+	}
+	sparse := tx.Commit()
+	if !dense.Equal(sparse) {
+		t.Fatalf("dense root %#x != sparse root %#x", dense.Root, sparse.Root)
+	}
+}
+
+func TestTxnReadYourWrites(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	base := BuildWords(m, []uint64{10, 20, 30, 40}, nil)
+	tx := NewTxn(m, base)
+	if v, _ := tx.ReadWord(1); v != 20 {
+		t.Fatalf("pre-write read = %d", v)
+	}
+	tx.WriteWord(1, 99, word.TagRaw)
+	if v, _ := tx.ReadWord(1); v != 99 {
+		t.Fatal("transaction does not see its own write")
+	}
+	if v, _ := ReadWord(m, base, 1); v != 20 {
+		t.Fatal("uncommitted write visible in original segment (snapshot broken)")
+	}
+	s := tx.Commit()
+	if v, _ := ReadWord(m, s, 1); v != 99 {
+		t.Fatal("committed write lost")
+	}
+	if v, _ := ReadWord(m, base, 1); v != 20 {
+		t.Fatal("commit mutated the original segment")
+	}
+}
+
+func TestTxnAbortReleasesEverything(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	base := BuildWords(m, []uint64{1, 2, 3, 4, 5, 6, 7, 8}, nil)
+	live := m.LiveLines()
+	tx := NewTxn(m, base)
+	tx.WriteWord(2, 42, word.TagRaw)
+	tx.Abort()
+	if m.LiveLines() != live {
+		t.Fatalf("abort leaked lines: %d -> %d", live, m.LiveLines())
+	}
+	if v, _ := ReadWord(m, base, 2); v != 3 {
+		t.Fatal("abort damaged the original segment")
+	}
+}
+
+func TestTxnGrowth(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	base := BuildWords(m, []uint64{1}, nil)
+	tx := NewTxn(m, base)
+	tx.WriteWord(1000, 7, word.TagRaw)
+	s := tx.Commit()
+	if s.Height <= base.Height {
+		t.Fatal("segment did not grow")
+	}
+	if v, _ := ReadWord(m, s, 0); v != 1 {
+		t.Fatal("growth lost original content")
+	}
+	if v, _ := ReadWord(m, s, 1000); v != 7 {
+		t.Fatal("growth lost new content")
+	}
+}
+
+func TestCopyOnWriteSharing(t *testing.T) {
+	// §2.2 / Figure 1b: modifying one element of a large segment shares
+	// all untouched subtrees with the original.
+	m := core.NewMachine(core.TestConfig())
+	ws := make([]uint64, 256)
+	rng := rand.New(rand.NewSource(5))
+	for i := range ws {
+		ws[i] = rng.Uint64() // large values: no inlining, full DAG
+	}
+	base := BuildWords(m, ws, nil)
+	baseLines := Measure(m, base).Lines
+	before := m.LiveLines()
+	tx := NewTxn(m, base)
+	tx.WriteWord(128, 424242, word.TagRaw)
+	s := tx.Commit()
+	added := m.LiveLines() - before
+	if added > uint64(s.Height+2) {
+		t.Fatalf("single-word update allocated %d lines; want <= height+2 = %d (DAG %d lines)",
+			added, s.Height+2, baseLines)
+	}
+}
+
+func TestNextNonZero(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	tx := NewTxn(m, NewSparse(10))
+	idxs := []uint64{0, 7, 63, 64, 500, 1999}
+	for _, i := range idxs {
+		tx.WriteWord(i, i+1, word.TagRaw)
+	}
+	s := tx.Commit()
+	var got []uint64
+	for at, ok := NextNonZero(m, s, 0); ok; at, ok = NextNonZero(m, s, at+1) {
+		got = append(got, at)
+	}
+	if len(got) != len(idxs) {
+		t.Fatalf("found %v, want %v", got, idxs)
+	}
+	for i := range idxs {
+		if got[i] != idxs[i] {
+			t.Fatalf("found %v, want %v", got, idxs)
+		}
+	}
+}
+
+func TestNextNonZeroEmpty(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	if _, ok := NextNonZero(m, NewSparse(8), 0); ok {
+		t.Fatal("empty segment reported a non-zero element")
+	}
+}
+
+func TestNextNonZeroSeesTaggedZeroWord(t *testing.T) {
+	// A word holding the zero value with a non-raw tag (e.g. a stored
+	// VSID of 0 is impossible, but a tagged word must not be skipped).
+	m := core.NewMachine(core.TestConfig())
+	tx := NewTxn(m, NewSparse(4))
+	tx.WriteWord(9, 123, word.TagVSID)
+	s := tx.Commit()
+	at, ok := NextNonZero(m, s, 0)
+	if !ok || at != 9 {
+		t.Fatalf("NextNonZero = %d,%v want 9,true", at, ok)
+	}
+}
+
+func TestBuildVsTxnPropertyRandom(t *testing.T) {
+	// Property: for random sparse contents, dense build and transactional
+	// writes produce identical roots, and reads return what was written.
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		m := core.NewMachine(core.Config{
+			LineBytes: 16, BucketBits: 10, DataWays: 12, CacheLines: 128, CacheWays: 4,
+		})
+		const space = 512
+		ws := make([]uint64, space)
+		rng := rand.New(rand.NewSource(seed))
+		for _, r := range raw {
+			ws[int(r)%space] = rng.Uint64() >> (r % 33)
+		}
+		dense := BuildWords(m, ws, nil)
+		tx := NewTxn(m, NewSparse(dense.Height))
+		perm := rng.Perm(space)
+		for _, i := range perm {
+			if ws[i] != 0 {
+				tx.WriteWord(uint64(i), ws[i], word.TagRaw)
+			}
+		}
+		sparse := tx.Commit()
+		if !dense.Equal(sparse) {
+			return false
+		}
+		for i, w := range ws {
+			if v, _ := ReadWord(m, dense, uint64(i)); v != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefCountsBalanceAfterBuildAndRelease(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	a := BuildBytes(m, []byte("segment a: some shared content between segments"))
+	b := BuildBytes(m, []byte("segment b: some shared content between segments"))
+	ext := map[word.PLID]uint64{}
+	ext[a.Root]++
+	ext[b.Root]++
+	if err := m.CheckConsistency(ext); err != nil {
+		t.Fatal(err)
+	}
+	ReleaseSeg(m, a)
+	delete(ext, a.Root)
+	ext[b.Root]++ // re-add in case roots collide (they should not here)
+	ext[b.Root]--
+	if err := m.CheckConsistency(ext); err != nil {
+		t.Fatal(err)
+	}
+	ReleaseSeg(m, b)
+	if m.LiveLines() != 0 {
+		t.Fatalf("leak: %d live lines after releasing all segments", m.LiveLines())
+	}
+}
+
+func TestMeasureSharedSubtreesCountedOnce(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	rep := bytes.Repeat([]byte("0123456789ABCDEF"), 32) // identical leaves
+	s := BuildBytes(m, rep)
+	mt := Measure(m, s)
+	if mt.Lines >= 32 {
+		t.Fatalf("repeating content uses %d lines; dedup should collapse identical leaves", mt.Lines)
+	}
+}
+
+func TestHeightFor(t *testing.T) {
+	cases := []struct {
+		arity int
+		n     uint64
+		want  int
+	}{
+		{2, 1, 0}, {2, 2, 0}, {2, 3, 1}, {2, 4, 1}, {2, 5, 2},
+		{8, 8, 0}, {8, 9, 1}, {8, 64, 1}, {8, 65, 2},
+	}
+	for _, c := range cases {
+		if got := HeightFor(c.arity, c.n); got != c.want {
+			t.Errorf("HeightFor(%d,%d) = %d, want %d", c.arity, c.n, got, c.want)
+		}
+	}
+}
+
+func TestReadBytesUnaligned(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	data := []byte("unaligned byte reads across word and line boundaries")
+	s := BuildBytes(m, data)
+	got := ReadBytes(m, s, 11, 20)
+	if !bytes.Equal(got, data[11:31]) {
+		t.Fatalf("got %q want %q", got, data[11:31])
+	}
+}

@@ -1,0 +1,288 @@
+package spmv
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the synthetic matrix suite standing in for the
+// University of Florida collection (see DESIGN.md). Each generator
+// produces the structural property its real-world class exhibits:
+// stencils give banded symmetric self-similar structure, LP matrices
+// give repeated rectangular blocks, circuit matrices give power-law
+// degrees, pattern matrices give tiled identical sub-blocks.
+
+// FEM2D builds the 5-point Laplacian stencil on a k x k grid with a
+// small set of material regions: symmetric and self-similar within each
+// region (repeated stencil rows), but not degenerate — real FEM problems
+// mix a handful of material coefficients, which is what keeps their
+// HICAMP compaction strong yet bounded.
+func FEM2D(k int) *Matrix {
+	n := k * k
+	var ts []Triplet
+	at := func(i, j int) int { return i*k + j }
+	// Quantized material coefficient per quadrant-ish region.
+	mat := func(i, j int) float64 {
+		region := (i*3/k)*3 + j*3/k // 3x3 patchwork of materials
+		return 1.0 + 0.5*float64(region%4)
+	}
+	edge := func(i1, j1, i2, j2 int) float64 {
+		// Harmonic-mean-like symmetric edge weight.
+		return -(mat(i1, j1) + mat(i2, j2)) / 2
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			r := at(i, j)
+			var diag float64
+			add := func(i2, j2 int) {
+				w := edge(i, j, i2, j2)
+				ts = append(ts, Triplet{r, at(i2, j2), w})
+				diag -= w
+			}
+			if i > 0 {
+				add(i-1, j)
+			}
+			if i < k-1 {
+				add(i+1, j)
+			}
+			if j > 0 {
+				add(i, j-1)
+			}
+			if j < k-1 {
+				add(i, j+1)
+			}
+			ts = append(ts, Triplet{r, r, diag + 1})
+		}
+	}
+	return NewMatrix(fmt.Sprintf("fem2d_k%d", k), "FEM", n, n, ts)
+}
+
+// FEM3D builds the 7-point Laplacian on a k^3 grid with two material
+// layers (see FEM2D for the rationale).
+func FEM3D(k int) *Matrix {
+	n := k * k * k
+	var ts []Triplet
+	at := func(i, j, l int) int { return (i*k+j)*k + l }
+	mat := func(i int) float64 { return 1.0 + float64(i*2/k) } // two layers
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			for l := 0; l < k; l++ {
+				r := at(i, j, l)
+				var diag float64
+				add := func(i2, j2, l2 int) {
+					w := -(mat(i) + mat(i2)) / 2
+					ts = append(ts, Triplet{r, at(i2, j2, l2), w})
+					diag -= w
+				}
+				if i > 0 {
+					add(i-1, j, l)
+				}
+				if i < k-1 {
+					add(i+1, j, l)
+				}
+				if j > 0 {
+					add(i, j-1, l)
+				}
+				if j < k-1 {
+					add(i, j+1, l)
+				}
+				if l > 0 {
+					add(i, j, l-1)
+				}
+				if l < k-1 {
+					add(i, j, l+1)
+				}
+				ts = append(ts, Triplet{r, r, diag + 1})
+			}
+		}
+	}
+	return NewMatrix(fmt.Sprintf("fem3d_k%d", k), "FEM", n, n, ts)
+}
+
+// LP builds a linear-programming constraint matrix: blockRows x blockCols
+// copies of a small dense-ish block with coupling columns — the repeated
+// structure of staircase LPs. Non-symmetric and rectangular-ish (padded
+// square here to keep the quadtree simple).
+func LP(blockRows, blockCols, blockSize int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	// One shared block pattern: every block repeats it exactly — the
+	// self-similarity HICAMP exploits even without symmetry.
+	type cell struct{ i, j int }
+	var pattern []cell
+	var pvals []float64
+	for i := 0; i < blockSize; i++ {
+		for j := 0; j < blockSize; j++ {
+			if i == j || rng.Intn(4) == 0 {
+				pattern = append(pattern, cell{i, j})
+				pvals = append(pvals, float64(1+rng.Intn(3)))
+			}
+		}
+	}
+	rows := blockRows * blockSize
+	cols := blockCols * blockSize
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	var ts []Triplet
+	for br := 0; br < blockRows; br++ {
+		bc := br % blockCols // staircase placement
+		for k, c := range pattern {
+			ts = append(ts, Triplet{br*blockSize + c.i, bc*blockSize + c.j, pvals[k]})
+		}
+		// Coupling column linking consecutive block rows.
+		if br > 0 {
+			ts = append(ts, Triplet{br * blockSize, ((br - 1) % blockCols) * blockSize, 1})
+		}
+	}
+	return NewMatrix(fmt.Sprintf("lp_%dx%d_b%d_s%d", blockRows, blockCols, blockSize, seed),
+		"LP", n, n, ts)
+}
+
+// Banded builds a banded matrix of the given half-bandwidth. Symmetric
+// when sym is set; values repeat along diagonals (Toeplitz-like).
+func Banded(n, halfBand int, sym bool, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	diagVals := make([]float64, halfBand+1)
+	for d := range diagVals {
+		diagVals[d] = float64(1+rng.Intn(9)) / 2
+	}
+	var ts []Triplet
+	for r := 0; r < n; r++ {
+		for d := 0; d <= halfBand; d++ {
+			c := r + d
+			if c >= n {
+				break
+			}
+			v := diagVals[d]
+			ts = append(ts, Triplet{r, c, v})
+			if d > 0 {
+				if sym {
+					ts = append(ts, Triplet{c, r, v})
+				} else if rng.Intn(3) > 0 {
+					ts = append(ts, Triplet{c, r, v + 1})
+				}
+			}
+		}
+	}
+	kind := "banded"
+	return NewMatrix(fmt.Sprintf("%s_n%d_w%d_sym%v_s%d", kind, n, halfBand, sym, seed),
+		kind, n, n, ts)
+}
+
+// Circuit builds a power-law-degree symmetric matrix, the structure of
+// circuit and social-network problems: a few dense hub rows, many sparse
+// rows, irregular values.
+func Circuit(n int, avgDeg int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	var ts []Triplet
+	for r := 0; r < n; r++ {
+		ts = append(ts, Triplet{r, r, float64(avgDeg)})
+	}
+	edges := n * avgDeg / 2
+	z := rand.NewZipf(rng, 1.3, 1, uint64(n-1))
+	for e := 0; e < edges; e++ {
+		a := int(z.Uint64())
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		v := -1.0
+		ts = append(ts, Triplet{a, b, v}, Triplet{b, a, v})
+	}
+	return NewMatrix(fmt.Sprintf("circuit_n%d_d%d_s%d", n, avgDeg, seed), "circuit", n, n, ts)
+}
+
+// Pattern builds a tiled matrix: an identical dense tile stamped on a
+// coarse diagonal-ish grid. Extreme self-similarity: the paper's
+// "repeating patterns of non-zero values".
+func Pattern(tiles, tileSize int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	tile := make([]float64, tileSize*tileSize)
+	for i := range tile {
+		if rng.Intn(3) == 0 {
+			tile[i] = float64(rng.Intn(5) + 1)
+		}
+	}
+	n := tiles * tileSize
+	var ts []Triplet
+	for t := 0; t < tiles; t++ {
+		r0, c0 := t*tileSize, t*tileSize
+		for i := 0; i < tileSize; i++ {
+			for j := 0; j < tileSize; j++ {
+				if v := tile[i*tileSize+j]; v != 0 {
+					ts = append(ts, Triplet{r0 + i, c0 + j, v})
+				}
+			}
+		}
+		// Every tile also appears at a fixed off-diagonal position,
+		// duplicating whole sub-matrices.
+		if t+2 < tiles {
+			r0, c0 = t*tileSize, (t+2)*tileSize
+			for i := 0; i < tileSize; i++ {
+				for j := 0; j < tileSize; j++ {
+					if v := tile[i*tileSize+j]; v != 0 {
+						ts = append(ts, Triplet{r0 + i, c0 + j, v})
+					}
+				}
+			}
+		}
+	}
+	return NewMatrix(fmt.Sprintf("pattern_t%d_b%d_s%d", tiles, tileSize, seed), "pattern", n, n, ts)
+}
+
+// Random builds an unstructured random matrix: the worst case for
+// structural dedup (only zero-block elision helps).
+func Random(n int, density float64, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	var ts []Triplet
+	target := int(float64(n) * float64(n) * density)
+	for e := 0; e < target; e++ {
+		ts = append(ts, Triplet{rng.Intn(n), rng.Intn(n), rng.Float64()*4 - 2})
+	}
+	for r := 0; r < n; r++ {
+		ts = append(ts, Triplet{r, r, 1})
+	}
+	return NewMatrix(fmt.Sprintf("random_n%d_s%d", n, seed), "random", n, n, ts)
+}
+
+// Suite generates the 100-matrix evaluation suite across the categories
+// of Table 2. Scale multiplies the base dimensions (1 = test-sized;
+// the benchmark harness uses larger scales).
+func Suite(scale int, seed int64) []*Matrix {
+	if scale < 1 {
+		scale = 1
+	}
+	var ms []*Matrix
+	// 29 FEM problems (the paper's FEM count).
+	for i := 0; i < 20; i++ {
+		ms = append(ms, FEM2D(8*scale+2*i))
+	}
+	for i := 0; i < 9; i++ {
+		ms = append(ms, FEM3D(4*scale+i))
+	}
+	// 15 LPs.
+	for i := 0; i < 15; i++ {
+		ms = append(ms, LP(6+i, 4+i/2, 8*scale, seed+int64(i)))
+	}
+	// Banded: 10 symmetric, 10 non-symmetric.
+	for i := 0; i < 10; i++ {
+		ms = append(ms, Banded(64*scale+16*i, 2+i%5, true, seed+100+int64(i)))
+	}
+	for i := 0; i < 10; i++ {
+		ms = append(ms, Banded(64*scale+16*i, 2+i%5, false, seed+200+int64(i)))
+	}
+	// 16 circuit matrices.
+	for i := 0; i < 16; i++ {
+		ms = append(ms, Circuit(96*scale+24*i, 4+i%4, seed+300+int64(i)))
+	}
+	// 12 pattern-tiled.
+	for i := 0; i < 12; i++ {
+		ms = append(ms, Pattern(4+i%6, 8*scale, seed+400+int64(i)))
+	}
+	// 8 random.
+	for i := 0; i < 8; i++ {
+		ms = append(ms, Random(64*scale+16*i, 0.02, seed+500+int64(i)))
+	}
+	return ms
+}

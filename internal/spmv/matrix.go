@@ -1,0 +1,182 @@
+// Package spmv implements the sparse-matrix study of paper §5.2: HICAMP
+// matrix formats (the symmetric quad-tree QTS and the non-zero-dense NZD)
+// against conventional CSR and symmetric CSR, with both footprint
+// accounting (Figure 8, Table 2) and SpMV off-chip traffic (Figure 7).
+//
+// The ground-truth representation is CSR; HICAMP formats are built from
+// it into a real machine's deduplicated memory, and kernels on both
+// architectures run against simulated cache hierarchies.
+package spmv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is a sparse matrix in CSR form with evaluation metadata.
+type Matrix struct {
+	Name     string
+	Category string // FEM, LP, circuit, banded, pattern, random
+	Rows     int
+	Cols     int
+	RowPtr   []int32
+	ColIdx   []int32
+	Vals     []float64
+	Sym      bool // numerically symmetric (checked by NewMatrix)
+}
+
+// Triplet is one (row, col, value) entry.
+type Triplet struct {
+	R, C int
+	V    float64
+}
+
+// NewMatrix builds a CSR matrix from triplets (duplicates summed) and
+// determines numeric symmetry.
+func NewMatrix(name, category string, rows, cols int, ts []Triplet) *Matrix {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].R != ts[j].R {
+			return ts[i].R < ts[j].R
+		}
+		return ts[i].C < ts[j].C
+	})
+	m := &Matrix{Name: name, Category: category, Rows: rows, Cols: cols}
+	m.RowPtr = make([]int32, rows+1)
+	for i := 0; i < len(ts); {
+		j := i
+		v := 0.0
+		for j < len(ts) && ts[j].R == ts[i].R && ts[j].C == ts[i].C {
+			v += ts[j].V
+			j++
+		}
+		if v != 0 {
+			if ts[i].R < 0 || ts[i].R >= rows || ts[i].C < 0 || ts[i].C >= cols {
+				panic(fmt.Sprintf("spmv: entry (%d,%d) outside %dx%d", ts[i].R, ts[i].C, rows, cols))
+			}
+			m.ColIdx = append(m.ColIdx, int32(ts[i].C))
+			m.Vals = append(m.Vals, v)
+			m.RowPtr[ts[i].R+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	m.Sym = m.checkSymmetric()
+	return m
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *Matrix) NNZ() int { return len(m.Vals) }
+
+// At returns the value at (r, c) by binary search within the row.
+func (m *Matrix) At(r, c int) float64 {
+	lo, hi := int(m.RowPtr[r]), int(m.RowPtr[r+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case int(m.ColIdx[mid]) < c:
+			lo = mid + 1
+		case int(m.ColIdx[mid]) > c:
+			hi = mid
+		default:
+			return m.Vals[mid]
+		}
+	}
+	return 0
+}
+
+func (m *Matrix) checkSymmetric() bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := int(m.ColIdx[k])
+			if c <= r {
+				continue
+			}
+			if m.At(c, r) != m.Vals[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MulVec computes y = A*x in plain Go: the correctness reference.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	y := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var acc float64
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			acc += m.Vals[k] * x[int(m.ColIdx[k])]
+		}
+		y[r] = acc
+	}
+	return y
+}
+
+// CSRBytes returns the conventional storage footprint: 8-byte values and
+// 4-byte indices, the paper's 8*(1.5*nnz + 0.5*m) formula.
+func (m *Matrix) CSRBytes() uint64 {
+	return uint64(8*m.NNZ() + 4*m.NNZ() + 4*(m.Rows+1))
+}
+
+// SymCSRBytes returns the symmetric-CSR footprint (§5.2.2): only the
+// diagonal plus one triangle is stored.
+func (m *Matrix) SymCSRBytes() uint64 {
+	if !m.Sym {
+		return m.CSRBytes()
+	}
+	diag, off := 0, 0
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if int(m.ColIdx[k]) == r {
+				diag++
+			} else {
+				off++
+			}
+		}
+	}
+	stored := diag + off/2
+	return uint64(8*stored + 4*stored + 4*(m.Rows+1))
+}
+
+// BaselineBytes returns the conventional footprint the paper compares
+// against: symmetric CSR when the matrix is symmetric, CSR otherwise.
+func (m *Matrix) BaselineBytes() uint64 {
+	if m.Sym {
+		return m.SymCSRBytes()
+	}
+	return m.CSRBytes()
+}
+
+// Dim returns the padded power-of-two dimension the quadtree formats use.
+func (m *Matrix) Dim() int {
+	n := m.Rows
+	if m.Cols > n {
+		n = m.Cols
+	}
+	d := 2
+	for d < n {
+		d <<= 1
+	}
+	return d
+}
+
+// VecEqual compares vectors within floating-point tolerance.
+func VecEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		diff := math.Abs(a[i] - b[i])
+		scale := math.Abs(a[i]) + math.Abs(b[i]) + 1
+		if diff > 1e-9*scale {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package spmv
+
+import (
+	"math"
+
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// QTS is the symmetric quad-tree format of §5.2: the matrix is split into
+// four quadrants with A11 and A22 stored in the left subtree and A12 and
+// A21-transposed in the right subtree. Storing A21 transposed means a
+// symmetric matrix's two off-diagonal quadrants are the *same content*,
+// so deduplication collapses them into one sub-DAG; repeated blocks and
+// zero quadrants collapse the same way at every level. Recursion stops at
+// 2x2 value blocks stored row-major as float64 bit patterns.
+type QTS struct {
+	Root word.PLID // owned reference
+	Dim  int       // padded power-of-two dimension
+	Rows int
+	Cols int
+}
+
+// BuildQTS constructs the quad-tree in the machine's deduplicated memory.
+func BuildQTS(m word.Mem, mat *Matrix) *QTS {
+	dim := mat.Dim()
+	ts := make([]Triplet, 0, mat.NNZ())
+	for r := 0; r < mat.Rows; r++ {
+		for k := mat.RowPtr[r]; k < mat.RowPtr[r+1]; k++ {
+			ts = append(ts, Triplet{r, int(mat.ColIdx[k]), mat.Vals[k]})
+		}
+	}
+	e := buildQuad(m, ts, dim)
+	return &QTS{
+		Root: segment.SegFromEdge(m, e, 0).Root,
+		Dim:  dim,
+		Rows: mat.Rows,
+		Cols: mat.Cols,
+	}
+}
+
+// Release drops the tree's root reference.
+func (q *QTS) Release(m word.Mem) {
+	if q.Root != word.Zero {
+		m.Release(q.Root)
+	}
+}
+
+// FootprintBytes returns the deduplicated line bytes of the tree.
+func (q *QTS) FootprintBytes(m word.Mem) uint64 {
+	return segment.FootprintBytes(m, segment.Seg{Root: q.Root})
+}
+
+// buildQuad builds the edge for a quadrant holding entries in local
+// coordinates [0,size)x[0,size).
+func buildQuad(m word.Mem, ts []Triplet, size int) segment.Edge {
+	if len(ts) == 0 {
+		return segment.ZeroEdge
+	}
+	if size == 2 {
+		return leaf2x2(m, ts)
+	}
+	h := size / 2
+	var g11, g12, g21, g22 []Triplet
+	for _, t := range ts {
+		switch {
+		case t.R < h && t.C < h:
+			g11 = append(g11, t)
+		case t.R < h:
+			g12 = append(g12, Triplet{t.R, t.C - h, t.V})
+		case t.C < h:
+			g21 = append(g21, Triplet{t.R - h, t.C, t.V})
+		default:
+			g22 = append(g22, Triplet{t.R - h, t.C - h, t.V})
+		}
+	}
+	// Transpose A21 in place: the QTS sharing trick.
+	for i := range g21 {
+		g21[i].R, g21[i].C = g21[i].C, g21[i].R
+	}
+	e11 := buildQuad(m, g11, h)
+	e22 := buildQuad(m, g22, h)
+	e12 := buildQuad(m, g12, h)
+	e21t := buildQuad(m, g21, h)
+	return quadNode(m, e11, e22, e12, e21t)
+}
+
+// quadNode combines the four quadrant edges into one node edge, laid out
+// [ [A11, A22], [A12, A21^T] ] (Figure-agnostic: for line widths >= 4
+// words the four edges share a single line).
+func quadNode(m word.Mem, e11, e22, e12, e21t segment.Edge) segment.Edge {
+	arity := m.LineWords()
+	if arity >= 4 {
+		kids := make([]segment.Edge, arity)
+		kids[0], kids[1], kids[2], kids[3] = e11, e22, e12, e21t
+		out := segment.CanonNode(m, kids)
+		releaseEdges(m, e11, e22, e12, e21t)
+		return out
+	}
+	left := segment.CanonNode(m, []segment.Edge{e11, e22})
+	right := segment.CanonNode(m, []segment.Edge{e12, e21t})
+	out := segment.CanonNode(m, []segment.Edge{left, right})
+	releaseEdges(m, e11, e22, e12, e21t, left, right)
+	return out
+}
+
+func releaseEdges(m word.Mem, es ...segment.Edge) {
+	for _, e := range es {
+		e.Release(m)
+	}
+}
+
+// leaf2x2 stores a 2x2 value block row-major. With 2-word lines the block
+// is two value lines under one node; with wider lines it is one leaf.
+func leaf2x2(m word.Mem, ts []Triplet) segment.Edge {
+	var v [4]uint64
+	for _, t := range ts {
+		v[t.R*2+t.C] = math.Float64bits(t.V)
+	}
+	arity := m.LineWords()
+	tags := make([]word.Tag, arity)
+	if arity >= 4 {
+		ws := make([]uint64, arity)
+		copy(ws, v[:])
+		return segment.CanonLeaf(m, ws, tags)
+	}
+	top := segment.CanonLeaf(m, v[:2], tags)
+	bot := segment.CanonLeaf(m, v[2:], tags)
+	out := segment.CanonNode(m, []segment.Edge{top, bot})
+	releaseEdges(m, top, bot)
+	return out
+}
+
+// MulVec computes y = A*x reading the tree through the machine (every
+// line access goes through the HICAMP cache). x is read from a segment so
+// vector traffic is charged too; y accumulates in the per-core transient
+// region (see SpMVHicamp for its write accounting).
+func (q *QTS) MulVec(m word.Mem, xseg segment.Seg, xlen int) []float64 {
+	y := make([]float64, q.Rows)
+	xcache := newXReader(m, xseg, xlen)
+	q.mul(m, segment.PLIDEdge(q.Root), 0, 0, q.Dim, false, xcache, y)
+	return y
+}
+
+// mul adds the contribution of the stored block e whose actual position
+// is (r0, c0, size); trans marks that e stores the transpose.
+func (q *QTS) mul(m word.Mem, e segment.Edge, r0, c0, size int, trans bool, x *xReader, y []float64) {
+	if e.IsZero() {
+		return
+	}
+	if size == 2 {
+		q.mulLeaf(m, e, r0, c0, trans, x, y)
+		return
+	}
+	var e11, e22, e12, e21t segment.Edge
+	if m.LineWords() >= 4 {
+		kids := segment.Children(m, e, 1)
+		e11, e22, e12, e21t = kids[0], kids[1], kids[2], kids[3]
+	} else {
+		kids := segment.Children(m, e, 2)
+		l := segment.Children(m, kids[0], 1)
+		r := segment.Children(m, kids[1], 1)
+		e11, e22, e12, e21t = l[0], l[1], r[0], r[1]
+	}
+	h := size / 2
+	q.mul(m, e11, r0, c0, h, trans, x, y)
+	q.mul(m, e22, r0+h, c0+h, h, trans, x, y)
+	if !trans {
+		q.mul(m, e12, r0, c0+h, h, false, x, y)
+		q.mul(m, e21t, r0+h, c0, h, true, x, y)
+	} else {
+		q.mul(m, e12, r0+h, c0, h, true, x, y)
+		q.mul(m, e21t, r0, c0+h, h, false, x, y)
+	}
+}
+
+func (q *QTS) mulLeaf(m word.Mem, e segment.Edge, r0, c0 int, trans bool, x *xReader, y []float64) {
+	var vals [4]uint64
+	if m.LineWords() >= 4 {
+		ws := segment.Children(m, e, 0)
+		for i := 0; i < 4; i++ {
+			vals[i] = ws[i].W
+		}
+	} else {
+		rows := segment.Children(m, e, 1)
+		copyPair := func(dst []uint64, e segment.Edge) {
+			ws := segment.Children(m, e, 0)
+			dst[0], dst[1] = ws[0].W, ws[1].W
+		}
+		copyPair(vals[:2], rows[0])
+		copyPair(vals[2:], rows[1])
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			bits := vals[i*2+j]
+			if bits == 0 {
+				continue
+			}
+			v := math.Float64frombits(bits)
+			rr, cc := r0+i, c0+j
+			if trans {
+				rr, cc = r0+j, c0+i
+			}
+			if rr < len(y) {
+				y[rr] += v * x.at(cc)
+			}
+		}
+	}
+}
+
+// xReader reads the dense vector x from a segment with a tiny software
+// cache of the last line, standing in for the iterator register the
+// hardware would dedicate to the vector.
+type xReader struct {
+	m     word.Mem
+	seg   segment.Seg
+	n     int
+	base  uint64
+	words []uint64
+	ok    bool
+}
+
+func newXReader(m word.Mem, seg segment.Seg, n int) *xReader {
+	return &xReader{m: m, seg: seg, n: n}
+}
+
+func (x *xReader) at(i int) float64 {
+	if i >= x.n {
+		return 0
+	}
+	idx := uint64(i)
+	arity := uint64(x.m.LineWords())
+	base := idx / arity * arity
+	if !x.ok || base != x.base {
+		x.words = segment.ReadWords(x.m, x.seg, base, arity)
+		x.base, x.ok = base, true
+	}
+	return math.Float64frombits(x.words[idx-base])
+}
+
+// BuildXSegment stores a dense vector as a segment of float64 bits.
+func BuildXSegment(m word.Mem, x []float64) segment.Seg {
+	ws := make([]uint64, len(x))
+	for i, v := range x {
+		ws[i] = math.Float64bits(v)
+	}
+	return segment.BuildWords(m, ws, nil)
+}

@@ -1,0 +1,254 @@
+package spmv
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+func testMachine(lineBytes int) *core.Machine {
+	return core.NewMachine(core.Config{
+		LineBytes: lineBytes, BucketBits: 14, DataWays: 12, CacheLines: 2048, CacheWays: 8,
+	})
+}
+
+func TestNewMatrixCSR(t *testing.T) {
+	m := NewMatrix("t", "test", 3, 3, []Triplet{
+		{0, 0, 1}, {0, 2, 2}, {1, 1, 3}, {2, 0, 4}, {2, 2, 5},
+	})
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+	if m.At(0, 2) != 2 || m.At(2, 0) != 4 || m.At(1, 0) != 0 {
+		t.Fatal("At() wrong")
+	}
+	if m.Sym {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+}
+
+func TestDuplicateTripletsSum(t *testing.T) {
+	m := NewMatrix("t", "test", 2, 2, []Triplet{{0, 0, 1}, {0, 0, 2.5}})
+	if m.At(0, 0) != 3.5 || m.NNZ() != 1 {
+		t.Fatal("duplicates not summed")
+	}
+}
+
+func TestSymmetryDetection(t *testing.T) {
+	if !FEM2D(4).Sym {
+		t.Fatal("FEM2D not symmetric")
+	}
+	if !FEM3D(3).Sym {
+		t.Fatal("FEM3D not symmetric")
+	}
+	if !Banded(32, 3, true, 1).Sym {
+		t.Fatal("symmetric banded not symmetric")
+	}
+	if LP(4, 3, 8, 1).Sym {
+		t.Fatal("LP reported symmetric")
+	}
+}
+
+func TestCSRBytesFormula(t *testing.T) {
+	m := FEM2D(8) // n=64
+	want := uint64(12*m.NNZ() + 4*(m.Rows+1))
+	if got := m.CSRBytes(); got != want {
+		t.Fatalf("CSRBytes = %d, want %d", got, want)
+	}
+	if m.SymCSRBytes() >= m.CSRBytes() {
+		t.Fatal("symmetric CSR not smaller")
+	}
+}
+
+func TestQTSMulVecMatchesReference(t *testing.T) {
+	for _, lb := range []int{16, 32, 64} {
+		for _, m := range []*Matrix{
+			FEM2D(6), FEM3D(3), LP(4, 3, 8, 2), Banded(20, 3, false, 3),
+			Circuit(24, 3, 4), Pattern(3, 8, 5), Random(20, 0.1, 6),
+		} {
+			mach := testMachine(lb)
+			q := BuildQTS(mach, m)
+			x := testVector(m.Cols)
+			xseg := BuildXSegment(mach, x)
+			got := q.MulVec(mach, xseg, m.Cols)
+			want := m.MulVec(x)
+			if !VecEqual(got, want) {
+				t.Fatalf("lb=%d %s: QTS MulVec mismatch", lb, m.Name)
+			}
+			q.Release(mach)
+			segment.ReleaseSeg(mach, xseg)
+			if mach.LiveLines() != 0 {
+				t.Fatalf("lb=%d %s: %d lines leaked", lb, m.Name, mach.LiveLines())
+			}
+		}
+	}
+}
+
+func TestNZDMulVecMatchesReference(t *testing.T) {
+	for _, lb := range []int{16, 64} {
+		for _, m := range []*Matrix{
+			FEM2D(6), LP(4, 3, 8, 2), Circuit(24, 3, 4), Random(20, 0.1, 6),
+			Pattern(3, 8, 5),
+		} {
+			mach := testMachine(lb)
+			z := BuildNZD(mach, m)
+			x := testVector(m.Cols)
+			xseg := BuildXSegment(mach, x)
+			got := z.MulVec(mach, xseg, m.Cols)
+			want := m.MulVec(x)
+			if !VecEqual(got, want) {
+				t.Fatalf("lb=%d %s: NZD MulVec mismatch", lb, m.Name)
+			}
+			z.Release(mach)
+			segment.ReleaseSeg(mach, xseg)
+		}
+	}
+}
+
+func TestMortonRoundTrip(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			b := mortonBit(i, j)
+			if b < 0 || b > 63 || seen[b] {
+				t.Fatalf("morton(%d,%d) = %d invalid/duplicate", i, j, b)
+			}
+			seen[b] = true
+			gi, gj := mortonCell(b)
+			if gi != i || gj != j {
+				t.Fatalf("morton round trip (%d,%d) -> %d -> (%d,%d)", i, j, b, gi, gj)
+			}
+		}
+	}
+}
+
+func TestSymmetricSharingInQTS(t *testing.T) {
+	// The QTS trick: a symmetric matrix's A12 and A21^T are identical
+	// content, so the symmetric version must use fewer lines than a
+	// perturbed non-symmetric version of the same matrix.
+	mach := testMachine(16)
+	sym := Banded(64, 4, true, 7)
+	qs := BuildQTS(mach, sym)
+	symLines := segment.Measure(mach, segment.Seg{Root: qs.Root}).Lines
+
+	var ts []Triplet
+	for r := 0; r < sym.Rows; r++ {
+		for k := sym.RowPtr[r]; k < sym.RowPtr[r+1]; k++ {
+			v := sym.Vals[k]
+			if int(sym.ColIdx[k]) > r {
+				v += float64(r%7) + 0.5 // break symmetry, keep pattern
+			}
+			ts = append(ts, Triplet{r, int(sym.ColIdx[k]), v})
+		}
+	}
+	asym := NewMatrix("asym", "banded", sym.Rows, sym.Cols, ts)
+	qa := BuildQTS(mach, asym)
+	asymLines := segment.Measure(mach, segment.Seg{Root: qa.Root}).Lines
+	if symLines >= asymLines {
+		t.Fatalf("symmetric %d lines >= asymmetric %d: transpose sharing broken",
+			symLines, asymLines)
+	}
+}
+
+func TestZeroQuadrantElision(t *testing.T) {
+	// A matrix with a single entry must use O(log dim) lines.
+	mach := testMachine(16)
+	m := NewMatrix("one", "test", 256, 256, []Triplet{{200, 13, 3.5}})
+	q := BuildQTS(mach, m)
+	lines := segment.Measure(mach, segment.Seg{Root: q.Root}).Lines
+	if lines > 20 {
+		t.Fatalf("single-entry 256x256 matrix uses %d lines", lines)
+	}
+}
+
+func TestFootprintSymBeatsCSRLessThanLP(t *testing.T) {
+	// Table 2 shape: HICAMP compacts; LP (repeated blocks, measured
+	// against full CSR) compacts more than symmetric matrices (measured
+	// against already-halved symmetric CSR).
+	fem := MeasureFootprint(16, FEM2D(24))
+	lp := MeasureFootprint(16, LP(10, 6, 16, 3))
+	if fem.SizeRatio() >= 1.1 {
+		t.Fatalf("FEM ratio %.2f, want < 1.1", fem.SizeRatio())
+	}
+	if lp.SizeRatio() >= 1.0 {
+		t.Fatalf("LP ratio %.2f, want < 1.0", lp.SizeRatio())
+	}
+}
+
+func TestPatternMatrixCompactsHard(t *testing.T) {
+	r := MeasureFootprint(16, Pattern(8, 16, 9))
+	if r.SizeRatio() > 0.8 {
+		t.Fatalf("tiled pattern ratio %.2f; duplicate tiles must dedup", r.SizeRatio())
+	}
+}
+
+func TestNZDWinsOnPatternSymmetryWithRandomValues(t *testing.T) {
+	// NZD exists for matrices with repeating pattern but non-repeating
+	// values: its pattern tree + dense values should beat QTS there.
+	mach := testMachine(16)
+	base := Banded(128, 2, true, 11)
+	var ts []Triplet
+	i := 0
+	for r := 0; r < base.Rows; r++ {
+		for k := base.RowPtr[r]; k < base.RowPtr[r+1]; k++ {
+			i++
+			ts = append(ts, Triplet{r, int(base.ColIdx[k]), float64(i)*1.618 + 0.1})
+		}
+	}
+	m := NewMatrix("bandrand", "banded", base.Rows, base.Cols, ts)
+	q := BuildQTS(mach, m)
+	z := BuildNZD(mach, m)
+	if z.FootprintBytes(mach) >= q.FootprintBytes(mach) {
+		t.Fatalf("NZD %d >= QTS %d for pattern-only similarity",
+			z.FootprintBytes(mach), q.FootprintBytes(mach))
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	ms := Suite(1, 99)
+	if len(ms) != 100 {
+		t.Fatalf("suite has %d matrices, want 100", len(ms))
+	}
+	cats := map[string]int{}
+	var syms int
+	for _, m := range ms {
+		cats[m.Category]++
+		if m.Sym {
+			syms++
+		}
+		if m.NNZ() == 0 {
+			t.Fatalf("%s has no entries", m.Name)
+		}
+	}
+	if cats["FEM"] != 29 || cats["LP"] != 15 {
+		t.Fatalf("category counts: %v (want 29 FEM / 15 LP as in Table 2)", cats)
+	}
+	if syms < 20 {
+		t.Fatalf("only %d symmetric matrices", syms)
+	}
+}
+
+func TestSpMVConvTrafficScalesWithNNZ(t *testing.T) {
+	hier := cachesim.PaperHierConfig(16)
+	small := SpMVConv(hier, FEM2D(16))
+	big := SpMVConv(hier, FEM2D(48))
+	if big <= small {
+		t.Fatalf("conventional traffic did not grow with matrix: %d vs %d", small, big)
+	}
+}
+
+func TestMeasureTrafficProducesComparableNumbers(t *testing.T) {
+	m := FEM2D(32) // 1024x1024, ~5k nnz
+	r := MeasureTraffic(16, m)
+	if r.ConvDRAM == 0 || r.HicampDRAM == 0 {
+		t.Fatalf("degenerate traffic: %+v", r)
+	}
+	// Warm-pass working sets fitting in 4 MB caches keep both small; the
+	// sanity bound is that neither side explodes past 4x the other on a
+	// self-similar FEM problem.
+	if r.Ratio() > 4 {
+		t.Fatalf("HICAMP/conv ratio %.2f too high for FEM", r.Ratio())
+	}
+}

@@ -1,0 +1,64 @@
+package store
+
+import "repro/internal/word"
+
+// DRAM row-buffer model. §3.1 argues that the lookup-by-content protocol
+// is DRAM-friendly: the signature read, candidate data reads, signature
+// update and reference-count access of one lookup all land in the same
+// DRAM row (the hash bucket *is* the row), so a lookup costs one row
+// activation however many line transfers it makes. This model tracks the
+// open row per bank and counts activations versus open-row hits, which
+// the row-locality tests assert and the energy discussion in the paper
+// relies on.
+
+// rowBanks is the number of DRAM banks (row buffers) modelled.
+const rowBanks = 8
+
+// RowStats counts row-buffer behaviour.
+type RowStats struct {
+	Activations uint64 // accesses that had to open a new row
+	RowHits     uint64 // accesses served from the open row
+}
+
+// HitRate returns the fraction of accesses served by open rows.
+func (r RowStats) HitRate() float64 {
+	total := r.Activations + r.RowHits
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RowHits) / float64(total)
+}
+
+type rowTracker struct {
+	open  [rowBanks]uint64
+	valid [rowBanks]bool
+	Stats RowStats
+}
+
+// touch records an access to the given row, returning whether it hit the
+// open row of its bank.
+func (rt *rowTracker) touch(row uint64) bool {
+	bank := row % rowBanks
+	if rt.valid[bank] && rt.open[bank] == row {
+		rt.Stats.RowHits++
+		return true
+	}
+	rt.valid[bank] = true
+	rt.open[bank] = row
+	rt.Stats.Activations++
+	return false
+}
+
+// rowOf maps a line to its DRAM row: the hash bucket for bucket-resident
+// lines; overflow lines live in rows past the bucket area.
+func (s *Store) rowOf(p word.PLID) uint64 {
+	if b, ok := s.BucketOf(p); ok {
+		return b
+	}
+	slot := uint64(p) - s.ovBase()
+	rowSize := uint64(16) // overflow lines per row
+	return uint64(1)<<s.cfg.BucketBits + slot/rowSize
+}
+
+// RowStats returns the accumulated row-buffer counters.
+func (s *Store) RowStats() RowStats { return s.rows.Stats }

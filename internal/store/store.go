@@ -1,0 +1,569 @@
+// Package store implements the HICAMP deduplicating main memory
+// (paper §3.1, Figure 2).
+//
+// DRAM is divided into hash buckets, one per DRAM row. A 16-way bucket
+// dedicates way 0 to a line of 8-bit content signatures, way 1 to a line of
+// reference counts, ways 2..2+DataWays-1 to data lines and the remaining
+// ways to the overflow area. A line is stored in the bucket selected by a
+// hash of its content; lookup-by-content reads the signature line, compares
+// signatures, reads candidate data lines, and either returns the matching
+// PLID or allocates a free way. A PLID is the concatenation of the way
+// number and the bucket number, so the controller can always recompute the
+// bucket from the content hash — the property the HICAMP cache indexing
+// relies on.
+//
+// The store is the authoritative state below the HICAMP cache: the cache
+// layer (package cachesim, composed in package core) decides which of these
+// operations actually reach DRAM. Every method that touches simulated DRAM
+// increments a named Stats counter.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Config sizes the simulated memory.
+type Config struct {
+	// LineBytes is the memory line size: 16, 32 or 64.
+	LineBytes int
+	// BucketBits sets the number of hash buckets (1 << BucketBits).
+	BucketBits int
+	// DataWays is the number of data lines per bucket (paper example: 12).
+	DataWays int
+}
+
+// DefaultConfig mirrors the paper's running example: 16-byte lines with
+// twelve data ways per bucket.
+func DefaultConfig() Config {
+	return Config{LineBytes: 16, BucketBits: 16, DataWays: 12}
+}
+
+func (c Config) validate() error {
+	switch c.LineBytes {
+	case 16, 32, 64:
+	default:
+		return fmt.Errorf("store: line size %d not one of 16/32/64", c.LineBytes)
+	}
+	if c.BucketBits < 4 || c.BucketBits > 32 {
+		return fmt.Errorf("store: bucket bits %d out of range [4,32]", c.BucketBits)
+	}
+	if c.DataWays < 1 || c.DataWays > 12 {
+		return fmt.Errorf("store: data ways %d out of range [1,12]", c.DataWays)
+	}
+	return nil
+}
+
+// Stats counts simulated DRAM accesses by kind. The categories match the
+// stacked bars of the paper's Figure 6.
+type Stats struct {
+	SigReads    uint64 // signature-line reads during lookup-by-content
+	SigWrites   uint64 // signature-line updates on allocate/free
+	DataReads   uint64 // demand data-line reads (cache miss fills)
+	LookupReads uint64 // data-line reads comparing lookup candidates
+	DataWrites  uint64 // data-line writebacks from the cache
+	RCReads     uint64 // reference-count line fills
+	RCWrites    uint64 // reference-count line writebacks
+	DeallocOps  uint64 // line de-allocations (recursive state machine steps)
+	Lookups     uint64 // lookup-by-content operations reaching DRAM
+	LookupHits  uint64 // lookups that matched an existing line
+	Allocs      uint64 // lines allocated
+	Frees       uint64 // lines freed
+	FalseSig    uint64 // signature matches whose data compare failed
+	Overflows   uint64 // allocations diverted to the overflow area
+}
+
+// Total returns the total number of DRAM line accesses (reads + writes of
+// any way), the quantity plotted in Figure 6.
+func (s Stats) Total() uint64 {
+	return s.SigReads + s.SigWrites + s.DataReads + s.LookupReads +
+		s.DataWrites + s.RCReads + s.RCWrites + s.DeallocOps
+}
+
+// LookupTraffic returns the Figure 6 "Lookups" category: signature line
+// reads/updates plus candidate data-line reads during lookup-by-content.
+func (s Stats) LookupTraffic() uint64 { return s.SigReads + s.SigWrites + s.LookupReads }
+
+// RCTraffic returns the Figure 6 "RC" category.
+func (s Stats) RCTraffic() uint64 { return s.RCReads + s.RCWrites }
+
+type line struct {
+	used    bool
+	sig     uint8
+	rc      uint64
+	inDRAM  bool // content has been written back to DRAM
+	content word.Content
+}
+
+type bucket struct {
+	ways []line
+}
+
+// Store is the deduplicating line memory.
+type Store struct {
+	cfg        Config
+	arity      int
+	bucketMask uint64
+	buckets    []bucket
+	overflow   []line
+	freeOv     []uint32                // free slots in overflow
+	ovIndex    map[word.Content]uint32 // content -> overflow slot
+	liveLines  uint64
+	rows       rowTracker
+	Stats      Stats
+
+	// OnRCTouch, when non-nil, is invoked for every reference-count
+	// mutation with the PLID whose count changed. The cache layer uses
+	// it to model reference-count line traffic (§3.1: counts are cached
+	// in the HICAMP cache and written to DRAM on eviction). init marks
+	// the count initialization of a fresh allocation, which is written
+	// straight into the cache without fetching the line from DRAM
+	// (§3.1: "when the line is allocated by lookup operation its
+	// reference count is written in the LLC and propagated to DRAM only
+	// when the line is evicted").
+	OnRCTouch func(p word.PLID, init bool)
+}
+
+func (s *Store) rcTouched(p word.PLID, init bool) {
+	if s.OnRCTouch != nil {
+		s.OnRCTouch(p, init)
+	}
+}
+
+// New creates a store. It panics on an invalid configuration, which is a
+// programming error in the simulator setup, not a runtime condition.
+func New(cfg Config) *Store {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := 1 << cfg.BucketBits
+	s := &Store{
+		cfg:        cfg,
+		arity:      cfg.LineBytes / 8,
+		bucketMask: uint64(n - 1),
+		buckets:    make([]bucket, n),
+	}
+	// Bucket way arrays are allocated lazily on first use: a 2^20-bucket
+	// store would otherwise commit ~1 GB up front.
+	return s
+}
+
+// Config returns the configuration the store was built with.
+func (s *Store) Config() Config { return s.cfg }
+
+// LineWords returns the line width in 64-bit words (the DAG arity).
+func (s *Store) LineWords() int { return s.arity }
+
+// LiveLines returns the number of currently allocated lines.
+func (s *Store) LiveLines() uint64 { return s.liveLines }
+
+// FootprintBytes returns the DRAM bytes held by live lines.
+func (s *Store) FootprintBytes() uint64 { return s.liveLines * uint64(s.cfg.LineBytes) }
+
+// PLID layout: [0,BucketBits) bucket | [BucketBits,+4) way+2 | overflow bit.
+// Data ways are numbered 2..13 following Figure 2 (way 0 = signatures,
+// way 1 = reference counts), so a data PLID is never zero and the zero
+// PLID can denote the architectural zero line.
+
+const wayFieldBits = 4
+
+// overflowSlotBits bounds the overflow area (2^overflowSlotBits slots
+// beyond the first), sized far above any bucket spill the experiments
+// produce while keeping PLIDs narrow enough for path compaction.
+const overflowSlotBits = 10
+
+// PLIDBits returns the number of low word bits a PLID occupies, bounding
+// the space available to path compaction. Overflow PLIDs occupy the range
+// [2^(BucketBits+4), 2^(BucketBits+4) * (1+2^overflowSlotBits)).
+func (s *Store) PLIDBits() int { return s.cfg.BucketBits + wayFieldBits + overflowSlotBits + 1 }
+
+// ovBase returns the first overflow PLID value.
+func (s *Store) ovBase() uint64 { return 1 << (s.cfg.BucketBits + wayFieldBits) }
+
+func (s *Store) plidFor(bkt uint64, way int) word.PLID {
+	return word.PLID(uint64(way+2)<<s.cfg.BucketBits | bkt)
+}
+
+func (s *Store) overflowPLID(slot uint32) word.PLID {
+	// Addition (not OR) keeps the mapping injective for every slot.
+	return word.PLID(s.ovBase() + uint64(slot))
+}
+
+func (s *Store) isOverflow(p word.PLID) bool {
+	return uint64(p) >= s.ovBase()
+}
+
+// BucketOf returns the hash bucket a PLID belongs to. Overflow PLIDs have
+// no bucket; the second result reports whether the PLID is a bucket line.
+func (s *Store) BucketOf(p word.PLID) (uint64, bool) {
+	if s.isOverflow(p) {
+		return 0, false
+	}
+	return uint64(p) & s.bucketMask, true
+}
+
+// BucketIndex returns the bucket a content hashes to.
+func (s *Store) BucketIndex(c word.Content) uint64 {
+	return c.Hash() & s.bucketMask
+}
+
+func (s *Store) lineAt(p word.PLID) *line {
+	if s.isOverflow(p) {
+		slot := uint64(p) - s.ovBase()
+		if slot >= uint64(len(s.overflow)) {
+			panic(fmt.Sprintf("store: bad overflow PLID %#x", uint64(p)))
+		}
+		return &s.overflow[slot]
+	}
+	bkt := uint64(p) & s.bucketMask
+	way := int(uint64(p)>>s.cfg.BucketBits) - 2
+	if way < 0 || way >= s.cfg.DataWays || s.buckets[bkt].ways == nil {
+		panic(fmt.Sprintf("store: bad PLID %#x (way %d)", uint64(p), way))
+	}
+	return &s.buckets[bkt].ways[way]
+}
+
+// Lookup performs the DRAM lookup-by-content protocol of §3.1 and returns
+// the PLID plus whether the content already existed. The caller acquires
+// one reference; on a fresh allocation the store additionally takes one
+// reference per PLID-tagged word inside the content (the line's own
+// references, released when the line is freed). Content of all zeroes
+// must be handled by the caller (the zero PLID) and panics here.
+func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
+	if c.IsZero() {
+		panic("store: Lookup of zero content (use word.Zero)")
+	}
+	if int(c.N) != s.arity {
+		panic(fmt.Sprintf("store: content width %d, line width %d", c.N, s.arity))
+	}
+	s.Stats.Lookups++
+	bkt := s.BucketIndex(c)
+	sig := c.Signature()
+	b := &s.buckets[bkt]
+	if b.ways == nil {
+		b.ways = make([]line, s.cfg.DataWays)
+	}
+
+	// Step 2-3: read the signature line, compare signatures. This is the
+	// access that opens the bucket's DRAM row; the candidate reads,
+	// signature update and RC access below stay in the open row (§3.1).
+	s.rows.touch(bkt)
+	s.Stats.SigReads++
+	for w := range b.ways {
+		ln := &b.ways[w]
+		if !ln.used || ln.sig != sig {
+			continue
+		}
+		// Step 4: candidate data line read and compare (open-row hit).
+		s.rows.touch(bkt)
+		s.Stats.LookupReads++
+		if ln.content == c {
+			ln.rc++
+			s.rcTouched(s.plidFor(bkt, w), false)
+			s.Stats.LookupHits++
+			return s.plidFor(bkt, w), true
+		}
+		s.Stats.FalseSig++
+	}
+	// Overflow lines for this content are found via the overflow scan;
+	// model it as one extra read when the bucket has seen overflow.
+	if p, ok := s.findOverflow(c); ok {
+		s.Stats.LookupReads++
+		s.lineAt(p).rc++
+		s.rcTouched(p, false)
+		s.Stats.LookupHits++
+		return p, true
+	}
+
+	// Step 6: allocate. Find an empty way via the signature line (already
+	// read); the signature update is one write back to the same DRAM row.
+	for w := range b.ways {
+		if !b.ways[w].used {
+			b.ways[w] = line{used: true, sig: sig, rc: 1, content: c}
+			s.rows.touch(bkt)
+			s.Stats.SigWrites++
+			s.Stats.Allocs++
+			s.liveLines++
+			s.rcTouched(s.plidFor(bkt, w), true)
+			s.retainChildren(c)
+			return s.plidFor(bkt, w), false
+		}
+	}
+	// Bucket full: spill to the overflow area.
+	p := s.allocOverflow(c, sig)
+	s.retainChildren(c)
+	return p, false
+}
+
+func (s *Store) findOverflow(c word.Content) (word.PLID, bool) {
+	// The hardware chains overflow lines from the bucket row; the
+	// simulator keeps a content index for speed and charges the DRAM
+	// accesses at the call site.
+	slot, ok := s.ovIndex[c]
+	if !ok {
+		return 0, false
+	}
+	return s.overflowPLID(slot), true
+}
+
+func (s *Store) allocOverflow(c word.Content, sig uint8) word.PLID {
+	s.Stats.Overflows++
+	s.Stats.Allocs++
+	s.Stats.SigWrites++ // overflow pointer update in the bucket row
+	s.liveLines++
+	var slot uint32
+	if n := len(s.freeOv); n > 0 {
+		slot = s.freeOv[n-1]
+		s.freeOv = s.freeOv[:n-1]
+		s.overflow[slot] = line{used: true, sig: sig, rc: 1, content: c}
+	} else {
+		slot = uint32(len(s.overflow))
+		s.overflow = append(s.overflow, line{used: true, sig: sig, rc: 1, content: c})
+	}
+	if s.ovIndex == nil {
+		s.ovIndex = make(map[word.Content]uint32)
+	}
+	s.ovIndex[c] = slot
+	s.rcTouched(s.overflowPLID(slot), true)
+	return s.overflowPLID(slot)
+}
+
+func (s *Store) retainChildren(c word.Content) {
+	for i := 0; i < int(c.N); i++ {
+		switch c.T[i] {
+		case word.TagPLID:
+			s.Retain(word.PLID(c.W[i]))
+		case word.TagCompact:
+			p, _ := word.DecodeCompact(c.W[i], s.arity, s.PLIDBits())
+			s.Retain(p)
+		}
+	}
+}
+
+// Read returns the content of a line, counting one DRAM data read.
+// Reading the zero PLID returns zero content with no DRAM access.
+func (s *Store) Read(p word.PLID) word.Content {
+	if p == word.Zero {
+		return word.NewContent(s.arity)
+	}
+	s.Stats.DataReads++
+	s.rows.touch(s.rowOf(p))
+	ln := s.lineAt(p)
+	if !ln.used {
+		panic(fmt.Sprintf("store: read of freed PLID %#x", uint64(p)))
+	}
+	return ln.content
+}
+
+// Peek returns a line's content without simulating a DRAM access. The
+// cache layer uses it to fill entries whose DRAM traffic it accounts
+// itself, and tests use it to inspect state.
+func (s *Store) Peek(p word.PLID) (word.Content, bool) {
+	if p == word.Zero {
+		return word.NewContent(s.arity), true
+	}
+	ln := s.lineAt(p)
+	if !ln.used {
+		return word.Content{}, false
+	}
+	return ln.content, true
+}
+
+// RefCount returns the current reference count of a line (0 if freed).
+func (s *Store) RefCount(p word.PLID) uint64 {
+	if p == word.Zero {
+		return 0
+	}
+	ln := s.lineAt(p)
+	if !ln.used {
+		return 0
+	}
+	return ln.rc
+}
+
+// Retain adds one reference to p without touching DRAM counters; the
+// caller models the reference-count line traffic (they are cached).
+func (s *Store) Retain(p word.PLID) {
+	if p == word.Zero {
+		return
+	}
+	ln := s.lineAt(p)
+	if !ln.used {
+		panic(fmt.Sprintf("store: retain of freed PLID %#x", uint64(p)))
+	}
+	ln.rc++
+	s.rcTouched(p, false)
+}
+
+// Freed describes one line reclaimed by Release: its PLID and the hash
+// of the content it held, which the cache layer needs to locate (and
+// invalidate) the corresponding cache set after the content is gone.
+type Freed struct {
+	P word.PLID
+	H uint64
+}
+
+// Release drops one reference to p. When the count reaches zero the line
+// is freed: its signature is zeroed (one DRAM write, counted as a dealloc
+// op) and references held by its PLID words are released recursively by
+// the hardware de-allocation state machine. It returns the lines freed by
+// this release so the cache layer can invalidate them.
+func (s *Store) Release(p word.PLID) []Freed {
+	if p == word.Zero {
+		return nil
+	}
+	var freed []Freed
+	work := []word.PLID{p}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if cur == word.Zero {
+			continue
+		}
+		ln := s.lineAt(cur)
+		if !ln.used {
+			panic(fmt.Sprintf("store: release of freed PLID %#x", uint64(cur)))
+		}
+		if ln.rc == 0 {
+			panic(fmt.Sprintf("store: reference underflow on PLID %#x", uint64(cur)))
+		}
+		ln.rc--
+		s.rcTouched(cur, false)
+		if ln.rc > 0 {
+			continue
+		}
+		// Free: zero the signature, queue children for the state machine.
+		s.Stats.DeallocOps++
+		s.Stats.Frees++
+		s.liveLines--
+		for i := 0; i < int(ln.content.N); i++ {
+			switch ln.content.T[i] {
+			case word.TagPLID:
+				work = append(work, word.PLID(ln.content.W[i]))
+			case word.TagCompact:
+				cp, _ := word.DecodeCompact(ln.content.W[i], s.arity, s.PLIDBits())
+				work = append(work, cp)
+			}
+		}
+		hash := ln.content.Hash()
+		if s.isOverflow(cur) {
+			slot := uint32(uint64(cur) - s.ovBase())
+			delete(s.ovIndex, s.overflow[slot].content)
+			s.overflow[slot] = line{}
+			s.freeOv = append(s.freeOv, slot)
+		} else {
+			*ln = line{}
+		}
+		freed = append(freed, Freed{P: cur, H: hash})
+	}
+	return freed
+}
+
+// Writeback records the eviction of a dirty (newly created) line from the
+// cache: the first time a line leaves the cache its data is written to
+// DRAM (paper §3.1). Subsequent writebacks of the same immutable line are
+// impossible because clean lines are dropped silently.
+func (s *Store) Writeback(p word.PLID) {
+	if p == word.Zero {
+		return
+	}
+	ln := s.lineAt(p)
+	if !ln.used || ln.inDRAM {
+		return
+	}
+	ln.inDRAM = true
+	s.rows.touch(s.rowOf(p))
+	s.Stats.DataWrites++
+}
+
+// RCLineRead and RCLineWrite account reference-count line DRAM traffic;
+// the cache layer calls them on RC-line fills and dirty evictions.
+func (s *Store) RCLineRead()  { s.Stats.RCReads++ }
+func (s *Store) RCLineWrite() { s.Stats.RCWrites++ }
+
+// CheckConsistency verifies the reference-counting invariant: every live
+// line's count equals the number of PLID words in live lines that name it,
+// plus the external references the caller says it holds. It returns an
+// error describing the first violation found.
+func (s *Store) CheckConsistency(external map[word.PLID]uint64) error {
+	indeg := make(map[word.PLID]uint64)
+	addRefs := func(c word.Content) {
+		for i := 0; i < int(c.N); i++ {
+			switch c.T[i] {
+			case word.TagPLID:
+				if p := word.PLID(c.W[i]); p != word.Zero {
+					indeg[p]++
+				}
+			case word.TagCompact:
+				p, _ := word.DecodeCompact(c.W[i], s.arity, s.PLIDBits())
+				if p != word.Zero {
+					indeg[p]++
+				}
+			}
+		}
+	}
+	forEachLive := func(fn func(p word.PLID, ln *line)) {
+		for b := range s.buckets {
+			for w := range s.buckets[b].ways {
+				if s.buckets[b].ways[w].used {
+					fn(s.plidFor(uint64(b), w), &s.buckets[b].ways[w])
+				}
+			}
+		}
+		for i := range s.overflow {
+			if s.overflow[i].used {
+				fn(s.overflowPLID(uint32(i)), &s.overflow[i])
+			}
+		}
+	}
+	forEachLive(func(_ word.PLID, ln *line) { addRefs(ln.content) })
+	var err error
+	forEachLive(func(p word.PLID, ln *line) {
+		if err != nil {
+			return
+		}
+		want := indeg[p] + external[p]
+		if ln.rc != want {
+			err = fmt.Errorf("store: PLID %#x rc=%d, want %d (internal %d + external %d)",
+				uint64(p), ln.rc, want, indeg[p], external[p])
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Every line a live line references must itself be live.
+	for p := range indeg {
+		if ln := s.lineAt(p); !ln.used {
+			return fmt.Errorf("store: dangling reference to freed PLID %#x", uint64(p))
+		}
+	}
+	return nil
+}
+
+// UniqueLineCount reports how many distinct lines the given byte streams
+// would occupy at this store's line size, without allocating them. It is
+// the fast dedup counter used by the footprint experiments (Table 1,
+// Figures 8-10); see DESIGN.md.
+func UniqueLineCount(lineBytes int, streams ...[]byte) uint64 {
+	seen := make(map[word.Content]struct{})
+	arity := lineBytes / 8
+	for _, b := range streams {
+		for off := 0; off < len(b); off += lineBytes {
+			end := off + lineBytes
+			if end > len(b) {
+				end = len(b)
+			}
+			c := word.ContentFromBytes(arity, b[off:end])
+			if c.IsZero() {
+				continue
+			}
+			seen[c] = struct{}{}
+		}
+	}
+	return uint64(len(seen))
+}
+
+// WaysPerBucket returns the number of data ways, exposed for tests
+// asserting the Figure 2 geometry.
+func (s *Store) WaysPerBucket() int { return s.cfg.DataWays }

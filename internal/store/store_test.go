@@ -1,0 +1,425 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+func testConfig() Config {
+	return Config{LineBytes: 16, BucketBits: 8, DataWays: 12}
+}
+
+func leaf(s *Store, b []byte) word.Content {
+	return word.ContentFromBytes(s.LineWords(), b)
+}
+
+func TestLookupDeduplicates(t *testing.T) {
+	s := New(testConfig())
+	c := leaf(s, []byte("duplicate me!!"))
+	p1, existed1 := s.Lookup(c)
+	p2, existed2 := s.Lookup(c)
+	if existed1 {
+		t.Fatal("first lookup reported existing")
+	}
+	if !existed2 {
+		t.Fatal("second lookup did not dedup")
+	}
+	if p1 != p2 {
+		t.Fatalf("same content, different PLIDs: %#x vs %#x", p1, p2)
+	}
+	if rc := s.RefCount(p1); rc != 2 {
+		t.Fatalf("rc = %d, want 2", rc)
+	}
+	if s.LiveLines() != 1 {
+		t.Fatalf("live lines = %d, want 1", s.LiveLines())
+	}
+}
+
+func TestDistinctContentDistinctPLIDs(t *testing.T) {
+	s := New(testConfig())
+	p1, _ := s.Lookup(leaf(s, []byte("content A")))
+	p2, _ := s.Lookup(leaf(s, []byte("content B")))
+	if p1 == p2 {
+		t.Fatal("distinct contents share a PLID")
+	}
+}
+
+func TestZeroPLIDRead(t *testing.T) {
+	s := New(testConfig())
+	c := s.Read(word.Zero)
+	if !c.IsZero() {
+		t.Fatal("zero PLID must read as zero content")
+	}
+	if s.Stats.DataReads != 0 {
+		t.Fatal("reading the zero line must not touch DRAM")
+	}
+}
+
+func TestLookupZeroContentPanics(t *testing.T) {
+	s := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lookup of zero content must panic")
+		}
+	}()
+	s.Lookup(word.NewContent(s.LineWords()))
+}
+
+func TestReadReturnsContent(t *testing.T) {
+	s := New(testConfig())
+	c := leaf(s, []byte("read me back!!"))
+	p, _ := s.Lookup(c)
+	got := s.Read(p)
+	if got != c {
+		t.Fatalf("Read = %v, want %v", got, c)
+	}
+}
+
+func TestReleaseFreesLine(t *testing.T) {
+	s := New(testConfig())
+	c := leaf(s, []byte("transient"))
+	p, _ := s.Lookup(c)
+	freed := s.Release(p)
+	if len(freed) != 1 || freed[0].P != p {
+		t.Fatalf("freed = %v, want [%#x]", freed, p)
+	}
+	if s.LiveLines() != 0 {
+		t.Fatalf("live = %d", s.LiveLines())
+	}
+	// The slot must be reusable.
+	p2, existed := s.Lookup(c)
+	if existed {
+		t.Fatal("freed line still found")
+	}
+	if p2 != p {
+		t.Fatalf("slot not reused: %#x vs %#x", p2, p)
+	}
+}
+
+func TestRecursiveDealloc(t *testing.T) {
+	s := New(testConfig())
+	// Build leaf <- parent <- grandparent, each holding the only ref
+	// to its child (after we release our build-time refs).
+	lp, _ := s.Lookup(leaf(s, []byte("leaf")))
+	parent := word.NewContent(s.LineWords())
+	parent.W[0], parent.T[0] = uint64(lp), word.TagPLID
+	pp, _ := s.Lookup(parent) // store retains lp for the new line
+	s.Release(lp)             // drop our build ref; parent now sole owner
+	gp := word.NewContent(s.LineWords())
+	gp.W[1], gp.T[1] = uint64(pp), word.TagPLID
+	gpp, _ := s.Lookup(gp)
+	s.Release(pp)
+	if s.LiveLines() != 3 {
+		t.Fatalf("live = %d, want 3", s.LiveLines())
+	}
+	freed := s.Release(gpp)
+	if len(freed) != 3 {
+		t.Fatalf("recursive dealloc freed %d lines, want 3", len(freed))
+	}
+	if s.LiveLines() != 0 {
+		t.Fatalf("live = %d after recursive free", s.LiveLines())
+	}
+	if s.Stats.DeallocOps != 3 {
+		t.Fatalf("DeallocOps = %d, want 3", s.Stats.DeallocOps)
+	}
+}
+
+func TestSharedChildSurvives(t *testing.T) {
+	s := New(testConfig())
+	lp, _ := s.Lookup(leaf(s, []byte("shared leaf")))
+	mk := func(slot int) word.PLID {
+		c := word.NewContent(s.LineWords())
+		c.W[slot], c.T[slot] = uint64(lp), word.TagPLID
+		p, _ := s.Lookup(c)
+		return p
+	}
+	a, b := mk(0), mk(1)
+	s.Release(lp) // build ref gone; both parents still reference it
+	s.Release(a)
+	if s.RefCount(lp) == 0 {
+		t.Fatal("shared leaf freed while parent b still references it")
+	}
+	s.Release(b)
+	if s.RefCount(lp) != 0 {
+		t.Fatal("leaf leaked after all parents freed")
+	}
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	s := New(testConfig())
+	p, _ := s.Lookup(leaf(s, []byte("x")))
+	s.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic")
+		}
+	}()
+	s.Release(p)
+}
+
+func TestLookupDRAMCost(t *testing.T) {
+	// §3.1: a lookup that misses costs one signature read plus one
+	// signature write; a lookup that hits costs a signature read plus
+	// one data read (absent false signature matches).
+	s := New(testConfig())
+	c := leaf(s, []byte("cost model"))
+	s.Lookup(c)
+	if s.Stats.SigReads != 1 || s.Stats.SigWrites != 1 {
+		t.Fatalf("miss: sigR=%d sigW=%d, want 1/1", s.Stats.SigReads, s.Stats.SigWrites)
+	}
+	if s.Stats.LookupReads != 0 && s.Stats.FalseSig == 0 {
+		t.Fatalf("miss should not read data lines, got %d", s.Stats.LookupReads)
+	}
+	before := s.Stats
+	s.Lookup(c)
+	if got := s.Stats.SigReads - before.SigReads; got != 1 {
+		t.Fatalf("hit: sig reads = %d, want 1", got)
+	}
+	if got := s.Stats.LookupReads - before.LookupReads; got < 1 {
+		t.Fatalf("hit: candidate reads = %d, want >= 1", got)
+	}
+}
+
+func TestBucketOverflow(t *testing.T) {
+	// Tiny store: force one bucket to fill and spill to overflow.
+	s := New(Config{LineBytes: 16, BucketBits: 4, DataWays: 1})
+	rng := rand.New(rand.NewSource(7))
+	plids := make(map[word.PLID]word.Content)
+	for i := 0; i < 200; i++ {
+		c := word.NewContent(2)
+		c.W[0], c.W[1] = rng.Uint64(), rng.Uint64()
+		p, existed := s.Lookup(c)
+		if existed {
+			t.Fatalf("random content %d deduped unexpectedly", i)
+		}
+		plids[p] = c
+	}
+	if s.Stats.Overflows == 0 {
+		t.Fatal("expected overflow allocations with 16 buckets x 1 way")
+	}
+	for p, c := range plids {
+		if got := s.Read(p); got != c {
+			t.Fatalf("overflow read mismatch at %#x", uint64(p))
+		}
+	}
+	// Dedup must also work for overflow-resident lines.
+	for p, c := range plids {
+		p2, existed := s.Lookup(c)
+		if !existed || p2 != p {
+			t.Fatalf("overflow dedup failed: %#x vs %#x", p2, p)
+		}
+		break
+	}
+}
+
+func TestOverflowFreeAndReuse(t *testing.T) {
+	s := New(Config{LineBytes: 16, BucketBits: 4, DataWays: 1})
+	rng := rand.New(rand.NewSource(9))
+	var ps []word.PLID
+	for i := 0; i < 64; i++ {
+		c := word.NewContent(2)
+		c.W[0], c.W[1] = rng.Uint64(), rng.Uint64()
+		p, _ := s.Lookup(c)
+		ps = append(ps, p)
+	}
+	for _, p := range ps {
+		s.Release(p)
+	}
+	if s.LiveLines() != 0 {
+		t.Fatalf("live = %d after releasing everything", s.LiveLines())
+	}
+	if err := s.CheckConsistency(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritebackCountsOnce(t *testing.T) {
+	s := New(testConfig())
+	p, _ := s.Lookup(leaf(s, []byte("dirty line")))
+	s.Writeback(p)
+	s.Writeback(p)
+	if s.Stats.DataWrites != 1 {
+		t.Fatalf("DataWrites = %d, want 1 (lines are immutable)", s.Stats.DataWrites)
+	}
+}
+
+func TestPLIDNeverZero(t *testing.T) {
+	s := New(Config{LineBytes: 16, BucketBits: 4, DataWays: 12})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		c := word.NewContent(2)
+		c.W[0] = rng.Uint64()
+		if c.IsZero() {
+			continue
+		}
+		p, _ := s.Lookup(c)
+		if p == word.Zero {
+			t.Fatal("allocated data line got the zero PLID")
+		}
+	}
+}
+
+func TestBucketOfMatchesHash(t *testing.T) {
+	s := New(testConfig())
+	c := leaf(s, []byte("bucket check"))
+	p, _ := s.Lookup(c)
+	b, ok := s.BucketOf(p)
+	if !ok {
+		t.Fatal("bucket line reported as overflow")
+	}
+	if b != s.BucketIndex(c) {
+		t.Fatalf("BucketOf = %d, BucketIndex = %d", b, s.BucketIndex(c))
+	}
+}
+
+func TestCheckConsistencyDetectsExternal(t *testing.T) {
+	s := New(testConfig())
+	p, _ := s.Lookup(leaf(s, []byte("held externally")))
+	if err := s.CheckConsistency(map[word.PLID]uint64{p: 1}); err != nil {
+		t.Fatalf("consistent store flagged: %v", err)
+	}
+	if err := s.CheckConsistency(nil); err == nil {
+		t.Fatal("missing external ref not detected")
+	}
+}
+
+func TestRefCountInvariantProperty(t *testing.T) {
+	// Property: after an arbitrary interleaving of lookups and releases,
+	// reference counts equal in-degree plus externally held refs.
+	f := func(ops []uint16) bool {
+		s := New(Config{LineBytes: 16, BucketBits: 6, DataWays: 12})
+		external := make(map[word.PLID]uint64)
+		var held []word.PLID
+		for _, op := range ops {
+			if op%3 == 0 && len(held) > 0 {
+				i := int(op/3) % len(held)
+				p := held[i]
+				held = append(held[:i], held[i+1:]...)
+				external[p]--
+				if external[p] == 0 {
+					delete(external, p)
+				}
+				s.Release(p)
+				continue
+			}
+			c := word.NewContent(2)
+			c.W[0] = uint64(op % 37) // small space forces dedup hits
+			if op%5 == 0 && len(held) > 0 {
+				// Interior line referencing a held PLID.
+				c.W[1] = uint64(held[int(op)%len(held)])
+				c.T[1] = word.TagPLID
+			}
+			if c.IsZero() {
+				continue
+			}
+			p, _ := s.Lookup(c)
+			held = append(held, p)
+			external[p]++
+		}
+		return s.CheckConsistency(external) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniqueLineCount(t *testing.T) {
+	a := make([]byte, 64)
+	for i := range a {
+		a[i] = byte(i)
+	}
+	if got := UniqueLineCount(16, a); got != 4 {
+		t.Fatalf("distinct lines = %d, want 4", got)
+	}
+	if got := UniqueLineCount(16, a, a); got != 4 {
+		t.Fatalf("duplicated stream = %d unique lines, want 4", got)
+	}
+	zeros := make([]byte, 64)
+	if got := UniqueLineCount(16, zeros); got != 0 {
+		t.Fatalf("zero lines counted: %d", got)
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	s := New(testConfig())
+	s.Lookup(leaf(s, []byte("one")))
+	s.Lookup(leaf(s, []byte("two")))
+	if got := s.FootprintBytes(); got != 32 {
+		t.Fatalf("footprint = %d, want 32", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LineBytes: 24, BucketBits: 8, DataWays: 12},
+		{LineBytes: 16, BucketBits: 2, DataWays: 12},
+		{LineBytes: 16, BucketBits: 8, DataWays: 0},
+		{LineBytes: 16, BucketBits: 8, DataWays: 13},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() { recover() }()
+			New(cfg)
+			t.Errorf("config %+v accepted", cfg)
+		}()
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{SigReads: 1, SigWrites: 2, DataReads: 3, LookupReads: 8, DataWrites: 4,
+		RCReads: 5, RCWrites: 6, DeallocOps: 7}
+	if s.Total() != 36 {
+		t.Fatalf("Total = %d, want 36", s.Total())
+	}
+	if s.LookupTraffic() != 11 {
+		t.Fatalf("LookupTraffic = %d, want 11", s.LookupTraffic())
+	}
+	if s.RCTraffic() != 11 {
+		t.Fatalf("RCTraffic = %d, want 11", s.RCTraffic())
+	}
+}
+
+func TestLookupRowLocality(t *testing.T) {
+	// §3.1: "DRAM commands for performing the lookup operation access
+	// the same DRAM row". A miss does sig read + sig write in one row
+	// (1 activation, 1 hit); a hit does sig read + candidate read(s)
+	// in one row.
+	s := New(testConfig())
+	c := leaf(s, []byte("row locality"))
+	s.Lookup(c)
+	rs := s.RowStats()
+	if rs.Activations != 1 {
+		t.Fatalf("miss activations = %d, want 1", rs.Activations)
+	}
+	if rs.RowHits < 1 {
+		t.Fatalf("miss row hits = %d, want >= 1 (sig write in open row)", rs.RowHits)
+	}
+	s.Lookup(c) // dedup hit
+	rs2 := s.RowStats()
+	// The second lookup may reuse the still-open row entirely.
+	if rs2.Activations > rs.Activations+1 {
+		t.Fatalf("hit opened %d extra rows", rs2.Activations-rs.Activations)
+	}
+	if rs2.RowHits <= rs.RowHits {
+		t.Fatal("hit lookup recorded no open-row accesses")
+	}
+}
+
+func TestRowHitRateHighUnderLookupTraffic(t *testing.T) {
+	// Whole-protocol property: because every lookup clusters its DRAM
+	// commands in one row, the aggregate open-row hit rate stays high
+	// even for random content.
+	s := New(testConfig())
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		c := word.NewContent(2)
+		c.W[0], c.W[1] = rng.Uint64(), rng.Uint64()
+		s.Lookup(c)
+	}
+	if hr := s.RowStats().HitRate(); hr < 0.4 {
+		t.Fatalf("row-buffer hit rate %.2f; lookup protocol should cluster row accesses", hr)
+	}
+}

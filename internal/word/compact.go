@@ -1,0 +1,109 @@
+package word
+
+import "math/bits"
+
+// Path and data compaction (paper §3.2, Figure 4).
+//
+// Path compaction: when an interior DAG node would hold a single non-zero
+// PLID, the node is elided and the path to the surviving child is encoded
+// in the unused high bits of the PLID word in the grandparent. Layout of a
+// TagCompact word, low to high:
+//
+//	[0, plidBits)            target PLID
+//	[plidBits, 60)           child indexes, idxBits each, first-descended
+//	                         index in the lowest bits
+//	[60, 64)                 path length (number of indexes)
+//
+// Data compaction: a TagInline word packs an entire leaf line of small
+// values, one field of 64/arity bits per word, value i in bits
+// [i*64/arity, (i+1)*64/arity). With 16-byte lines this packs two 32-bit
+// values; with 64-byte lines it packs eight byte-sized values (the paper's
+// "array of small integers" case).
+
+const pathLenShift = 60
+
+// idxBits returns the bits needed for one child index at the given arity.
+func idxBits(arity int) int {
+	return bits.Len(uint(arity - 1))
+}
+
+// MaxPathLen returns how many child indexes a compact word can carry for
+// the given arity and PLID width.
+func MaxPathLen(arity, plidBits int) int {
+	ib := idxBits(arity)
+	n := (pathLenShift - plidBits) / ib
+	if n > 15 { // 4-bit length field
+		n = 15
+	}
+	return n
+}
+
+// EncodeCompact packs a PLID and a descent path into a compact word.
+// path[0] is the child index taken first (at the highest elided level).
+// It reports false when the path does not fit.
+func EncodeCompact(p PLID, path []int, arity, plidBits int) (uint64, bool) {
+	if len(path) == 0 || len(path) > MaxPathLen(arity, plidBits) {
+		return 0, false
+	}
+	if uint64(p)>>plidBits != 0 {
+		return 0, false
+	}
+	ib := idxBits(arity)
+	w := uint64(p)
+	for i, idx := range path {
+		if idx < 0 || idx >= arity {
+			return 0, false
+		}
+		w |= uint64(idx) << (plidBits + i*ib)
+	}
+	w |= uint64(len(path)) << pathLenShift
+	return w, true
+}
+
+// DecodeCompact unpacks a compact word into its target PLID and descent
+// path (first-descended index first).
+func DecodeCompact(w uint64, arity, plidBits int) (PLID, []int) {
+	ib := idxBits(arity)
+	n := int(w >> pathLenShift)
+	path := make([]int, n)
+	mask := uint64(arity - 1)
+	for i := 0; i < n; i++ {
+		path[i] = int((w >> (plidBits + i*ib)) & mask)
+	}
+	p := PLID(w & (1<<plidBits - 1))
+	return p, path
+}
+
+// PackInline packs arity values into one inline word, one 64/arity-bit
+// field per value. It reports false when any value does not fit.
+func PackInline(vals []uint64, arity int) (uint64, bool) {
+	if len(vals) != arity {
+		return 0, false
+	}
+	fb := 64 / arity
+	limit := uint64(1) << fb
+	var w uint64
+	for i, v := range vals {
+		if fb < 64 && v >= limit {
+			return 0, false
+		}
+		w |= v << (i * fb)
+	}
+	return w, true
+}
+
+// UnpackInline expands an inline word into its arity packed values.
+func UnpackInline(w uint64, arity int) []uint64 {
+	fb := 64 / arity
+	vals := make([]uint64, arity)
+	var mask uint64
+	if fb >= 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = 1<<fb - 1
+	}
+	for i := range vals {
+		vals[i] = (w >> (i * fb)) & mask
+	}
+	return vals
+}

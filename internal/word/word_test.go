@@ -1,0 +1,260 @@
+package word
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewContentWidths(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		c := NewContent(n)
+		if int(c.N) != n {
+			t.Errorf("NewContent(%d).N = %d", n, c.N)
+		}
+		if !c.IsZero() {
+			t.Errorf("NewContent(%d) not zero", n)
+		}
+	}
+}
+
+func TestNewContentPanicsOnBadWidth(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 5, 9, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewContent(%d) did not panic", n)
+				}
+			}()
+			NewContent(n)
+		}()
+	}
+}
+
+func TestContentIsZero(t *testing.T) {
+	c := NewContent(4)
+	if !c.IsZero() {
+		t.Fatal("fresh content should be zero")
+	}
+	c.W[2] = 1
+	if c.IsZero() {
+		t.Fatal("non-zero word not detected")
+	}
+	c.W[2] = 0
+	c.T[1] = TagPLID
+	if c.IsZero() {
+		t.Fatal("non-raw tag must make content non-zero (zero PLID word is still a typed word)")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	data := []byte("hello, hicamp!!!")
+	c := ContentFromBytes(2, data)
+	got := c.Bytes()
+	if string(got) != string(data) {
+		t.Fatalf("round trip = %q, want %q", got, data)
+	}
+}
+
+func TestContentFromBytesPadding(t *testing.T) {
+	c := ContentFromBytes(4, []byte{0xFF})
+	if c.W[0] != 0xFF {
+		t.Errorf("W[0] = %#x", c.W[0])
+	}
+	for i := 1; i < 4; i++ {
+		if c.W[i] != 0 {
+			t.Errorf("W[%d] = %#x, want 0", i, c.W[i])
+		}
+	}
+	b := c.Bytes()
+	if len(b) != 32 {
+		t.Fatalf("len(Bytes) = %d, want 32", len(b))
+	}
+}
+
+func TestHashDistinguishesTags(t *testing.T) {
+	a := NewContent(2)
+	b := NewContent(2)
+	a.W[0], b.W[0] = 7, 7
+	b.T[0] = TagPLID
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash must include tags")
+	}
+	if a == b {
+		t.Fatal("contents with different tags must not compare equal")
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	c := ContentFromBytes(8, []byte("determinism matters for canonical DAGs"))
+	if c.Hash() != c.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestSignatureNeverZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		c := NewContent(2)
+		c.W[0] = rng.Uint64()
+		c.W[1] = rng.Uint64()
+		if c.Signature() == 0 {
+			t.Fatalf("zero signature for %v", c.W[:2])
+		}
+	}
+}
+
+func TestEncodeDecodeCompact(t *testing.T) {
+	for _, arity := range []int{2, 4, 8} {
+		plidBits := 24
+		max := MaxPathLen(arity, plidBits)
+		if max < 4 {
+			t.Fatalf("arity %d: MaxPathLen = %d, too small to be useful", arity, max)
+		}
+		path := []int{1, 0, arity - 1, 1}
+		w, ok := EncodeCompact(PLID(0xABCDE), path, arity, plidBits)
+		if !ok {
+			t.Fatalf("arity %d: encode failed", arity)
+		}
+		p, got := DecodeCompact(w, arity, plidBits)
+		if p != 0xABCDE {
+			t.Errorf("arity %d: plid = %#x", arity, p)
+		}
+		if len(got) != len(path) {
+			t.Fatalf("arity %d: path len = %d", arity, len(got))
+		}
+		for i := range path {
+			if got[i] != path[i] {
+				t.Errorf("arity %d: path[%d] = %d, want %d", arity, i, got[i], path[i])
+			}
+		}
+	}
+}
+
+func TestEncodeCompactRejects(t *testing.T) {
+	if _, ok := EncodeCompact(1, nil, 2, 24); ok {
+		t.Error("empty path accepted")
+	}
+	if _, ok := EncodeCompact(1, []int{2}, 2, 24); ok {
+		t.Error("out-of-range index accepted")
+	}
+	if _, ok := EncodeCompact(1<<30, []int{1}, 2, 24); ok {
+		t.Error("oversized PLID accepted")
+	}
+	long := make([]int, MaxPathLen(2, 24)+1)
+	if _, ok := EncodeCompact(1, long, 2, 24); ok {
+		t.Error("over-long path accepted")
+	}
+}
+
+func TestCompactRoundTripProperty(t *testing.T) {
+	f := func(praw uint32, pathRaw []byte) bool {
+		arity := []int{2, 4, 8}[int(praw)%3]
+		plidBits := 26
+		p := PLID(praw) & (1<<plidBits - 1)
+		n := len(pathRaw)
+		if max := MaxPathLen(arity, plidBits); n > max {
+			n = max
+		}
+		if n == 0 {
+			return true
+		}
+		path := make([]int, n)
+		for i := 0; i < n; i++ {
+			path[i] = int(pathRaw[i]) % arity
+		}
+		w, ok := EncodeCompact(p, path, arity, plidBits)
+		if !ok {
+			return false
+		}
+		gp, gpath := DecodeCompact(w, arity, plidBits)
+		if gp != p || len(gpath) != n {
+			return false
+		}
+		for i := range path {
+			if gpath[i] != path[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackInline(t *testing.T) {
+	// Arity 2: two 32-bit fields (paper Figure 4b).
+	w, ok := PackInline([]uint64{0xDEADBEEF, 0x12345678}, 2)
+	if !ok {
+		t.Fatal("pack failed")
+	}
+	vals := UnpackInline(w, 2)
+	if vals[0] != 0xDEADBEEF || vals[1] != 0x12345678 {
+		t.Fatalf("unpack = %#x", vals)
+	}
+	// Arity 8: byte-sized fields (array of small integers).
+	in := []uint64{1, 2, 3, 4, 5, 6, 254, 0}
+	w8, ok := PackInline(in, 8)
+	if !ok {
+		t.Fatal("pack8 failed")
+	}
+	out := UnpackInline(w8, 8)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("unpack8[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestPackInlineRejectsOversize(t *testing.T) {
+	if _, ok := PackInline([]uint64{1 << 32, 0}, 2); ok {
+		t.Error("33-bit value accepted at arity 2")
+	}
+	if _, ok := PackInline([]uint64{256, 0, 0, 0, 0, 0, 0, 0}, 8); ok {
+		t.Error("9-bit value accepted at arity 8")
+	}
+	if _, ok := PackInline([]uint64{1}, 2); ok {
+		t.Error("wrong-length slice accepted")
+	}
+}
+
+func TestInlineRoundTripProperty(t *testing.T) {
+	f := func(sel uint8, raw [8]uint32) bool {
+		arity := []int{2, 4, 8}[int(sel)%3]
+		fb := 64 / arity
+		vals := make([]uint64, arity)
+		for i := range vals {
+			v := uint64(raw[i])
+			if fb < 64 {
+				v &= 1<<fb - 1
+			}
+			vals[i] = v
+		}
+		w, ok := PackInline(vals, arity)
+		if !ok {
+			return false
+		}
+		got := UnpackInline(w, arity)
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagString(t *testing.T) {
+	for tag, want := range map[Tag]string{
+		TagRaw: "raw", TagPLID: "plid", TagCompact: "compact",
+		TagInline: "inline", TagVSID: "vsid", Tag(99): "tag(99)",
+	} {
+		if got := tag.String(); got != want {
+			t.Errorf("Tag(%d).String() = %q, want %q", tag, got, want)
+		}
+	}
+}
