@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"testing"
 
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -269,6 +271,65 @@ func BenchmarkQTSBuild(b *testing.B) {
 		q := spmv.BuildQTS(mach, m)
 		q.Release(mach)
 	}
+}
+
+// BenchmarkHicampServerParallel drives the memcached-on-HICAMP server
+// from concurrent goroutines — the workload the striped memory stack
+// exists for. Each goroutine owns a disjoint key range (real memcached
+// clients rarely contend on one key), so throughput should rise with
+// GOMAXPROCS now that no global lock serializes the request path:
+//
+//	go test -bench=HicampServerParallel -cpu=1,4
+func BenchmarkHicampServerParallel(b *testing.B) {
+	newServer := func(b *testing.B) *kvstore.HicampServer {
+		srv := kvstore.NewHicampServer(core.Config{
+			LineBytes: 16, BucketBits: 16, DataWays: 12,
+			CacheLines: 8192, CacheWays: 16,
+		})
+		for g := 0; g < 64; g++ {
+			for i := 0; i < 32; i++ {
+				k := []byte(fmt.Sprintf("g%02d-key-%04d", g, i))
+				v := []byte(fmt.Sprintf("goroutine %d value payload number %d", g, i))
+				if err := srv.Set(k, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return srv
+	}
+	b.Run("get", func(b *testing.B) {
+		srv := newServer(b)
+		var gid int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			g := int(atomic.AddInt64(&gid, 1)) % 64
+			i := 0
+			for pb.Next() {
+				k := []byte(fmt.Sprintf("g%02d-key-%04d", g, i%32))
+				if _, ok := srv.Get(k); !ok {
+					b.Fatal("preloaded key missing")
+				}
+				i++
+			}
+		})
+	})
+	b.Run("set", func(b *testing.B) {
+		srv := newServer(b)
+		var gid int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			g := int(atomic.AddInt64(&gid, 1)) % 64
+			i := 0
+			for pb.Next() {
+				k := []byte(fmt.Sprintf("g%02d-key-%04d", g, i%32))
+				v := []byte(fmt.Sprintf("updated payload %d from goroutine %d", i, g))
+				if err := srv.Set(k, v); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
 }
 
 // BenchmarkExperimentSuite smoke-times the full test-scale harness,

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/hds"
 	"repro/internal/kvstore"
 )
 
@@ -130,6 +131,13 @@ func serve(srv *kvstore.HicampServer, conn net.Conn) {
 			fmt.Fprintf(w, "STAT dram_lookups %d\r\n", st.Store.LookupTraffic())
 			fmt.Fprintf(w, "STAT cache_hits %d\r\n", st.Cache.Hits)
 			fmt.Fprintf(w, "STAT cache_misses %d\r\n", st.Cache.Misses)
+			ms := srv.MapStats()
+			fmt.Fprintf(w, "STAT segmap_entries %d\r\n", ms.Entries)
+			fmt.Fprintf(w, "STAT cas_ok %d\r\n", ms.CASOK)
+			fmt.Fprintf(w, "STAT cas_conflicts %d\r\n", ms.Total.Conflicts)
+			fmt.Fprintf(w, "STAT cas_denied %d\r\n", ms.Total.Denied)
+			fmt.Fprintf(w, "STAT batch_aborts %d\r\n", ms.Total.Aborts)
+			fmt.Fprintf(w, "STAT cas_retries %d\r\n", hds.CASRetries())
 			fmt.Fprint(w, "END\r\n")
 		case "quit":
 			return

@@ -3,10 +3,24 @@
 // replacement, used as the HICAMP last-level cache (paper §3.1, Figure 3)
 // by package core, and a conventional two-level hierarchy standing in for
 // the paper's DineroIV baseline (32 KB 4-way L1D + 4 MB 16-way L2).
+//
+// The set-associative Cache is safe for concurrent use with per-set
+// striping: every set carries its own reader/writer lock (sets are
+// independent by construction — an entry's set is a pure function of its
+// key). Recency is tracked with per-entry atomic stamps instead of a
+// move-to-front list, so Probe — the hot path, hammered by every DAG walk
+// on the same few root-line sets — takes only the shared lock; exact LRU
+// is preserved because the eviction victim is the minimum stamp, which
+// orders entries identically to a recency list. Event counters live in a
+// small array of atomic shards merged by StatsSnapshot. No set lock is
+// ever held across a caller-supplied callback, so eviction handling may
+// re-enter the memory system freely.
 package cachesim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/word"
 )
@@ -45,12 +59,43 @@ type Stats struct {
 	DirtyEvts uint64
 }
 
-// Cache is a set-associative cache with true-LRU replacement. Each set is
-// kept in MRU-first order.
+const (
+	cHits = iota
+	cMisses
+	cInserts
+	cEvictions
+	cDirtyEvts
+	cacheStatCount
+)
+
+// cacheStatShards bounds stat-counter contention without one shard per
+// set; a set's shard is set & (cacheStatShards-1).
+const cacheStatShards = 8
+
+type cacheStatShard struct {
+	c [cacheStatCount]uint64
+	_ [64 - (cacheStatCount*8)%64]byte
+}
+
+// cacheSet is one set. Entries live in parallel slices; order carries no
+// meaning (recency is the stamp). keys and content are written only under
+// the exclusive lock; dirty and stamp are atomic so the shared-lock Probe
+// can mark writes and record recency.
+type cacheSet struct {
+	mu      sync.RWMutex
+	keys    []Key
+	content []word.Content
+	dirty   []uint32 // atomic: 0 clean, 1 dirty
+	stamp   []uint64 // atomic: recency tick; larger = more recent
+}
+
+// Cache is a set-associative cache with true-LRU replacement (stamp
+// ordering) and per-set lock striping.
 type Cache struct {
-	sets  [][]Entry
-	ways  int
-	Stats Stats
+	sets   []cacheSet
+	ways   int
+	tick   atomic.Uint64
+	shards [cacheStatShards]cacheStatShard
 }
 
 // New creates a cache with the given geometry. Sets must be a power of two.
@@ -61,7 +106,7 @@ func New(sets, ways int) *Cache {
 	if ways <= 0 {
 		panic(fmt.Sprintf("cachesim: ways %d", ways))
 	}
-	return &Cache{sets: make([][]Entry, sets), ways: ways}
+	return &Cache{sets: make([]cacheSet, sets), ways: ways}
 }
 
 // Sets returns the number of sets.
@@ -73,64 +118,136 @@ func (c *Cache) Ways() int { return c.ways }
 // SetMask returns the index mask (Sets-1).
 func (c *Cache) SetMask() uint64 { return uint64(len(c.sets) - 1) }
 
-// Probe looks up key in the given set, promoting it to MRU on hit. The
-// returned pointer stays valid until the next mutation of the set; callers
-// may flip Dirty through it.
-func (c *Cache) Probe(set int, key Key) (*Entry, bool) {
-	s := c.sets[set]
-	for i := range s {
-		if s[i].Key == key {
-			c.promote(set, i)
-			c.Stats.Hits++
-			return &c.sets[set][0], true
+func (c *Cache) bump(set, counter int) {
+	atomic.AddUint64(&c.shards[set&(cacheStatShards-1)].c[counter], 1)
+}
+
+// StatsSnapshot merges the counter shards into one Stats value.
+func (c *Cache) StatsSnapshot() Stats {
+	var sum [cacheStatCount]uint64
+	for i := range c.shards {
+		for j := 0; j < cacheStatCount; j++ {
+			sum[j] += atomic.LoadUint64(&c.shards[i].c[j])
 		}
 	}
-	c.Stats.Misses++
-	return nil, false
+	return Stats{
+		Hits:      sum[cHits],
+		Misses:    sum[cMisses],
+		Inserts:   sum[cInserts],
+		Evictions: sum[cEvictions],
+		DirtyEvts: sum[cDirtyEvts],
+	}
+}
+
+// ResetStats zeroes the event counters (cache contents are kept).
+func (c *Cache) ResetStats() {
+	for i := range c.shards {
+		for j := 0; j < cacheStatCount; j++ {
+			atomic.StoreUint64(&c.shards[i].c[j], 0)
+		}
+	}
+}
+
+// touch records a use of entry i; the caller holds the set lock (shared
+// suffices).
+func (c *Cache) touch(cs *cacheSet, i int) {
+	atomic.StoreUint64(&cs.stamp[i], c.tick.Add(1))
+}
+
+// Probe looks up key in the given set, refreshing its recency on hit and
+// returning a copy of the entry. When markDirty is set, a hit entry is
+// flagged dirty — the probe-and-dirty of a cached write. Only the shared
+// set lock is taken: recency and the dirty flag are atomic, so concurrent
+// probes of the same hot set do not serialize.
+func (c *Cache) Probe(set int, key Key, markDirty bool) (Entry, bool) {
+	cs := &c.sets[set]
+	cs.mu.RLock()
+	for i := range cs.keys {
+		if cs.keys[i] == key {
+			c.touch(cs, i)
+			if markDirty {
+				atomic.StoreUint32(&cs.dirty[i], 1)
+			}
+			e := Entry{Key: key, Content: cs.content[i],
+				Dirty: atomic.LoadUint32(&cs.dirty[i]) != 0}
+			cs.mu.RUnlock()
+			c.bump(set, cHits)
+			return e, true
+		}
+	}
+	cs.mu.RUnlock()
+	c.bump(set, cMisses)
+	return Entry{}, false
 }
 
 // ProbeContent searches the set for a data-line entry with the given
 // content — the lookup-by-content path of the HICAMP cache (Figure 3).
 // Because every hash bucket maps to exactly one set, a single set probe
 // suffices; the caller derives set from the content hash.
-func (c *Cache) ProbeContent(set int, cont word.Content) (*Entry, bool) {
-	s := c.sets[set]
-	for i := range s {
-		if s[i].Key.Kind == KindData && s[i].Content == cont {
-			c.promote(set, i)
-			c.Stats.Hits++
-			return &c.sets[set][0], true
+func (c *Cache) ProbeContent(set int, cont word.Content) (Entry, bool) {
+	cs := &c.sets[set]
+	cs.mu.RLock()
+	for i := range cs.keys {
+		if cs.keys[i].Kind == KindData && cs.content[i] == cont {
+			c.touch(cs, i)
+			e := Entry{Key: cs.keys[i], Content: cont,
+				Dirty: atomic.LoadUint32(&cs.dirty[i]) != 0}
+			cs.mu.RUnlock()
+			c.bump(set, cHits)
+			return e, true
 		}
 	}
-	c.Stats.Misses++
-	return nil, false
+	cs.mu.RUnlock()
+	c.bump(set, cMisses)
+	return Entry{}, false
 }
 
-// Insert places e at the MRU position of the set, evicting the LRU entry
-// when the set is full. It returns the evicted entry, if any. Inserting a
-// key already present replaces that entry in place (promoted to MRU).
+// Insert places e in the set as most recent, evicting the LRU entry when
+// the set is full. It returns the evicted entry, if any; the set lock is
+// released before returning, so the caller may handle the eviction with
+// further memory-system calls. Inserting a key already present replaces
+// that entry in place (refreshed to most recent).
 func (c *Cache) Insert(set int, e Entry) (Entry, bool) {
-	s := c.sets[set]
-	for i := range s {
-		if s[i].Key == e.Key {
-			c.promote(set, i)
-			c.sets[set][0] = e
+	cs := &c.sets[set]
+	var d uint32
+	if e.Dirty {
+		d = 1
+	}
+	cs.mu.Lock()
+	for i := range cs.keys {
+		if cs.keys[i] == e.Key {
+			cs.content[i] = e.Content
+			atomic.StoreUint32(&cs.dirty[i], d)
+			c.touch(cs, i)
+			cs.mu.Unlock()
 			return Entry{}, false
 		}
 	}
-	c.Stats.Inserts++
-	if len(s) < c.ways {
-		c.sets[set] = append(s, Entry{})
-		copy(c.sets[set][1:], c.sets[set])
-		c.sets[set][0] = e
+	c.bump(set, cInserts)
+	if len(cs.keys) < c.ways {
+		cs.keys = append(cs.keys, e.Key)
+		cs.content = append(cs.content, e.Content)
+		cs.dirty = append(cs.dirty, d)
+		cs.stamp = append(cs.stamp, c.tick.Add(1))
+		cs.mu.Unlock()
 		return Entry{}, false
 	}
-	victim := s[len(s)-1]
-	copy(s[1:], s[:len(s)-1])
-	s[0] = e
-	c.Stats.Evictions++
+	// Evict the LRU entry: the minimum stamp.
+	v := 0
+	for i := 1; i < len(cs.stamp); i++ {
+		if atomic.LoadUint64(&cs.stamp[i]) < atomic.LoadUint64(&cs.stamp[v]) {
+			v = i
+		}
+	}
+	victim := Entry{Key: cs.keys[v], Content: cs.content[v],
+		Dirty: atomic.LoadUint32(&cs.dirty[v]) != 0}
+	cs.keys[v], cs.content[v] = e.Key, e.Content
+	atomic.StoreUint32(&cs.dirty[v], d)
+	c.touch(cs, v)
+	cs.mu.Unlock()
+	c.bump(set, cEvictions)
 	if victim.Dirty {
-		c.Stats.DirtyEvts++
+		c.bump(set, cDirtyEvts)
 	}
 	return victim, true
 }
@@ -140,10 +257,20 @@ func (c *Cache) Insert(set int, e Entry) (Entry, bool) {
 // writeback — used when a line is de-allocated (paper §3.1: before an
 // immutable line is de-allocated it is invalidated in all caches).
 func (c *Cache) Invalidate(set int, key Key) bool {
-	s := c.sets[set]
-	for i := range s {
-		if s[i].Key == key {
-			c.sets[set] = append(s[:i], s[i+1:]...)
+	cs := &c.sets[set]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for i := range cs.keys {
+		if cs.keys[i] == key {
+			last := len(cs.keys) - 1
+			cs.keys[i] = cs.keys[last]
+			cs.content[i] = cs.content[last]
+			atomic.StoreUint32(&cs.dirty[i], atomic.LoadUint32(&cs.dirty[last]))
+			atomic.StoreUint64(&cs.stamp[i], atomic.LoadUint64(&cs.stamp[last]))
+			cs.keys = cs.keys[:last]
+			cs.content = cs.content[:last]
+			cs.dirty = cs.dirty[:last]
+			cs.stamp = cs.stamp[:last]
 			return true
 		}
 	}
@@ -151,33 +278,36 @@ func (c *Cache) Invalidate(set int, key Key) bool {
 }
 
 // FlushDirty invokes fn for every dirty entry and marks it clean; used at
-// the end of a measurement window to account pending writebacks.
+// the end of a measurement window to account pending writebacks. fn runs
+// with no set lock held (dirty entries are snapshotted per set), so it may
+// call back into the memory system.
 func (c *Cache) FlushDirty(fn func(Entry)) {
+	var dirty []Entry
 	for set := range c.sets {
-		for i := range c.sets[set] {
-			if c.sets[set][i].Dirty {
-				fn(c.sets[set][i])
-				c.sets[set][i].Dirty = false
+		cs := &c.sets[set]
+		cs.mu.Lock()
+		for i := range cs.keys {
+			if atomic.LoadUint32(&cs.dirty[i]) != 0 {
+				dirty = append(dirty, Entry{Key: cs.keys[i], Content: cs.content[i], Dirty: true})
+				atomic.StoreUint32(&cs.dirty[i], 0)
 			}
 		}
+		cs.mu.Unlock()
+		for _, e := range dirty {
+			fn(e)
+		}
+		dirty = dirty[:0]
 	}
 }
 
 // Len returns the number of resident entries (for tests).
 func (c *Cache) Len() int {
 	n := 0
-	for _, s := range c.sets {
-		n += len(s)
+	for set := range c.sets {
+		cs := &c.sets[set]
+		cs.mu.RLock()
+		n += len(cs.keys)
+		cs.mu.RUnlock()
 	}
 	return n
-}
-
-func (c *Cache) promote(set, i int) {
-	if i == 0 {
-		return
-	}
-	s := c.sets[set]
-	e := s[i]
-	copy(s[1:i+1], s[:i])
-	s[0] = e
 }

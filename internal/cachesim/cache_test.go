@@ -10,15 +10,15 @@ func dataKey(id uint64) Key { return Key{Kind: KindData, ID: id} }
 
 func TestProbeHitMiss(t *testing.T) {
 	c := New(4, 2)
-	if _, ok := c.Probe(0, dataKey(1)); ok {
+	if _, ok := c.Probe(0, dataKey(1), false); ok {
 		t.Fatal("empty cache hit")
 	}
 	c.Insert(0, Entry{Key: dataKey(1)})
-	if _, ok := c.Probe(0, dataKey(1)); !ok {
+	if _, ok := c.Probe(0, dataKey(1), false); !ok {
 		t.Fatal("inserted entry missed")
 	}
-	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
-		t.Fatalf("stats = %+v", c.Stats)
+	if st := c.StatsSnapshot(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 
@@ -26,12 +26,12 @@ func TestLRUEviction(t *testing.T) {
 	c := New(1, 2)
 	c.Insert(0, Entry{Key: dataKey(1)})
 	c.Insert(0, Entry{Key: dataKey(2)})
-	c.Probe(0, dataKey(1)) // 1 becomes MRU; 2 is LRU
+	c.Probe(0, dataKey(1), false) // 1 becomes MRU; 2 is LRU
 	victim, evicted := c.Insert(0, Entry{Key: dataKey(3)})
 	if !evicted || victim.Key != dataKey(2) {
 		t.Fatalf("victim = %+v, want key 2", victim)
 	}
-	if _, ok := c.Probe(0, dataKey(1)); !ok {
+	if _, ok := c.Probe(0, dataKey(1), false); !ok {
 		t.Fatal("MRU entry evicted")
 	}
 }
@@ -43,7 +43,7 @@ func TestInsertExistingReplaces(t *testing.T) {
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want 1", c.Len())
 	}
-	e, _ := c.Probe(0, dataKey(1))
+	e, _ := c.Probe(0, dataKey(1), false)
 	if !e.Dirty {
 		t.Fatal("replacement lost dirty flag")
 	}

@@ -109,17 +109,14 @@ func (h *Hierarchy) access(addr uint64, size int, write bool) {
 func (h *Hierarchy) accessLine(lineAddr uint64, write bool) {
 	key := Key{Kind: KindAddr, ID: lineAddr}
 	s1 := int(lineAddr & h.l1.SetMask())
-	if e, ok := h.l1.Probe(s1, key); ok {
+	if _, ok := h.l1.Probe(s1, key, write); ok {
 		h.Stats.L1Hits++
-		if write {
-			e.Dirty = true
-		}
 		return
 	}
 	h.Stats.L1Misses++
 
 	s2 := int(lineAddr & h.l2.SetMask())
-	if _, ok := h.l2.Probe(s2, key); ok {
+	if _, ok := h.l2.Probe(s2, key, false); ok {
 		h.Stats.L2Hits++
 	} else {
 		h.Stats.L2Misses++
@@ -136,8 +133,7 @@ func (h *Hierarchy) accessLine(lineAddr uint64, write bool) {
 
 func (h *Hierarchy) writebackToL2(key Key) {
 	s2 := int(key.ID & h.l2.SetMask())
-	if e, ok := h.l2.Probe(s2, key); ok {
-		e.Dirty = true
+	if _, ok := h.l2.Probe(s2, key, true); ok {
 		return
 	}
 	// Victim missing from L2 (non-inclusive corner): allocate it dirty.

@@ -7,7 +7,7 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/cachesim"
 	"repro/internal/store"
@@ -60,15 +60,19 @@ type Stats struct {
 func (s Stats) DRAMAccesses() uint64 { return s.Store.Total() }
 
 // Machine is the HICAMP memory system. All methods are safe for concurrent
-// use; the simulator serializes them with one lock, which is faithful
-// enough for access counting (the paper's metrics are traffic, not timing).
+// use. There is no machine-wide lock: the store stripes its hash buckets,
+// the LLC stripes its sets, and the machine composes them without ever
+// holding a lock of one layer while entering the other, so operations on
+// unrelated lines proceed in parallel and throughput scales with cores.
+// The memory-traffic counters stay exact because every layer charges its
+// own accesses through sharded atomic counters.
 type Machine struct {
-	mu      sync.Mutex
-	cfg     Config
-	store   *store.Store
-	llc     *cachesim.Cache
-	setMask uint64
-	stats   Stats
+	cfg       Config
+	store     *store.Store
+	llc       *cachesim.Cache
+	setMask   uint64
+	lookupOps atomic.Uint64
+	readOps   atomic.Uint64
 }
 
 // NewMachine builds a Machine. It panics on invalid configuration.
@@ -110,47 +114,37 @@ func (m *Machine) LineWords() int { return m.cfg.LineBytes / 8 }
 func (m *Machine) PLIDBits() int { return m.store.PLIDBits() }
 
 // LiveLines returns the number of allocated lines.
-func (m *Machine) LiveLines() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.store.LiveLines()
-}
+func (m *Machine) LiveLines() uint64 { return m.store.LiveLines() }
 
 // FootprintBytes returns DRAM bytes held by live lines.
-func (m *Machine) FootprintBytes() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.store.FootprintBytes()
-}
+func (m *Machine) FootprintBytes() uint64 { return m.store.FootprintBytes() }
 
 // Stats returns a snapshot of all counters.
 func (m *Machine) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.stats
-	s.Store = m.store.Stats
+	s := Stats{
+		Store:     m.store.StatsSnapshot(),
+		LookupOps: m.lookupOps.Load(),
+		ReadOps:   m.readOps.Load(),
+	}
 	if m.llc != nil {
-		s.Cache = m.llc.Stats
+		s.Cache = m.llc.StatsSnapshot()
 	}
 	return s
 }
 
 // ResetStats zeroes all counters (cache and store contents are kept).
 func (m *Machine) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
-	m.store.Stats = store.Stats{}
+	m.lookupOps.Store(0)
+	m.readOps.Store(0)
+	m.store.ResetStats()
 	if m.llc != nil {
-		m.llc.Stats = cachesim.Stats{}
+		m.llc.ResetStats()
 	}
 }
 
 // FlushCache writes back all dirty cached lines, charging the deferred
 // DRAM writes. Call at the end of a measurement window.
 func (m *Machine) FlushCache() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.llc == nil {
 		return
 	}
@@ -166,13 +160,7 @@ func (m *Machine) FlushCache() {
 
 // LookupLine implements word.Mem: lookup-by-content through the LLC.
 func (m *Machine) LookupLine(c word.Content) word.PLID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lookupLocked(c)
-}
-
-func (m *Machine) lookupLocked(c word.Content) word.PLID {
-	m.stats.LookupOps++
+	m.lookupOps.Add(1)
 	if c.IsZero() {
 		return word.Zero
 	}
@@ -180,8 +168,13 @@ func (m *Machine) lookupLocked(c word.Content) word.PLID {
 		set := int(c.Hash() & m.setMask)
 		if e, ok := m.llc.ProbeContent(set, c); ok {
 			p := word.PLID(e.Key.ID)
-			m.store.Retain(p) // cached hit still bumps the count
-			return p
+			// A cached hit still bumps the count — but only if the line is
+			// still live with this content. A concurrent release may have
+			// freed it (the invalidation races the probe), in which case
+			// the authoritative DRAM lookup below settles it.
+			if m.store.RetainIfContent(p, c) {
+				return p
+			}
 		}
 	}
 	p, existed := m.store.Lookup(c)
@@ -192,21 +185,17 @@ func (m *Machine) lookupLocked(c word.Content) word.PLID {
 	return p
 }
 
-// ReadLine implements word.Mem: read-by-PLID through the LLC.
+// ReadLine implements word.Mem: read-by-PLID through the LLC. The caller
+// must hold a reference on p (architecturally guaranteed: PLIDs are a
+// protected type and naming one implies a live reference).
 func (m *Machine) ReadLine(p word.PLID) word.Content {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.readLocked(p)
-}
-
-func (m *Machine) readLocked(p word.PLID) word.Content {
-	m.stats.ReadOps++
+	m.readOps.Add(1)
 	if p == word.Zero {
 		return word.NewContent(m.LineWords())
 	}
 	if m.llc != nil {
 		set := m.dataSet(p)
-		if e, ok := m.llc.Probe(set, cachesim.Key{Kind: cachesim.KindData, ID: uint64(p)}); ok {
+		if e, ok := m.llc.Probe(set, cachesim.Key{Kind: cachesim.KindData, ID: uint64(p)}, false); ok {
 			return e.Content
 		}
 	}
@@ -217,16 +206,22 @@ func (m *Machine) readLocked(p word.PLID) word.Content {
 
 // Retain implements word.Mem.
 func (m *Machine) Retain(p word.PLID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.store.Retain(p)
+}
+
+// RetainDeferred bumps p's reference count immediately but hands the
+// reference-count traffic accounting back as a closure. The segment map
+// uses it to keep cache-simulator traffic out of its critical section:
+// the count bump must be atomic with reading the published root, the
+// accounting of the RC-line access need not be.
+func (m *Machine) RetainDeferred(p word.PLID) func() {
+	m.store.RetainQuiet(p)
+	return func() { m.rcTouch(p, false) }
 }
 
 // Release implements word.Mem. Freed lines are invalidated in the cache;
 // a line that never left the cache is dropped without ever touching DRAM.
 func (m *Machine) Release(p word.PLID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	freed := m.store.Release(p)
 	if m.llc == nil {
 		return
@@ -245,15 +240,12 @@ func (m *Machine) Release(p word.PLID) {
 
 // RefCount exposes a line's reference count for tests and invariants.
 func (m *Machine) RefCount(p word.PLID) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.store.RefCount(p)
 }
 
-// CheckConsistency delegates to the store's invariant checker.
+// CheckConsistency delegates to the store's invariant checker. Call it at
+// quiescence: in-flight operations hold transient references.
 func (m *Machine) CheckConsistency(external map[word.PLID]uint64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.store.CheckConsistency(external)
 }
 
@@ -291,7 +283,9 @@ func (m *Machine) fillData(p word.PLID, c word.Content, dirty bool) {
 // bucket is accessed through the cache and dirtied. A miss costs one DRAM
 // RC-line read — except for the count initialization of a fresh
 // allocation, which is written into the cache without a fetch (§3.1).
-// Dirty eviction later costs one RC-line write.
+// Dirty eviction later costs one RC-line write. The store invokes this
+// callback with none of its locks held, so the eviction path may write
+// back into the store.
 func (m *Machine) rcTouch(p word.PLID, init bool) {
 	if m.llc == nil {
 		if !init {
@@ -308,8 +302,7 @@ func (m *Machine) rcTouch(p word.PLID, init bool) {
 	}
 	key := cachesim.Key{Kind: cachesim.KindRC, ID: id}
 	set := int(id & m.setMask)
-	if e, ok := m.llc.Probe(set, key); ok {
-		e.Dirty = true
+	if _, ok := m.llc.Probe(set, key, true); ok {
 		return
 	}
 	if !init {

@@ -65,6 +65,9 @@ type LiveResult struct {
 	MergesResolved uint64
 	MergeFailures  uint64
 	LostUpdates    int
+	// Map is the segment map's conflict telemetry at the end of the run:
+	// per-entry commit/conflict/denial/abort totals (segmap.Snapshot).
+	Map segmap.Snapshot
 }
 
 // RunConflict produces the §5.1.1 table: analytic rows at the paper's
@@ -94,6 +97,11 @@ func RunConflict(sc Scale) (Table, LiveResult, error) {
 		fmt.Sprintf("conflicts=%d", live.CASConflicts),
 		fmt.Sprintf("merged=%d", live.MergesResolved),
 		fmt.Sprintf("lost=%d", live.LostUpdates))
+	t.AddRow("segmap:", fmt.Sprintf("entries=%d", live.Map.Entries),
+		fmt.Sprintf("commits=%d", live.Map.Total.Commits),
+		fmt.Sprintf("conflicts=%d", live.Map.Total.Conflicts),
+		fmt.Sprintf("denied=%d", live.Map.Total.Denied),
+		fmt.Sprintf("aborts=%d", live.Map.Total.Aborts))
 	return t, live, nil
 }
 
@@ -149,6 +157,7 @@ func runLiveContention(sc Scale) (LiveResult, error) {
 	okCAS, failCAS := h.SM.CASStats()
 	agg.CASAttempts = okCAS + failCAS
 	agg.CASConflicts = failCAS
+	agg.Map = h.SM.Snapshot()
 
 	// Verify no update was lost.
 	final, err := h.SM.Load(vsid)

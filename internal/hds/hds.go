@@ -98,12 +98,12 @@ func (a *Array) At(i uint64) uint64 {
 	return v
 }
 
-// Set writes element i atomically (CAS retry loop).
+// Set writes element i atomically (bounded CAS retry loop).
 func (a *Array) Set(i, v uint64) error {
-	for {
+	return retryCAS(func() (bool, error) {
 		it, err := iterreg.Open(a.h.M, a.h.SM, a.vsid)
 		if err != nil {
-			return err
+			return false, err
 		}
 		it.Store(i, v, word.TagRaw)
 		size := it.Size()
@@ -112,33 +112,28 @@ func (a *Array) Set(i, v uint64) error {
 		}
 		ok, err := it.TryCommit(size)
 		it.Close()
-		if err != nil {
-			return err
-		}
-		if ok {
-			return nil
-		}
-	}
+		return ok, err
+	})
 }
 
 // Append adds v at the end, returning its index.
 func (a *Array) Append(v uint64) (uint64, error) {
-	for {
+	var idx uint64
+	err := retryCAS(func() (bool, error) {
 		it, err := iterreg.Open(a.h.M, a.h.SM, a.vsid)
 		if err != nil {
-			return 0, err
+			return false, err
 		}
 		i := it.Size()
 		it.Store(i, v, word.TagRaw)
 		ok, err := it.TryCommit(i + 1)
 		it.Close()
-		if err != nil {
-			return 0, err
-		}
 		if ok {
-			return i, nil
+			idx = i
 		}
-	}
+		return ok, err
+	})
+	return idx, err
 }
 
 // Snapshot returns a stable point-in-time view; callers release it.

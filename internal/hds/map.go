@@ -101,10 +101,10 @@ func heightForBytes(h *Heap, n uint64) int {
 // an internal retry. The caller keeps ownership of key and value strings
 // (the map DAG takes its own references).
 func (mp *Map) Set(key, value String) error {
-	for {
+	return retryCAS(func() (bool, error) {
 		it, err := iterreg.Open(mp.h.M, mp.h.SM, mp.vsid)
 		if err != nil {
-			return err
+			return false, err
 		}
 		slot := slotFor(key)
 		if value.Seg.Root != word.Zero {
@@ -120,28 +120,23 @@ func (mp *Map) Set(key, value String) error {
 		ok, err := it.CommitMerge(it.Size())
 		it.Close()
 		if err == merge.ErrConflict {
-			continue // same-slot race: re-execute (paper §3.4 "rare")
+			return false, nil // same-slot race: re-execute (paper §3.4 "rare")
 		}
-		if err != nil {
-			return err
-		}
-		if ok {
-			return nil
-		}
-	}
+		return ok, err
+	})
 }
 
 // Delete removes key's binding. Deleting an absent key is a no-op.
 func (mp *Map) Delete(key String) error {
-	for {
+	return retryCAS(func() (bool, error) {
 		it, err := iterreg.Open(mp.h.M, mp.h.SM, mp.vsid)
 		if err != nil {
-			return err
+			return false, err
 		}
 		slot := slotFor(key)
 		if present, _ := it.Load(slot + slotValLen); present == 0 {
 			it.Close()
-			return nil
+			return true, nil
 		}
 		for i := uint64(0); i < slotWords; i++ {
 			it.Store(slot+i, 0, word.TagRaw)
@@ -149,15 +144,10 @@ func (mp *Map) Delete(key String) error {
 		ok, err := it.CommitMerge(it.Size())
 		it.Close()
 		if err == merge.ErrConflict {
-			continue
+			return false, nil
 		}
-		if err != nil {
-			return err
-		}
-		if ok {
-			return nil
-		}
-	}
+		return ok, err
+	})
 }
 
 // Len counts bound keys in the current version (a full scan; maps that
@@ -255,10 +245,10 @@ func NewQueue(h *Heap) *Queue {
 
 // Enqueue appends s. The queue takes its own reference on the string.
 func (q *Queue) Enqueue(s String) error {
-	for {
+	return retryCAS(func() (bool, error) {
 		it, err := iterreg.Open(q.h.M, q.h.SM, q.vsid)
 		if err != nil {
-			return err
+			return false, err
 		}
 		tail, _ := it.Load(qTail)
 		if s.Seg.Root != word.Zero {
@@ -269,15 +259,10 @@ func (q *Queue) Enqueue(s String) error {
 		ok, err := it.CommitMerge(0)
 		it.Close()
 		if err == merge.ErrConflict {
-			continue // lost the slot race; retry at the new tail
+			return false, nil // lost the slot race; retry at the new tail
 		}
-		if err != nil {
-			return err
-		}
-		if ok {
-			return nil
-		}
-	}
+		return ok, err
+	})
 }
 
 // Dequeue removes and returns the oldest element; ok is false when the
@@ -288,22 +273,24 @@ func (q *Queue) Enqueue(s String) error {
 // head+1), which a three-way merge would accept — returning one item
 // twice. CAS serializes them; the loser retries against the new head.
 func (q *Queue) Dequeue() (String, bool, error) {
-	for {
+	var got String
+	var nonEmpty bool
+	err := retryCAS(func() (bool, error) {
 		it, err := iterreg.Open(q.h.M, q.h.SM, q.vsid)
 		if err != nil {
-			return String{}, false, err
+			return false, err
 		}
 		head, _ := it.Load(qHead)
 		tail, _ := it.Load(qTail)
 		if head == tail {
 			it.Close()
-			return String{}, false, nil
+			return true, nil // empty: done, nonEmpty stays false
 		}
 		root, _ := it.Load(qBase + 2*head)
 		lenPlus, _ := it.Load(qBase + 2*head + 1)
 		if lenPlus == 0 {
 			it.Close()
-			return String{}, false, nil
+			return true, nil
 		}
 		n := lenPlus - 1
 		out := String{Seg: segment.Seg{Root: word.PLID(root), Height: heightForBytes(q.h, n)}, Len: n}
@@ -313,15 +300,17 @@ func (q *Queue) Dequeue() (String, bool, error) {
 		it.Store(qHead, head+1, word.TagRaw)
 		ok, err := it.TryCommit(0)
 		it.Close()
-		if err != nil {
+		if err != nil || !ok {
 			out.Release(q.h)
-			return String{}, false, err
+			return false, err
 		}
-		if ok {
-			return out, true, nil
-		}
-		out.Release(q.h)
+		got, nonEmpty = out, true
+		return true, nil
+	})
+	if err != nil {
+		return String{}, false, err
 	}
+	return got, nonEmpty, nil
 }
 
 // Len returns the current element count.

@@ -35,10 +35,10 @@ func (o *Ordered) VSID() word.VSID { return o.vsid }
 // Put binds key to value (replacing any previous binding). Concurrent
 // puts at different keys merge without retry.
 func (o *Ordered) Put(key uint64, value String) error {
-	for {
+	return retryCAS(func() (bool, error) {
 		it, err := iterreg.Open(o.h.M, o.h.SM, o.vsid)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if value.Seg.Root != word.Zero {
 			it.Store(2*key, uint64(value.Seg.Root), word.TagPLID)
@@ -49,42 +49,32 @@ func (o *Ordered) Put(key uint64, value String) error {
 		ok, err := it.CommitMerge(it.Size())
 		it.Close()
 		if err == merge.ErrConflict {
-			continue
+			return false, nil
 		}
-		if err != nil {
-			return err
-		}
-		if ok {
-			return nil
-		}
-	}
+		return ok, err
+	})
 }
 
 // Delete removes key's binding.
 func (o *Ordered) Delete(key uint64) error {
-	for {
+	return retryCAS(func() (bool, error) {
 		it, err := iterreg.Open(o.h.M, o.h.SM, o.vsid)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if present, _ := it.Load(2*key + 1); present == 0 {
 			it.Close()
-			return nil
+			return true, nil
 		}
 		it.Store(2*key, 0, word.TagRaw)
 		it.Store(2*key+1, 0, word.TagRaw)
 		ok, err := it.CommitMerge(it.Size())
 		it.Close()
 		if err == merge.ErrConflict {
-			continue
+			return false, nil
 		}
-		if err != nil {
-			return err
-		}
-		if ok {
-			return nil
-		}
-	}
+		return ok, err
+	})
 }
 
 // Get returns the value at key; the caller receives a retained reference.

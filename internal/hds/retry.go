@@ -1,0 +1,79 @@
+package hds
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Bounded CAS retry. The paper's updates are optimistic: build the new
+// DAG, then publish it with one CAS on the segment-map root (§2.2),
+// retrying on conflict. An unbounded spin is fine in hardware — the CAS
+// is one memory operation — but in this software model each retry
+// re-executes the whole build, so a pathologically hot segment could
+// livelock a writer while burning the machine's lookup bandwidth. Every
+// update loop in this package therefore runs under retryCAS: a bounded
+// attempt budget with exponential backoff, surfacing ErrContention when
+// the budget is exhausted so the caller can back off at its own level
+// (shard, queue, or report failure).
+
+// ErrContention is returned when an update gives up after exhausting its
+// CAS retry budget. Check with errors.Is.
+var ErrContention = errors.New("hds: update abandoned after repeated CAS conflicts")
+
+const (
+	// maxCASAttempts bounds one logical update. 64 attempts with the
+	// backoff below spans ~30 ms of contention — far beyond anything the
+	// §5.1.1 experiments produce — before declaring livelock.
+	maxCASAttempts = 64
+	// spinAttempts lose only their scheduler slot: the common 2-3 way
+	// races of short critical sections resolve within a Gosched.
+	spinAttempts = 4
+	backoffBase  = time.Microsecond
+	backoffCap   = time.Millisecond
+)
+
+// casRetries counts CAS attempts that lost their race and went around
+// the retry loop — the software-visible cost of optimistic concurrency.
+var casRetries atomic.Uint64
+
+// CASRetries returns the process-wide count of retried (lost) update
+// attempts across all hds collections.
+func CASRetries() uint64 { return casRetries.Load() }
+
+// retryCAS runs op until it reports done, returns an error, or the
+// attempt budget is exhausted. op reports (done, err): an error aborts
+// immediately (ownership of any references stays inside op); !done means
+// the publish lost its race and the operation should be re-executed
+// against the new version.
+func retryCAS(op func() (done bool, err error)) error {
+	for attempt := 0; attempt < maxCASAttempts; attempt++ {
+		done, err := op()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		casRetries.Add(1)
+		backoff(attempt)
+	}
+	return fmt.Errorf("%w (%d attempts)", ErrContention, maxCASAttempts)
+}
+
+// backoff yields for the first spinAttempts, then sleeps exponentially:
+// 1us, 2us, 4us, ... capped at 1ms. Randomization is unnecessary — the
+// goroutine scheduler's jitter already de-synchronizes contenders.
+func backoff(attempt int) {
+	if attempt < spinAttempts {
+		runtime.Gosched()
+		return
+	}
+	d := backoffBase << uint(attempt-spinAttempts)
+	if d > backoffCap {
+		d = backoffCap
+	}
+	time.Sleep(d)
+}

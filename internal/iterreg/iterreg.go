@@ -101,9 +101,16 @@ func (it *Iterator) seek(idx uint64) (uint64, word.Tag) {
 		return 0, word.TagRaw
 	}
 	// Child index at each depth, top first; the final entry is the word
-	// index within the leaf.
+	// index within the leaf. Shallow DAGs (every real workload) decode
+	// into a stack-resident buffer.
 	h := seg.Height
-	idxs := make([]int, h+1)
+	var idxBuf [24]int
+	var idxs []int
+	if h+1 <= len(idxBuf) {
+		idxs = idxBuf[:h+1]
+	} else {
+		idxs = make([]int, h+1)
+	}
 	rem := idx
 	for d := 0; d <= h; d++ {
 		sub := capPow(arity, h-d)
@@ -112,7 +119,7 @@ func (it *Iterator) seek(idx uint64) (uint64, word.Tag) {
 	}
 	if len(it.stack) == 0 {
 		root := segment.PLIDEdge(seg.Root)
-		it.stack = append(it.stack, level{kids: it.expand(root, h)})
+		it.pushLevel(root, h)
 	}
 	// Reuse the longest valid prefix of the cached path: entry d+1 stays
 	// valid while descent d still takes the same child.
@@ -125,12 +132,30 @@ func (it *Iterator) seek(idx uint64) (uint64, word.Tag) {
 	for d := keep; d < h; d++ {
 		it.stack[d].child = idxs[d]
 		childEdge := it.stack[d].kids[idxs[d]]
-		it.stack = append(it.stack, level{kids: it.expand(childEdge, h-d-1)})
+		it.pushLevel(childEdge, h-d-1)
 	}
 	leaf := &it.stack[h]
 	leaf.child = idxs[h]
 	e := leaf.kids[idxs[h]]
 	return e.W, e.T
+}
+
+// pushLevel expands e one step and pushes it onto the cached path,
+// reusing the kids buffer of the popped level that previously occupied
+// the slot — seeks churn the lower path constantly, and reallocating an
+// arity-sized slice per step dominates the register's cost.
+func (it *Iterator) pushLevel(e segment.Edge, lvl int) {
+	if e.T == word.TagPLID && e.W != 0 {
+		it.Stats.LineLoads++
+	}
+	if len(it.stack) < cap(it.stack) {
+		it.stack = it.stack[:len(it.stack)+1]
+	} else {
+		it.stack = append(it.stack, level{})
+	}
+	top := &it.stack[len(it.stack)-1]
+	top.kids = segment.ChildrenInto(it.m, e, lvl, top.kids)
+	top.child = 0
 }
 
 func (it *Iterator) expand(e segment.Edge, lvl int) []segment.Edge {

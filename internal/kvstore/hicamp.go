@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hds"
 	"repro/internal/iterreg"
+	"repro/internal/segmap"
 )
 
 // HicampServer is memcached on HICAMP (§4.4).
@@ -93,6 +94,10 @@ func (s *HicampServer) Map() *hds.Map { return s.kvp }
 
 // Stats returns the machine's memory-system counters.
 func (s *HicampServer) Stats() core.Stats { return s.Heap.M.Stats() }
+
+// MapStats returns the segment map's conflict telemetry: per-VSID
+// commit/conflict/denial/abort counters plus the aggregate totals.
+func (s *HicampServer) MapStats() segmap.Snapshot { return s.Heap.SM.Snapshot() }
 
 func (s *HicampServer) String() string {
 	return fmt.Sprintf("kvstore.HicampServer(lines=%d)", s.Heap.M.LiveLines())

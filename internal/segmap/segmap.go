@@ -12,12 +12,18 @@
 //
 // Weak references are aliases that do not pin the segment: after the
 // target entry is deleted, loads through the alias return the zero
-// segment rather than keeping the DAG alive.
+// segment rather than keeping the DAG alive. Weak VSIDs carry no update
+// capability either: a CAS or batch store through a weak alias always
+// fails, like a read-only reference.
 //
 // The paper allows the map itself to live either in a HICAMP segment (so
 // several entries commit atomically) or in conventional memory. Batch
 // provides the former's semantics: a group of entry updates that commits
 // atomically, all-or-nothing, with write-write conflict detection.
+//
+// The map keeps per-VSID conflict telemetry — commit, conflict,
+// capability-denial and abort counts — exposed by Snapshot, the
+// observability surface the §5.1.1 contention experiments read.
 package segmap
 
 import (
@@ -50,6 +56,11 @@ func ReadOnlyRef(v word.VSID) word.VSID { return v | roBit }
 // IsReadOnly reports whether a VSID is a read-only capability.
 func IsReadOnly(v word.VSID) bool { return v&roBit != 0 }
 
+// IsWeak reports whether a VSID is a weak alias (either the weak
+// capability bit on the value, or a VSID naming a weak-alias slot carries
+// it from CreateWeakAlias).
+func IsWeak(v word.VSID) bool { return v&weakBit != 0 }
+
 func baseID(v word.VSID) word.VSID { return v &^ (roBit | weakBit) }
 
 // Entry is one segment map record. Size is the segment's logical byte
@@ -61,6 +72,24 @@ type Entry struct {
 	Size  uint64
 }
 
+// VSIDStats counts the update outcomes observed through one VSID — the
+// per-entry conflict telemetry of the §5.1.1 analysis.
+type VSIDStats struct {
+	Commits   uint64 // successful CAS or batch publishes
+	Conflicts uint64 // publishes lost to a concurrent committer (stale root)
+	Denied    uint64 // attempts rejected by capability checks (read-only/weak)
+	Aborts    uint64 // explicit batch aborts touching this entry
+}
+
+func (s VSIDStats) add(o VSIDStats) VSIDStats {
+	return VSIDStats{
+		Commits:   s.Commits + o.Commits,
+		Conflicts: s.Conflicts + o.Conflicts,
+		Denied:    s.Denied + o.Denied,
+		Aborts:    s.Aborts + o.Aborts,
+	}
+}
+
 type slot struct {
 	used     bool
 	weak     bool
@@ -68,17 +97,26 @@ type slot struct {
 	alias    word.VSID // weak aliases point at their target's VSID
 	aliasGen uint64    // target generation observed at alias creation
 	e        Entry
+	stats    VSIDStats
 }
 
 // Map is a virtual segment map. All methods are safe for concurrent use.
+// The map itself stays a single serialization point — it models the one
+// architecturally-atomic CAS on an entry — but it never holds its lock
+// across reference-count traffic into the memory system: retains happen
+// under the lock (they must be atomic with reading the root), releases of
+// displaced roots happen after it is dropped.
 type Map struct {
 	mu    sync.Mutex
 	mem   word.Mem
 	slots []slot
 	free  []word.VSID
-	// Stats
-	casOK   uint64
-	casFail uint64
+	// Aggregate stats. casOK/casFail keep the legacy CAS success/failure
+	// split; reclaimed accumulates the per-VSID counters of deleted slots
+	// so Snapshot totals are stable across slot reuse.
+	casOK     uint64
+	casFail   uint64
+	reclaimed VSIDStats
 }
 
 // New creates an empty map over the given memory.
@@ -95,14 +133,25 @@ func (sm *Map) Create(e Entry) word.VSID {
 // CreateWeakAlias returns a weak VSID for target: loading through it
 // yields target's current segment until target is deleted, after which it
 // yields the zero segment (the paper's "reference that should be zeroed
-// when the segment is reclaimed").
+// when the segment is reclaimed"). An alias of a VSID that is itself a
+// weak alias resolves the chain at creation time: the new alias binds to
+// the base target (and the base target's generation), so it tracks the
+// real segment's lifetime rather than the intermediate alias slot's.
 func (sm *Map) CreateWeakAlias(target word.VSID) word.VSID {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	id := baseID(target)
 	var gen uint64
 	if id != 0 && uint64(id) <= uint64(len(sm.slots)) {
-		gen = sm.slots[id-1].gen
+		t := &sm.slots[id-1]
+		if t.used && t.weak {
+			// Alias-of-alias: bind to the base target the intermediate
+			// alias observed, including its generation — so if the base
+			// was already reclaimed, the new alias reads zero too.
+			id, gen = t.alias, t.aliasGen
+		} else {
+			gen = t.gen
+		}
 	}
 	return sm.install(slot{used: true, weak: true, alias: id, aliasGen: gen}) | weakBit
 }
@@ -141,22 +190,67 @@ func (sm *Map) slotFor(v word.VSID) (*slot, error) {
 	return s, nil
 }
 
+// statSlot returns the slot whose telemetry an operation on v should be
+// charged to: the named slot itself (not the alias target), so denials
+// through a weak alias show up against the alias. Returns nil when v does
+// not name a live slot.
+func (sm *Map) statSlot(v word.VSID) *slot {
+	id := baseID(v)
+	if id == 0 || uint64(id) > uint64(len(sm.slots)) {
+		return nil
+	}
+	s := &sm.slots[id-1]
+	if !s.used {
+		return nil
+	}
+	return s
+}
+
 // Load returns a stable snapshot of the segment: the root reference count
 // is bumped so concurrent commits cannot reclaim the DAG under the
 // reader. Callers release it with segment.ReleaseSeg when done. Loading
 // through a reclaimed weak alias returns the zero segment.
 func (sm *Map) Load(v word.VSID) (Entry, error) {
 	sm.mu.Lock()
-	defer sm.mu.Unlock()
 	s, err := sm.slotFor(v)
 	if err != nil {
+		sm.mu.Unlock()
 		return Entry{}, err
 	}
 	if s == nil {
+		sm.mu.Unlock()
 		return Entry{}, nil // zeroed weak reference
 	}
-	segment.RetainSeg(sm.mem, s.e.Seg)
-	return s.e, nil
+	e := s.e
+	touch := retainUnder(sm.mem, e.Seg)
+	sm.mu.Unlock()
+	if touch != nil {
+		touch()
+	}
+	return e, nil
+}
+
+// deferredRetainer is implemented by memories (core.Machine) that can
+// split a retain into the atomic count bump and the traffic accounting.
+type deferredRetainer interface {
+	RetainDeferred(p word.PLID) func()
+}
+
+// retainUnder takes the lock-atomic half of a segment retain: the count
+// is bumped before sm.mu drops — so a concurrent commit cannot reclaim
+// the DAG between the root read and the retain — while the
+// reference-count traffic accounting, which re-enters the cache layer, is
+// returned as a closure for the caller to run after unlocking. Memories
+// without the split fall back to a full retain under the lock.
+func retainUnder(mem word.Mem, s segment.Seg) func() {
+	if s.Root == word.Zero {
+		return nil
+	}
+	if dr, ok := mem.(deferredRetainer); ok {
+		return dr.RetainDeferred(s.Root)
+	}
+	segment.RetainSeg(mem, s)
+	return nil
 }
 
 // Flags returns the entry's flags.
@@ -178,24 +272,35 @@ func (sm *Map) Flags(v word.VSID) (Flags, error) {
 // reference always fails.
 func (sm *Map) CAS(v word.VSID, old segment.Seg, next segment.Seg, size uint64) bool {
 	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	if IsReadOnly(v) || v&weakBit != 0 {
+	if IsReadOnly(v) || IsWeak(v) {
 		sm.casFail++
+		if s := sm.statSlot(v); s != nil {
+			s.stats.Denied++
+		}
+		sm.mu.Unlock()
 		return false
 	}
 	s, err := sm.slotFor(v)
 	if err != nil || s == nil {
 		sm.casFail++
+		sm.mu.Unlock()
 		return false
 	}
 	if s.e.Seg.Root != old.Root {
 		sm.casFail++
+		s.stats.Conflicts++
+		sm.mu.Unlock()
 		return false
 	}
 	prev := s.e.Seg
 	s.e.Seg = next
 	s.e.Size = size
 	sm.casOK++
+	s.stats.Commits++
+	sm.mu.Unlock()
+	// The displaced root is released outside the lock: the new root is
+	// already published, and holding the map across the recursive
+	// de-allocation would serialize unrelated commits behind it.
 	segment.ReleaseSeg(sm.mem, prev)
 	return true
 }
@@ -205,20 +310,31 @@ func (sm *Map) CAS(v word.VSID, old segment.Seg, next segment.Seg, size uint64) 
 // reference fails.
 func (sm *Map) Delete(v word.VSID) error {
 	sm.mu.Lock()
-	defer sm.mu.Unlock()
 	if IsReadOnly(v) {
+		if s := sm.statSlot(v); s != nil {
+			s.stats.Denied++
+		}
+		sm.mu.Unlock()
 		return fmt.Errorf("segmap: delete through read-only VSID %#x", uint64(v))
 	}
 	id := baseID(v)
 	if id == 0 || uint64(id) > uint64(len(sm.slots)) || !sm.slots[id-1].used {
+		sm.mu.Unlock()
 		return fmt.Errorf("segmap: invalid VSID %#x", uint64(v))
 	}
 	s := &sm.slots[id-1]
-	if !s.weak {
-		segment.ReleaseSeg(sm.mem, s.e.Seg)
+	var release segment.Seg
+	doRelease := !s.weak
+	if doRelease {
+		release = s.e.Seg
 	}
+	sm.reclaimed = sm.reclaimed.add(s.stats)
 	*s = slot{gen: s.gen + 1}
 	sm.free = append(sm.free, id)
+	sm.mu.Unlock()
+	if doRelease {
+		segment.ReleaseSeg(sm.mem, release)
+	}
 	return nil
 }
 
@@ -227,6 +343,47 @@ func (sm *Map) CASStats() (uint64, uint64) {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	return sm.casOK, sm.casFail
+}
+
+// Snapshot is a point-in-time view of the map's conflict telemetry.
+type Snapshot struct {
+	Entries int // live entries (including weak aliases)
+	Weak    int // of which weak aliases
+	CASOK   uint64
+	CASFail uint64
+	// PerVSID holds the counters of live slots with any recorded
+	// activity, keyed by base VSID.
+	PerVSID map[word.VSID]VSIDStats
+	// Total aggregates every slot's counters, including slots since
+	// deleted, so it is monotone across entry churn.
+	Total VSIDStats
+}
+
+// Snapshot captures the current conflict/retry/abort counters.
+func (sm *Map) Snapshot() Snapshot {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	snap := Snapshot{
+		CASOK:   sm.casOK,
+		CASFail: sm.casFail,
+		PerVSID: make(map[word.VSID]VSIDStats),
+		Total:   sm.reclaimed,
+	}
+	for i := range sm.slots {
+		s := &sm.slots[i]
+		if !s.used {
+			continue
+		}
+		snap.Entries++
+		if s.weak {
+			snap.Weak++
+		}
+		snap.Total = snap.Total.add(s.stats)
+		if s.stats != (VSIDStats{}) {
+			snap.PerVSID[word.VSID(i+1)] = s.stats
+		}
+	}
+	return snap
 }
 
 // Batch is an atomic multi-entry update: the semantics of a segment map
@@ -269,10 +426,20 @@ func (b *Batch) Load(v word.VSID) (Entry, error) {
 }
 
 // Store buffers an entry update. Ownership of the caller's reference on
-// e.Seg.Root transfers to the batch (released if the batch fails).
+// e.Seg.Root transfers to the batch (released if the batch fails). Like
+// Map.CAS, storing through a read-only or weak capability is rejected:
+// a weak alias is a non-updating reference, and following it to the
+// target at commit time would let the alias holder mutate an entry it
+// was never granted (§2.3: "CAS through a read-only or weak reference
+// always fails").
 func (b *Batch) Store(v word.VSID, e Entry) error {
 	if IsReadOnly(v) {
+		b.noteDenied(v)
 		return fmt.Errorf("segmap: batch store through read-only VSID %#x", uint64(v))
+	}
+	if IsWeak(v) {
+		b.noteDenied(v)
+		return fmt.Errorf("segmap: batch store through weak VSID %#x", uint64(v))
 	}
 	id := baseID(v)
 	if prev, ok := b.writes[id]; ok {
@@ -282,45 +449,82 @@ func (b *Batch) Store(v word.VSID, e Entry) error {
 	return nil
 }
 
+func (b *Batch) noteDenied(v word.VSID) {
+	sm := b.sm
+	sm.mu.Lock()
+	if s := sm.statSlot(v); s != nil {
+		s.stats.Denied++
+	}
+	sm.mu.Unlock()
+}
+
 // Commit applies every buffered store atomically if no written entry has
 // changed since the batch read it. On failure all buffered references are
 // released and no entry changes. It reports success.
 func (b *Batch) Commit() bool {
 	sm := b.sm
 	sm.mu.Lock()
-	defer sm.mu.Unlock()
 	for v := range b.writes {
 		s, err := sm.slotFor(v)
 		if err != nil || s == nil {
-			b.dropLocked()
+			drop := b.takeWrites()
+			sm.mu.Unlock()
+			releaseAll(sm.mem, drop)
 			return false
 		}
 		if seen, ok := b.reads[v]; ok && s.e.Seg.Root != seen {
 			sm.casFail++
-			b.dropLocked()
+			if st := sm.statSlot(v); st != nil {
+				st.stats.Conflicts++
+			}
+			drop := b.takeWrites()
+			sm.mu.Unlock()
+			releaseAll(sm.mem, drop)
 			return false
 		}
 	}
+	// The weak/read-only screen ran in Store, and slotFor above resolved
+	// plain live slots only, so every write lands on the entry it named.
+	var displaced []segment.Seg
 	for v, e := range b.writes {
 		s, _ := sm.slotFor(v)
-		segment.ReleaseSeg(sm.mem, s.e.Seg)
+		displaced = append(displaced, s.e.Seg)
 		s.e = e
 		sm.casOK++
+		s.stats.Commits++
 	}
 	b.writes = nil
+	sm.mu.Unlock()
+	releaseAll(sm.mem, displaced)
 	return true
 }
 
 // Abort releases all buffered references without applying anything.
 func (b *Batch) Abort() {
-	b.sm.mu.Lock()
-	defer b.sm.mu.Unlock()
-	b.dropLocked()
+	sm := b.sm
+	sm.mu.Lock()
+	for v := range b.writes {
+		if s := sm.statSlot(v); s != nil {
+			s.stats.Aborts++
+		}
+	}
+	drop := b.takeWrites()
+	sm.mu.Unlock()
+	releaseAll(sm.mem, drop)
 }
 
-func (b *Batch) dropLocked() {
+// takeWrites detaches the buffered segments for release outside the lock.
+func (b *Batch) takeWrites() []segment.Seg {
+	segs := make([]segment.Seg, 0, len(b.writes))
 	for _, e := range b.writes {
-		segment.ReleaseSeg(b.sm.mem, e.Seg)
+		segs = append(segs, e.Seg)
 	}
 	b.writes = nil
+	return segs
+}
+
+func releaseAll(mem word.Mem, segs []segment.Seg) {
+	for _, s := range segs {
+		segment.ReleaseSeg(mem, s)
+	}
 }

@@ -79,8 +79,7 @@ func (e Edge) Target(m word.Mem) (word.PLID, bool) {
 	case word.TagPLID:
 		return word.PLID(e.W), e.W != 0
 	case word.TagCompact:
-		p, _ := word.DecodeCompact(e.W, m.LineWords(), m.PLIDBits())
-		return p, true
+		return word.CompactPLID(e.W, m.PLIDBits()), true
 	}
 	return word.Zero, false
 }
@@ -189,33 +188,43 @@ func releaseAll(m word.Mem, es []Edge) {
 // node, for level 0 the leaf's tagged words as word-level edges. The
 // returned edges are borrowed — they own no references.
 func Children(m word.Mem, e Edge, level int) []Edge {
+	return ChildrenInto(m, e, level, nil)
+}
+
+// ChildrenInto is Children writing into buf when it has the arity's
+// capacity, allocating only otherwise — for per-node walkers (the
+// iterator register) that expand millions of nodes through one scratch
+// buffer.
+func ChildrenInto(m word.Mem, e Edge, level int, buf []Edge) []Edge {
 	arity := m.LineWords()
-	out := make([]Edge, arity)
+	var out []Edge
+	if cap(buf) >= arity {
+		out = buf[:arity]
+		for i := range out {
+			out[i] = Edge{}
+		}
+	} else {
+		out = make([]Edge, arity)
+	}
 	switch {
 	case e.IsZero():
 	case e.T == word.TagInline:
 		if level != 0 {
 			panic("segment: inline edge above leaf level")
 		}
-		for i, v := range word.UnpackInline(e.W, arity) {
-			out[i] = Edge{W: v, T: word.TagRaw}
+		for i := 0; i < arity; i++ {
+			out[i] = Edge{W: word.InlineAt(e.W, i, arity), T: word.TagRaw}
 		}
 	case e.T == word.TagCompact:
 		if level == 0 {
 			panic("segment: compact edge at leaf level")
 		}
-		p, path := word.DecodeCompact(e.W, arity, m.PLIDBits())
-		var inner Edge
-		if len(path) == 1 {
-			inner = PLIDEdge(p)
+		head, w, isPLID := word.CompactDrop(e.W, arity, m.PLIDBits())
+		if isPLID {
+			out[head] = PLIDEdge(word.PLID(w))
 		} else {
-			w, ok := word.EncodeCompact(p, path[1:], arity, m.PLIDBits())
-			if !ok {
-				panic("segment: shrinking a compact path cannot fail")
-			}
-			inner = Edge{W: w, T: word.TagCompact}
+			out[head] = Edge{W: w, T: word.TagCompact}
 		}
-		out[path[0]] = inner
 	case e.T == word.TagPLID:
 		c := m.ReadLine(word.PLID(e.W))
 		for i := 0; i < arity; i++ {

@@ -1,6 +1,10 @@
 package store
 
-import "repro/internal/word"
+import (
+	"sync/atomic"
+
+	"repro/internal/word"
+)
 
 // DRAM row-buffer model. §3.1 argues that the lookup-by-content protocol
 // is DRAM-friendly: the signature read, candidate data reads, signature
@@ -10,6 +14,12 @@ import "repro/internal/word"
 // open row per bank and counts activations versus open-row hits, which
 // the row-locality tests assert and the energy discussion in the paper
 // relies on.
+//
+// The tracker is lock-free: each bank's open row is one atomic word, so
+// the reader fast path (Store.Read) never takes a mutex for row
+// accounting. Under concurrency the interleaving of row opens is whatever
+// the scheduler produces — exactly as in hardware, where banks serve the
+// cores' interleaved request stream.
 
 // rowBanks is the number of DRAM banks (row buffers) modelled.
 const rowBanks = 8
@@ -30,23 +40,32 @@ func (r RowStats) HitRate() float64 {
 }
 
 type rowTracker struct {
-	open  [rowBanks]uint64
-	valid [rowBanks]bool
-	Stats RowStats
+	// open holds row+1 per bank; 0 means no row open yet.
+	open        [rowBanks]atomic.Uint64
+	activations atomic.Uint64
+	rowHits     atomic.Uint64
 }
 
 // touch records an access to the given row, returning whether it hit the
 // open row of its bank.
 func (rt *rowTracker) touch(row uint64) bool {
 	bank := row % rowBanks
-	if rt.valid[bank] && rt.open[bank] == row {
-		rt.Stats.RowHits++
+	if rt.open[bank].Load() == row+1 {
+		rt.rowHits.Add(1)
 		return true
 	}
-	rt.valid[bank] = true
-	rt.open[bank] = row
-	rt.Stats.Activations++
+	rt.open[bank].Store(row + 1)
+	rt.activations.Add(1)
 	return false
+}
+
+func (rt *rowTracker) reset() {
+	rt.activations.Store(0)
+	rt.rowHits.Store(0)
+}
+
+func (rt *rowTracker) snapshot() RowStats {
+	return RowStats{Activations: rt.activations.Load(), RowHits: rt.rowHits.Load()}
 }
 
 // rowOf maps a line to its DRAM row: the hash bucket for bucket-resident
@@ -61,4 +80,4 @@ func (s *Store) rowOf(p word.PLID) uint64 {
 }
 
 // RowStats returns the accumulated row-buffer counters.
-func (s *Store) RowStats() RowStats { return s.rows.Stats }
+func (s *Store) RowStats() RowStats { return s.rows.snapshot() }

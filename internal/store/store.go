@@ -16,10 +16,22 @@
 // layer (package cachesim, composed in package core) decides which of these
 // operations actually reach DRAM. Every method that touches simulated DRAM
 // increments a named Stats counter.
+//
+// Concurrency model: a line's bucket is a pure function of its content
+// hash, so distinct buckets are independent by construction. The store
+// exploits that with lock striping — buckets are guarded by a fixed array
+// of reader/writer stripe locks, the overflow area by one dedicated lock
+// acquired only while at most one bucket stripe is held (the fixed order
+// stripe → overflow rules out deadlock). Counters live in per-stripe
+// shards updated with atomic adds and merged by StatsSnapshot, and no
+// internal lock is ever held across a call into another package: the
+// OnRCTouch callback fires only after every stripe has been released.
 package store
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/word"
 )
@@ -88,11 +100,62 @@ func (s Stats) LookupTraffic() uint64 { return s.SigReads + s.SigWrites + s.Look
 // RCTraffic returns the Figure 6 "RC" category.
 func (s Stats) RCTraffic() uint64 { return s.RCReads + s.RCWrites }
 
+// Counter indices into a stats shard; one per Stats field.
+const (
+	cSigReads = iota
+	cSigWrites
+	cDataReads
+	cLookupReads
+	cDataWrites
+	cRCReads
+	cRCWrites
+	cDeallocOps
+	cLookups
+	cLookupHits
+	cAllocs
+	cFrees
+	cFalseSig
+	cOverflows
+	statCount
+)
+
+// statsShard is one stripe's counter block, padded to its own cache lines
+// so stripes never false-share. Fields are updated with atomic adds: the
+// read paths hold only shared (reader) stripe locks.
+type statsShard struct {
+	c [statCount]uint64
+	_ [64 - (statCount*8)%64]byte
+}
+
+// numStripes is the number of bucket lock stripes (power of two). A
+// bucket's stripe is bkt & (numStripes-1); stores with fewer buckets than
+// stripes simply leave some stripes idle.
+const numStripes = 64
+
+type stripe struct {
+	mu sync.RWMutex
+	// unlock/runlock are mu.Unlock/mu.RUnlock bound once at construction:
+	// creating a method value per lock acquisition allocates, and the
+	// line-lock helpers run on every memory access.
+	unlock  func()
+	runlock func()
+	_       [64 - 40%64]byte // keep neighbouring stripe locks off one line
+}
+
+// ovShard is the stats shard charged for overflow-area operations.
+const ovShard = numStripes
+
+// line is one memory line. Structural fields (used, sig, content, inDRAM)
+// are written only under the line's exclusive lock and may be read under
+// its shared lock. rc is accessed with atomics so the dedup-hit and
+// retain fast paths can adjust it under the shared lock: while any shared
+// lock is held, a used line cannot be freed (freeing needs the exclusive
+// lock), so an atomic increment of a live line's count is always safe.
 type line struct {
 	used    bool
 	sig     uint8
-	rc      uint64
-	inDRAM  bool // content has been written back to DRAM
+	rc      uint64 // atomic
+	inDRAM  bool   // content has been written back to DRAM
 	content word.Content
 }
 
@@ -100,18 +163,31 @@ type bucket struct {
 	ways []line
 }
 
-// Store is the deduplicating line memory.
+// rcEvent records one reference-count mutation to be reported through
+// OnRCTouch after every internal lock has been released.
+type rcEvent struct {
+	p    word.PLID
+	init bool
+}
+
+// Store is the deduplicating line memory. All methods are safe for
+// concurrent use; see the package comment for the striping design.
 type Store struct {
 	cfg        Config
 	arity      int
 	bucketMask uint64
+	stripes    [numStripes]stripe
 	buckets    []bucket
-	overflow   []line
-	freeOv     []uint32                // free slots in overflow
-	ovIndex    map[word.Content]uint32 // content -> overflow slot
-	liveLines  uint64
-	rows       rowTracker
-	Stats      Stats
+
+	ovMu     sync.Mutex // guards overflow, freeOv and ovIndex
+	ovUnlock func()     // ovMu.Unlock, bound once (see stripe)
+	overflow []line
+	freeOv   []uint32                // free slots in overflow
+	ovIndex  map[word.Content]uint32 // content -> overflow slot
+
+	liveLines atomic.Uint64
+	rows      rowTracker
+	shards    [numStripes + 1]statsShard
 
 	// OnRCTouch, when non-nil, is invoked for every reference-count
 	// mutation with the PLID whose count changed. The cache layer uses
@@ -121,11 +197,35 @@ type Store struct {
 	// straight into the cache without fetching the line from DRAM
 	// (§3.1: "when the line is allocated by lookup operation its
 	// reference count is written in the LLC and propagated to DRAM only
-	// when the line is evicted").
+	// when the line is evicted"). The callback always runs with no store
+	// lock held, so it may call back into any Store method.
 	OnRCTouch func(p word.PLID, init bool)
 }
 
-func (s *Store) rcTouched(p word.PLID, init bool) {
+func (s *Store) bump(shard, counter int) {
+	atomic.AddUint64(&s.shards[shard].c[counter], 1)
+}
+
+func (s *Store) bumpN(shard, counter, n int) {
+	if n > 0 {
+		atomic.AddUint64(&s.shards[shard].c[counter], uint64(n))
+	}
+}
+
+// fire reports collected reference-count events; the caller must hold no
+// store lock.
+func (s *Store) fire(events []rcEvent) {
+	if s.OnRCTouch == nil {
+		return
+	}
+	for _, e := range events {
+		s.OnRCTouch(e.p, e.init)
+	}
+}
+
+// fire1 reports a single reference-count event without building a slice;
+// the caller must hold no store lock.
+func (s *Store) fire1(p word.PLID, init bool) {
 	if s.OnRCTouch != nil {
 		s.OnRCTouch(p, init)
 	}
@@ -144,6 +244,12 @@ func New(cfg Config) *Store {
 		bucketMask: uint64(n - 1),
 		buckets:    make([]bucket, n),
 	}
+	for i := range s.stripes {
+		mu := &s.stripes[i].mu
+		s.stripes[i].unlock = mu.Unlock
+		s.stripes[i].runlock = mu.RUnlock
+	}
+	s.ovUnlock = s.ovMu.Unlock
 	// Bucket way arrays are allocated lazily on first use: a 2^20-bucket
 	// store would otherwise commit ~1 GB up front.
 	return s
@@ -156,10 +262,48 @@ func (s *Store) Config() Config { return s.cfg }
 func (s *Store) LineWords() int { return s.arity }
 
 // LiveLines returns the number of currently allocated lines.
-func (s *Store) LiveLines() uint64 { return s.liveLines }
+func (s *Store) LiveLines() uint64 { return s.liveLines.Load() }
 
 // FootprintBytes returns the DRAM bytes held by live lines.
-func (s *Store) FootprintBytes() uint64 { return s.liveLines * uint64(s.cfg.LineBytes) }
+func (s *Store) FootprintBytes() uint64 { return s.LiveLines() * uint64(s.cfg.LineBytes) }
+
+// StatsSnapshot merges the per-stripe counter shards into one Stats value.
+// Concurrent operations may be mid-flight; each counter is individually
+// exact (quiesce the store for cross-counter invariants).
+func (s *Store) StatsSnapshot() Stats {
+	var sum [statCount]uint64
+	for i := range s.shards {
+		for c := 0; c < statCount; c++ {
+			sum[c] += atomic.LoadUint64(&s.shards[i].c[c])
+		}
+	}
+	return Stats{
+		SigReads:    sum[cSigReads],
+		SigWrites:   sum[cSigWrites],
+		DataReads:   sum[cDataReads],
+		LookupReads: sum[cLookupReads],
+		DataWrites:  sum[cDataWrites],
+		RCReads:     sum[cRCReads],
+		RCWrites:    sum[cRCWrites],
+		DeallocOps:  sum[cDeallocOps],
+		Lookups:     sum[cLookups],
+		LookupHits:  sum[cLookupHits],
+		Allocs:      sum[cAllocs],
+		Frees:       sum[cFrees],
+		FalseSig:    sum[cFalseSig],
+		Overflows:   sum[cOverflows],
+	}
+}
+
+// ResetStats zeroes every access counter (line contents are kept).
+func (s *Store) ResetStats() {
+	for i := range s.shards {
+		for c := 0; c < statCount; c++ {
+			atomic.StoreUint64(&s.shards[i].c[c], 0)
+		}
+	}
+	s.rows.reset()
+}
 
 // PLID layout: [0,BucketBits) bucket | [BucketBits,+4) way+2 | overflow bit.
 // Data ways are numbered 2..13 following Figure 2 (way 0 = signatures,
@@ -208,6 +352,44 @@ func (s *Store) BucketIndex(c word.Content) uint64 {
 	return c.Hash() & s.bucketMask
 }
 
+// stripeOf maps a bucket to its lock stripe.
+func stripeOf(bkt uint64) int { return int(bkt & (numStripes - 1)) }
+
+// shardOf returns the stats shard index for a PLID.
+func (s *Store) shardOf(p word.PLID) int {
+	if b, ok := s.BucketOf(p); ok {
+		return stripeOf(b)
+	}
+	return ovShard
+}
+
+// lockLine acquires the exclusive lock guarding p's line (its bucket
+// stripe, or the overflow lock) and returns the unlock function.
+func (s *Store) lockLine(p word.PLID) func() {
+	if s.isOverflow(p) {
+		s.ovMu.Lock()
+		return s.ovUnlock
+	}
+	st := &s.stripes[stripeOf(uint64(p)&s.bucketMask)]
+	st.mu.Lock()
+	return st.unlock
+}
+
+// rlockLine acquires shared access to p's line for the lock-free-reader
+// paths (Read, Peek, RefCount). Overflow lines use the exclusive overflow
+// lock, which is the cold path.
+func (s *Store) rlockLine(p word.PLID) func() {
+	if s.isOverflow(p) {
+		s.ovMu.Lock()
+		return s.ovUnlock
+	}
+	st := &s.stripes[stripeOf(uint64(p)&s.bucketMask)]
+	st.mu.RLock()
+	return st.runlock
+}
+
+// lineAt resolves a PLID to its line slot. The caller must hold p's lock
+// (shared or exclusive).
 func (s *Store) lineAt(p word.PLID) *line {
 	if s.isOverflow(p) {
 		slot := uint64(p) - s.ovBase()
@@ -230,6 +412,11 @@ func (s *Store) lineAt(p word.PLID) *line {
 // reference per PLID-tagged word inside the content (the line's own
 // references, released when the line is freed). Content of all zeroes
 // must be handled by the caller (the zero PLID) and panics here.
+//
+// The whole probe-or-allocate runs under the bucket's stripe lock, which
+// is what keeps content unique under concurrency: two racing lookups of
+// the same content serialize on the same stripe, so the second always
+// finds the first's line.
 func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 	if c.IsZero() {
 		panic("store: Lookup of zero content (use word.Zero)")
@@ -237,9 +424,100 @@ func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 	if int(c.N) != s.arity {
 		panic(fmt.Sprintf("store: content width %d, line width %d", c.N, s.arity))
 	}
-	s.Stats.Lookups++
 	bkt := s.BucketIndex(c)
+	st := stripeOf(bkt)
+	s.bump(st, cLookups)
 	sig := c.Signature()
+
+	// Dedup-hit fast path: most steady-state lookups find their content
+	// already resident and only need an rc increment, which the shared
+	// stripe lock plus an atomic add allow without excluding concurrent
+	// hits on the same (hot, because deduplicated) bucket.
+	if p, ok := s.lookupFast(bkt, st, c, sig); ok {
+		return p, true
+	}
+
+	p, existed, ev := s.lookupIn(bkt, st, c, sig)
+	s.fire1(ev.p, ev.init)
+	if !existed {
+		// The line's own references on its children. The caller holds a
+		// reference on every child it placed in c, so the children cannot
+		// be reclaimed between the allocation above and these retains.
+		s.retainChildren(c)
+	}
+	return p, existed
+}
+
+// lookupFast probes for an existing line under the stripe's shared lock.
+// The protocol's accounting (signature read, candidate reads, row
+// touches) is deferred until a hit is confirmed, so a fall-through to the
+// exclusive path — which re-runs the full protocol — never double-charges.
+// While the shared lock is held a used line cannot be freed, so the
+// atomic rc increment cannot resurrect a dead line.
+func (s *Store) lookupFast(bkt uint64, st int, c word.Content, sig uint8) (word.PLID, bool) {
+	mu := &s.stripes[st].mu
+	mu.RLock()
+	b := &s.buckets[bkt]
+	if b.ways == nil {
+		mu.RUnlock()
+		return 0, false
+	}
+	reads := 0 // sig-matching candidates read, including the hit
+	for w := range b.ways {
+		ln := &b.ways[w]
+		if !ln.used || ln.sig != sig {
+			continue
+		}
+		reads++
+		if ln.content == c {
+			atomic.AddUint64(&ln.rc, 1)
+			mu.RUnlock()
+			s.chargeHit(bkt, st, reads, reads-1)
+			p := s.plidFor(bkt, w)
+			s.fire1(p, false)
+			return p, true
+		}
+	}
+	// Overflow probe, chained from the bucket row. Lock order matches the
+	// exclusive path: stripe (shared here) then overflow.
+	s.ovMu.Lock()
+	slot, ok := s.ovIndex[c]
+	var p word.PLID
+	if ok {
+		p = s.overflowPLID(slot)
+		s.overflow[slot].rc++
+	}
+	s.ovMu.Unlock()
+	mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	s.chargeHit(bkt, st, reads+1, reads)
+	s.fire1(p, false)
+	return p, true
+}
+
+// chargeHit applies the deferred accounting of a fast-path lookup hit:
+// one signature read plus `reads` candidate data reads (of which
+// `falseSig` were signature aliases), all in the bucket's DRAM row. Row
+// touches land after the data access rather than during it; hardware
+// interleaves concurrent lookups' row activity the same way.
+func (s *Store) chargeHit(bkt uint64, st, reads, falseSig int) {
+	for i := 0; i <= reads; i++ {
+		s.rows.touch(bkt)
+	}
+	s.bump(st, cSigReads)
+	s.bumpN(st, cLookupReads, reads)
+	s.bumpN(st, cFalseSig, falseSig)
+	s.bump(st, cLookupHits)
+}
+
+// lookupIn is the locked body of Lookup; it returns the rc event to fire
+// once the locks are gone.
+func (s *Store) lookupIn(bkt uint64, st int, c word.Content, sig uint8) (word.PLID, bool, rcEvent) {
+	mu := &s.stripes[st].mu
+	mu.Lock()
+	defer mu.Unlock()
 	b := &s.buckets[bkt]
 	if b.ways == nil {
 		b.ways = make([]line, s.cfg.DataWays)
@@ -249,7 +527,7 @@ func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 	// access that opens the bucket's DRAM row; the candidate reads,
 	// signature update and RC access below stay in the open row (§3.1).
 	s.rows.touch(bkt)
-	s.Stats.SigReads++
+	s.bump(st, cSigReads)
 	for w := range b.ways {
 		ln := &b.ways[w]
 		if !ln.used || ln.sig != sig {
@@ -257,24 +535,28 @@ func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 		}
 		// Step 4: candidate data line read and compare (open-row hit).
 		s.rows.touch(bkt)
-		s.Stats.LookupReads++
+		s.bump(st, cLookupReads)
 		if ln.content == c {
-			ln.rc++
-			s.rcTouched(s.plidFor(bkt, w), false)
-			s.Stats.LookupHits++
-			return s.plidFor(bkt, w), true
+			atomic.AddUint64(&ln.rc, 1)
+			s.bump(st, cLookupHits)
+			return s.plidFor(bkt, w), true, rcEvent{s.plidFor(bkt, w), false}
 		}
-		s.Stats.FalseSig++
+		s.bump(st, cFalseSig)
 	}
-	// Overflow lines for this content are found via the overflow scan;
-	// model it as one extra read when the bucket has seen overflow.
-	if p, ok := s.findOverflow(c); ok {
-		s.Stats.LookupReads++
-		s.lineAt(p).rc++
-		s.rcTouched(p, false)
-		s.Stats.LookupHits++
-		return p, true
+	// Overflow lines for this content are found via the overflow scan
+	// chained from the bucket row; model it as one extra read in the
+	// bucket's open row. Lock order is always stripe → overflow.
+	s.ovMu.Lock()
+	if slot, ok := s.ovIndex[c]; ok {
+		p := s.overflowPLID(slot)
+		s.overflow[slot].rc++
+		s.ovMu.Unlock()
+		s.rows.touch(bkt)
+		s.bump(st, cLookupReads)
+		s.bump(st, cLookupHits)
+		return p, true, rcEvent{p, false}
 	}
+	s.ovMu.Unlock()
 
 	// Step 6: allocate. Find an empty way via the signature line (already
 	// read); the signature update is one write back to the same DRAM row.
@@ -282,36 +564,25 @@ func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 		if !b.ways[w].used {
 			b.ways[w] = line{used: true, sig: sig, rc: 1, content: c}
 			s.rows.touch(bkt)
-			s.Stats.SigWrites++
-			s.Stats.Allocs++
-			s.liveLines++
-			s.rcTouched(s.plidFor(bkt, w), true)
-			s.retainChildren(c)
-			return s.plidFor(bkt, w), false
+			s.bump(st, cSigWrites)
+			s.bump(st, cAllocs)
+			s.liveLines.Add(1)
+			return s.plidFor(bkt, w), false, rcEvent{s.plidFor(bkt, w), true}
 		}
 	}
 	// Bucket full: spill to the overflow area.
 	p := s.allocOverflow(c, sig)
-	s.retainChildren(c)
-	return p, false
+	return p, false, rcEvent{p, true}
 }
 
-func (s *Store) findOverflow(c word.Content) (word.PLID, bool) {
-	// The hardware chains overflow lines from the bucket row; the
-	// simulator keeps a content index for speed and charges the DRAM
-	// accesses at the call site.
-	slot, ok := s.ovIndex[c]
-	if !ok {
-		return 0, false
-	}
-	return s.overflowPLID(slot), true
-}
-
+// allocOverflow is called with the content's bucket stripe held.
 func (s *Store) allocOverflow(c word.Content, sig uint8) word.PLID {
-	s.Stats.Overflows++
-	s.Stats.Allocs++
-	s.Stats.SigWrites++ // overflow pointer update in the bucket row
-	s.liveLines++
+	s.bump(ovShard, cOverflows)
+	s.bump(ovShard, cAllocs)
+	s.bump(ovShard, cSigWrites) // overflow pointer update in the bucket row
+	s.liveLines.Add(1)
+	s.ovMu.Lock()
+	defer s.ovMu.Unlock()
 	var slot uint32
 	if n := len(s.freeOv); n > 0 {
 		slot = s.freeOv[n-1]
@@ -325,7 +596,6 @@ func (s *Store) allocOverflow(c word.Content, sig uint8) word.PLID {
 		s.ovIndex = make(map[word.Content]uint32)
 	}
 	s.ovIndex[c] = slot
-	s.rcTouched(s.overflowPLID(slot), true)
 	return s.overflowPLID(slot)
 }
 
@@ -335,34 +605,41 @@ func (s *Store) retainChildren(c word.Content) {
 		case word.TagPLID:
 			s.Retain(word.PLID(c.W[i]))
 		case word.TagCompact:
-			p, _ := word.DecodeCompact(c.W[i], s.arity, s.PLIDBits())
-			s.Retain(p)
+			s.Retain(word.CompactPLID(c.W[i], s.PLIDBits()))
 		}
 	}
 }
 
-// Read returns the content of a line, counting one DRAM data read.
-// Reading the zero PLID returns zero content with no DRAM access.
+// Read returns the content of a line, counting one DRAM data read. It is
+// part of the reader fast path: only a shared stripe lock is taken, so
+// concurrent reads of in-DRAM lines never exclude one another. Reading the
+// zero PLID returns zero content with no DRAM access.
 func (s *Store) Read(p word.PLID) word.Content {
 	if p == word.Zero {
 		return word.NewContent(s.arity)
 	}
-	s.Stats.DataReads++
+	s.bump(s.shardOf(p), cDataReads)
 	s.rows.touch(s.rowOf(p))
+	unlock := s.rlockLine(p)
 	ln := s.lineAt(p)
-	if !ln.used {
+	used, c := ln.used, ln.content
+	unlock()
+	if !used {
 		panic(fmt.Sprintf("store: read of freed PLID %#x", uint64(p)))
 	}
-	return ln.content
+	return c
 }
 
 // Peek returns a line's content without simulating a DRAM access. The
 // cache layer uses it to fill entries whose DRAM traffic it accounts
-// itself, and tests use it to inspect state.
+// itself, and tests use it to inspect state. Like Read it takes only a
+// shared stripe lock.
 func (s *Store) Peek(p word.PLID) (word.Content, bool) {
 	if p == word.Zero {
 		return word.NewContent(s.arity), true
 	}
+	unlock := s.rlockLine(p)
+	defer unlock()
 	ln := s.lineAt(p)
 	if !ln.used {
 		return word.Content{}, false
@@ -375,25 +652,68 @@ func (s *Store) RefCount(p word.PLID) uint64 {
 	if p == word.Zero {
 		return 0
 	}
+	unlock := s.rlockLine(p)
+	defer unlock()
 	ln := s.lineAt(p)
 	if !ln.used {
 		return 0
 	}
-	return ln.rc
+	return atomic.LoadUint64(&ln.rc)
 }
 
 // Retain adds one reference to p without touching DRAM counters; the
-// caller models the reference-count line traffic (they are cached).
+// caller models the reference-count line traffic (they are cached). Only
+// a shared lock is needed: the caller already holds a reference (so the
+// line cannot die), and the increment itself is atomic.
 func (s *Store) Retain(p word.PLID) {
 	if p == word.Zero {
 		return
 	}
+	s.RetainQuiet(p)
+	s.fire1(p, false)
+}
+
+// RetainQuiet is Retain without the OnRCTouch callback: the caller takes
+// responsibility for reporting the reference-count traffic afterwards.
+// It exists so a caller holding its own lock can take a reference
+// atomically with its read while keeping the callback's cache traffic out
+// of the critical section.
+func (s *Store) RetainQuiet(p word.PLID) {
+	if p == word.Zero {
+		return
+	}
+	unlock := s.rlockLine(p)
 	ln := s.lineAt(p)
 	if !ln.used {
+		unlock()
 		panic(fmt.Sprintf("store: retain of freed PLID %#x", uint64(p)))
 	}
-	ln.rc++
-	s.rcTouched(p, false)
+	atomic.AddUint64(&ln.rc, 1)
+	unlock()
+}
+
+// RetainIfContent adds one reference to p only if the line is live and
+// still holds content c, reporting whether it did. The cache layer uses it
+// on content hits: between a cache probe and the retain, the line may have
+// been freed (and its slot even reallocated for different content) by a
+// concurrent release, in which case the caller must fall back to the
+// authoritative lookup path.
+func (s *Store) RetainIfContent(p word.PLID, c word.Content) bool {
+	if p == word.Zero {
+		return false
+	}
+	unlock := s.rlockLine(p)
+	ln := s.lineAt(p)
+	if !ln.used || ln.content != c {
+		unlock()
+		return false
+	}
+	// used && content match under the shared lock means the line is live
+	// and cannot be freed until the lock drops, so the increment is safe.
+	atomic.AddUint64(&ln.rc, 1)
+	unlock()
+	s.fire1(p, false)
+	return true
 }
 
 // Freed describes one line reclaimed by Release: its PLID and the hash
@@ -409,11 +729,20 @@ type Freed struct {
 // op) and references held by its PLID words are released recursively by
 // the hardware de-allocation state machine. It returns the lines freed by
 // this release so the cache layer can invalidate them.
+//
+// The de-allocation worklist locks one line at a time and never holds two
+// stripes at once; a freed parent's reference keeps each child alive until
+// the worklist reaches it, so the per-line locking cannot race with a
+// concurrent lookup re-allocating the child.
 func (s *Store) Release(p word.PLID) []Freed {
 	if p == word.Zero {
 		return nil
 	}
+	if s.releaseFast(p) {
+		return nil
+	}
 	var freed []Freed
+	var events []rcEvent
 	work := []word.PLID{p}
 	for len(work) > 0 {
 		cur := work[len(work)-1]
@@ -421,29 +750,33 @@ func (s *Store) Release(p word.PLID) []Freed {
 		if cur == word.Zero {
 			continue
 		}
+		unlock := s.lockLine(cur)
 		ln := s.lineAt(cur)
 		if !ln.used {
+			unlock()
 			panic(fmt.Sprintf("store: release of freed PLID %#x", uint64(cur)))
 		}
-		if ln.rc == 0 {
+		if atomic.LoadUint64(&ln.rc) == 0 {
+			unlock()
 			panic(fmt.Sprintf("store: reference underflow on PLID %#x", uint64(cur)))
 		}
-		ln.rc--
-		s.rcTouched(cur, false)
-		if ln.rc > 0 {
+		left := atomic.AddUint64(&ln.rc, ^uint64(0))
+		events = append(events, rcEvent{cur, false})
+		if left > 0 {
+			unlock()
 			continue
 		}
 		// Free: zero the signature, queue children for the state machine.
-		s.Stats.DeallocOps++
-		s.Stats.Frees++
-		s.liveLines--
+		sh := s.shardOf(cur)
+		s.bump(sh, cDeallocOps)
+		s.bump(sh, cFrees)
+		s.liveLines.Add(^uint64(0))
 		for i := 0; i < int(ln.content.N); i++ {
 			switch ln.content.T[i] {
 			case word.TagPLID:
 				work = append(work, word.PLID(ln.content.W[i]))
 			case word.TagCompact:
-				cp, _ := word.DecodeCompact(ln.content.W[i], s.arity, s.PLIDBits())
-				work = append(work, cp)
+				work = append(work, word.CompactPLID(ln.content.W[i], s.PLIDBits()))
 			}
 		}
 		hash := ln.content.Hash()
@@ -455,9 +788,40 @@ func (s *Store) Release(p word.PLID) []Freed {
 		} else {
 			*ln = line{}
 		}
+		unlock()
 		freed = append(freed, Freed{P: cur, H: hash})
 	}
+	s.fire(events)
 	return freed
+}
+
+// releaseFast drops one reference under the shared lock when the count
+// cannot reach zero, so hot shared lines (DAG roots, deduplicated
+// interior nodes) release without serializing on the stripe's exclusive
+// lock. The CAS from v to v-1 is attempted only for v >= 2: the result
+// stays positive, so no free is needed, and the line cannot be freed
+// underneath us because freeing requires the exclusive lock. If the count
+// is 1 (this caller holds the last reference — nobody else can be
+// releasing it), the caller falls back to the exclusive free path.
+func (s *Store) releaseFast(p word.PLID) bool {
+	unlock := s.rlockLine(p)
+	ln := s.lineAt(p)
+	if !ln.used {
+		unlock()
+		return false // slow path reports the underflow
+	}
+	for {
+		v := atomic.LoadUint64(&ln.rc)
+		if v < 2 {
+			unlock()
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&ln.rc, v, v-1) {
+			unlock()
+			s.fire1(p, false)
+			return true
+		}
+	}
 }
 
 // Writeback records the eviction of a dirty (newly created) line from the
@@ -468,25 +832,51 @@ func (s *Store) Writeback(p word.PLID) {
 	if p == word.Zero {
 		return
 	}
+	unlock := s.lockLine(p)
 	ln := s.lineAt(p)
 	if !ln.used || ln.inDRAM {
+		unlock()
 		return
 	}
 	ln.inDRAM = true
+	unlock()
 	s.rows.touch(s.rowOf(p))
-	s.Stats.DataWrites++
+	s.bump(s.shardOf(p), cDataWrites)
 }
 
 // RCLineRead and RCLineWrite account reference-count line DRAM traffic;
 // the cache layer calls them on RC-line fills and dirty evictions.
-func (s *Store) RCLineRead()  { s.Stats.RCReads++ }
-func (s *Store) RCLineWrite() { s.Stats.RCWrites++ }
+func (s *Store) RCLineRead()  { s.bump(ovShard, cRCReads) }
+func (s *Store) RCLineWrite() { s.bump(ovShard, cRCWrites) }
+
+// lockAll acquires every stripe (in index order) plus the overflow lock,
+// freezing the whole store; unlockAll releases them. Used by the global
+// invariant checker. The fixed order stripes → overflow matches every
+// other path, so lockAll cannot deadlock against concurrent operations.
+func (s *Store) lockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+	s.ovMu.Lock()
+}
+
+func (s *Store) unlockAll() {
+	s.ovMu.Unlock()
+	for i := len(s.stripes) - 1; i >= 0; i-- {
+		s.stripes[i].mu.Unlock()
+	}
+}
 
 // CheckConsistency verifies the reference-counting invariant: every live
 // line's count equals the number of PLID words in live lines that name it,
 // plus the external references the caller says it holds. It returns an
-// error describing the first violation found.
+// error describing the first violation found. The check freezes the store
+// (all stripes locked), so it observes an atomic snapshot; call it at
+// quiescence — in-flight operations legitimately hold transient references
+// the external map cannot know about.
 func (s *Store) CheckConsistency(external map[word.PLID]uint64) error {
+	s.lockAll()
+	defer s.unlockAll()
 	indeg := make(map[word.PLID]uint64)
 	addRefs := func(c word.Content) {
 		for i := 0; i < int(c.N); i++ {
@@ -496,7 +886,7 @@ func (s *Store) CheckConsistency(external map[word.PLID]uint64) error {
 					indeg[p]++
 				}
 			case word.TagCompact:
-				p, _ := word.DecodeCompact(c.W[i], s.arity, s.PLIDBits())
+				p := word.CompactPLID(c.W[i], s.PLIDBits())
 				if p != word.Zero {
 					indeg[p]++
 				}
@@ -524,9 +914,9 @@ func (s *Store) CheckConsistency(external map[word.PLID]uint64) error {
 			return
 		}
 		want := indeg[p] + external[p]
-		if ln.rc != want {
+		if atomic.LoadUint64(&ln.rc) != want {
 			err = fmt.Errorf("store: PLID %#x rc=%d, want %d (internal %d + external %d)",
-				uint64(p), ln.rc, want, indeg[p], external[p])
+				uint64(p), atomic.LoadUint64(&ln.rc), want, indeg[p], external[p])
 		}
 	})
 	if err != nil {

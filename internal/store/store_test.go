@@ -53,7 +53,7 @@ func TestZeroPLIDRead(t *testing.T) {
 	if !c.IsZero() {
 		t.Fatal("zero PLID must read as zero content")
 	}
-	if s.Stats.DataReads != 0 {
+	if s.StatsSnapshot().DataReads != 0 {
 		t.Fatal("reading the zero line must not touch DRAM")
 	}
 }
@@ -122,8 +122,8 @@ func TestRecursiveDealloc(t *testing.T) {
 	if s.LiveLines() != 0 {
 		t.Fatalf("live = %d after recursive free", s.LiveLines())
 	}
-	if s.Stats.DeallocOps != 3 {
-		t.Fatalf("DeallocOps = %d, want 3", s.Stats.DeallocOps)
+	if got := s.StatsSnapshot().DeallocOps; got != 3 {
+		t.Fatalf("DeallocOps = %d, want 3", got)
 	}
 }
 
@@ -167,18 +167,20 @@ func TestLookupDRAMCost(t *testing.T) {
 	s := New(testConfig())
 	c := leaf(s, []byte("cost model"))
 	s.Lookup(c)
-	if s.Stats.SigReads != 1 || s.Stats.SigWrites != 1 {
-		t.Fatalf("miss: sigR=%d sigW=%d, want 1/1", s.Stats.SigReads, s.Stats.SigWrites)
+	st := s.StatsSnapshot()
+	if st.SigReads != 1 || st.SigWrites != 1 {
+		t.Fatalf("miss: sigR=%d sigW=%d, want 1/1", st.SigReads, st.SigWrites)
 	}
-	if s.Stats.LookupReads != 0 && s.Stats.FalseSig == 0 {
-		t.Fatalf("miss should not read data lines, got %d", s.Stats.LookupReads)
+	if st.LookupReads != 0 && st.FalseSig == 0 {
+		t.Fatalf("miss should not read data lines, got %d", st.LookupReads)
 	}
-	before := s.Stats
+	before := st
 	s.Lookup(c)
-	if got := s.Stats.SigReads - before.SigReads; got != 1 {
+	after := s.StatsSnapshot()
+	if got := after.SigReads - before.SigReads; got != 1 {
 		t.Fatalf("hit: sig reads = %d, want 1", got)
 	}
-	if got := s.Stats.LookupReads - before.LookupReads; got < 1 {
+	if got := after.LookupReads - before.LookupReads; got < 1 {
 		t.Fatalf("hit: candidate reads = %d, want >= 1", got)
 	}
 }
@@ -197,7 +199,7 @@ func TestBucketOverflow(t *testing.T) {
 		}
 		plids[p] = c
 	}
-	if s.Stats.Overflows == 0 {
+	if s.StatsSnapshot().Overflows == 0 {
 		t.Fatal("expected overflow allocations with 16 buckets x 1 way")
 	}
 	for p, c := range plids {
@@ -241,8 +243,8 @@ func TestWritebackCountsOnce(t *testing.T) {
 	p, _ := s.Lookup(leaf(s, []byte("dirty line")))
 	s.Writeback(p)
 	s.Writeback(p)
-	if s.Stats.DataWrites != 1 {
-		t.Fatalf("DataWrites = %d, want 1 (lines are immutable)", s.Stats.DataWrites)
+	if got := s.StatsSnapshot().DataWrites; got != 1 {
+		t.Fatalf("DataWrites = %d, want 1 (lines are immutable)", got)
 	}
 }
 

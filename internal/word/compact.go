@@ -74,6 +74,38 @@ func DecodeCompact(w uint64, arity, plidBits int) (PLID, []int) {
 	return p, path
 }
 
+// CompactPLID extracts just the target PLID of a compact word, for
+// callers (reference-count walks) that do not need the path. Unlike
+// DecodeCompact it allocates nothing.
+func CompactPLID(w uint64, plidBits int) PLID {
+	return PLID(w & (1<<plidBits - 1))
+}
+
+// CompactDrop splits a compact word into its first descent index and the
+// edge one level down, without allocating: when the path had length 1 the
+// remainder is the bare target PLID (isPLID true), otherwise it is the
+// compact word for the rest of the path.
+func CompactDrop(w uint64, arity, plidBits int) (head int, inner uint64, isPLID bool) {
+	ib := idxBits(arity)
+	n := int(w >> pathLenShift)
+	head = int((w >> plidBits) & uint64(arity-1))
+	plid := w & (1<<plidBits - 1)
+	if n <= 1 {
+		return head, plid, true
+	}
+	rest := (w >> (plidBits + ib)) & (1<<((n-1)*ib) - 1)
+	return head, plid | rest<<plidBits | uint64(n-1)<<pathLenShift, false
+}
+
+// InlineAt extracts field i of an inline word without unpacking the rest.
+func InlineAt(w uint64, i, arity int) uint64 {
+	fb := 64 / arity
+	if fb >= 64 {
+		return w
+	}
+	return (w >> (i * fb)) & (1<<fb - 1)
+}
+
 // PackInline packs arity values into one inline word, one 64/arity-bit
 // field per value. It reports false when any value does not fit.
 func PackInline(vals []uint64, arity int) (uint64, bool) {
