@@ -201,6 +201,110 @@ func BenchmarkSegmentBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkSegmentBuildBulk compares line-at-a-time construction against
+// the batch pipeline on identical fresh content. Run the parallel variant
+// with -cpu=1,4 to see both single-thread batching gains and scaling;
+// cmd/benchjson emits the same comparison as BENCH_PR2.json.
+func BenchmarkSegmentBuildBulk(b *testing.B) {
+	mkWords := func(n int, seed uint64) []uint64 {
+		ws := make([]uint64, n)
+		x := seed*2654435761 + 1
+		for i := range ws {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			ws[i] = x
+		}
+		return ws
+	}
+	for _, n := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("serial/words%d", n), func(b *testing.B) {
+			m := core.NewMachine(core.DefaultConfig(16))
+			b.SetBytes(int64(n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := segment.BuildWordsSerial(m, mkWords(n, uint64(i)), nil)
+				segment.ReleaseSeg(m, s)
+			}
+		})
+		b.Run(fmt.Sprintf("bulk/words%d", n), func(b *testing.B) {
+			m := core.NewMachine(core.DefaultConfig(16))
+			b.SetBytes(int64(n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := segment.BuildWords(m, mkWords(n, uint64(i)), nil)
+				segment.ReleaseSeg(m, s)
+			}
+		})
+	}
+	// Parallel: goroutines build disjoint fresh segments over one machine.
+	for _, variant := range []struct {
+		name  string
+		build func(m *core.Machine, ws []uint64) segment.Seg
+	}{
+		{"parallel-serial", func(m *core.Machine, ws []uint64) segment.Seg {
+			return segment.BuildWordsSerial(m, ws, nil)
+		}},
+		{"parallel-bulk", func(m *core.Machine, ws []uint64) segment.Seg {
+			return segment.BuildWords(m, ws, nil)
+		}},
+	} {
+		b.Run(variant.name+"/words16384", func(b *testing.B) {
+			m := core.NewMachine(core.DefaultConfig(16))
+			var gid int64
+			b.SetBytes(16384 * 8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := uint64(atomic.AddInt64(&gid, 1)) << 32
+				i := uint64(0)
+				for pb.Next() {
+					i++
+					s := variant.build(m, mkWords(16384, g|i))
+					segment.ReleaseSeg(m, s)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBulkLoadMap compares one-Set-per-pair map loading against
+// SetMany's single-commit bulk path.
+func BenchmarkBulkLoadMap(b *testing.B) {
+	mkPairs := func(n int) []hds.Pair {
+		pairs := make([]hds.Pair, n)
+		for i := range pairs {
+			pairs[i] = hds.Pair{
+				Key:   []byte(fmt.Sprintf("bulk:key:%06d", i)),
+				Value: []byte(fmt.Sprintf("value payload %d with a fairly typical short body of text", i)),
+			}
+		}
+		return pairs
+	}
+	pairs := mkPairs(512)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := hds.NewHeap(core.DefaultConfig(16))
+			mp := hds.NewMap(h)
+			for _, p := range pairs {
+				k, v := hds.NewString(h, p.Key), hds.NewString(h, p.Value)
+				if err := mp.Set(k, v); err != nil {
+					b.Fatal(err)
+				}
+				k.Release(h)
+				v.Release(h)
+			}
+		}
+	})
+	b.Run("setmany", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := hds.NewHeap(core.DefaultConfig(16))
+			if _, err := hds.FromPairs(h, pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkIteratorSequentialScan(b *testing.B) {
 	m := core.NewMachine(core.DefaultConfig(16))
 	ws := make([]uint64, 4096)

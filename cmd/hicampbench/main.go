@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -36,6 +38,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig6, table1, conflict, fig7, fig8, table2, fig9, fig10, all)")
 	paper := flag.Bool("paper", false, "run at paper-approaching scale (slower)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -44,20 +48,54 @@ func main() {
 		}
 		return
 	}
+	// Profiles are finalized by defers inside realMain, so run/flag errors
+	// (which exit non-zero) still flush whatever was collected.
+	os.Exit(realMain(*exp, *paper, *cpuprofile, *memprofile))
+}
+
+func realMain(exp string, paper bool, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicampbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hicampbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hicampbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hicampbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	sc := experiments.ScaleTest
-	if *paper {
+	if paper {
 		sc = experiments.ScalePaper
 	}
 	ids := experimentOrder
-	if *exp != "all" {
-		ids = []string{*exp}
+	if exp != "all" {
+		ids = []string{exp}
 	}
 	for _, id := range ids {
 		if err := run(id, sc); err != nil {
 			fmt.Fprintf(os.Stderr, "hicampbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 func run(id string, sc experiments.Scale) error {

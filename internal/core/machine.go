@@ -185,6 +185,55 @@ func (m *Machine) LookupLine(c word.Content) word.PLID {
 	return p
 }
 
+// LookupLineBatch implements word.BatchMem: batched lookup-by-content
+// through the LLC. The LLC still observes every line individually — zero
+// contents resolve to Zero without touching the cache, and each remaining
+// content gets its own ProbeContent (per-line hit/miss accounting, exactly
+// as LookupLine charges it). Only the residue that missed the cache is
+// forwarded to the store's batch lookup, which takes each bucket stripe
+// lock once per batch and coalesces the DRAM accounting; the resolved
+// lines are then filled into the LLC one by one (fresh allocations dirty,
+// dedup hits clean), again with per-line eviction handling.
+func (m *Machine) LookupLineBatch(cs []word.Content) []word.PLID {
+	out := make([]word.PLID, len(cs))
+	if len(cs) == 0 {
+		return out
+	}
+	m.lookupOps.Add(uint64(len(cs)))
+	// Preallocated at batch size: misses are the common case on fresh
+	// content, and growing a []Content by doubling would copy the
+	// 144-byte elements repeatedly.
+	missIdx := make([]int, 0, len(cs))
+	missCs := make([]word.Content, 0, len(cs))
+	for i := range cs {
+		c := cs[i]
+		if c.IsZero() {
+			continue // out[i] stays word.Zero
+		}
+		if m.llc != nil {
+			set := int(c.Hash() & m.setMask)
+			if e, ok := m.llc.ProbeContent(set, c); ok {
+				p := word.PLID(e.Key.ID)
+				if m.store.RetainIfContent(p, c) {
+					out[i] = p
+					continue
+				}
+			}
+		}
+		missIdx = append(missIdx, i)
+		missCs = append(missCs, c)
+	}
+	if len(missCs) == 0 {
+		return out
+	}
+	plids, existed := m.store.LookupBatch(missCs)
+	for j, i := range missIdx {
+		out[i] = plids[j]
+		m.fillData(plids[j], missCs[j], !existed[j])
+	}
+	return out
+}
+
 // ReadLine implements word.Mem: read-by-PLID through the LLC. The caller
 // must hold a reference on p (architecturally guaranteed: PLIDs are a
 // protected type and naming one implies a live reference).
@@ -207,6 +256,15 @@ func (m *Machine) ReadLine(p word.PLID) word.Content {
 // Retain implements word.Mem.
 func (m *Machine) Retain(p word.PLID) {
 	m.store.Retain(p)
+}
+
+// RetainIfContent implements word.ContentRetainer: it acquires a
+// reference on p only if the line is still live with content c. This is
+// the same primitive the LLC content-hit path uses, with the same
+// accounting (one RC touch), so a caller-side content memo (for example
+// segment.Builder's) charges exactly what an LLC content hit would.
+func (m *Machine) RetainIfContent(p word.PLID, c word.Content) bool {
+	return m.store.RetainIfContent(p, c)
 }
 
 // RetainDeferred bumps p's reference count immediately but hands the
@@ -325,3 +383,4 @@ func (m *Machine) handleEviction(victim cachesim.Entry, evicted bool) {
 }
 
 var _ word.Mem = (*Machine)(nil)
+var _ word.BatchMem = (*Machine)(nil)

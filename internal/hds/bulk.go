@@ -1,0 +1,139 @@
+package hds
+
+import (
+	"repro/internal/iterreg"
+	"repro/internal/merge"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// Pair is one key/value binding for bulk map loading.
+type Pair struct {
+	Key, Value []byte
+}
+
+// Item is one numeric-key binding for bulk ordered loading.
+type Item struct {
+	Key   uint64
+	Value []byte
+}
+
+// NewStrings builds many strings through one segment.Builder, so repeated
+// strings and shared prefixes hit the builder's memo instead of issuing
+// per-line store lookups. The caller owns one reference per string.
+func NewStrings(h *Heap, bss [][]byte) []String {
+	b := segment.NewBuilder(h.M, 0)
+	defer b.Close()
+	out := make([]String, len(bss))
+	for i, bs := range bss {
+		out[i] = String{Seg: b.BuildBytes(bs), Len: uint64(len(bs))}
+	}
+	return out
+}
+
+// SetMany binds every pair, replacing previous bindings, in one committed
+// update: all key and value strings are built through a shared bulk
+// builder (one batch-lookup pipeline, memoized across pairs), then every
+// slot is written under a single iterator transaction with one merge
+// commit — instead of one open/commit round trip per key. Later duplicates
+// of a key win, matching sequential Set calls.
+func (mp *Map) SetMany(pairs []Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	keys := make([]String, len(pairs))
+	vals := make([]String, len(pairs))
+	{
+		b := segment.NewBuilder(mp.h.M, 0)
+		for i, p := range pairs {
+			keys[i] = String{Seg: b.BuildBytes(p.Key), Len: uint64(len(p.Key))}
+			vals[i] = String{Seg: b.BuildBytes(p.Value), Len: uint64(len(p.Value))}
+		}
+		b.Close()
+	}
+	err := retryCAS(func() (bool, error) {
+		it, err := iterreg.Open(mp.h.M, mp.h.SM, mp.vsid)
+		if err != nil {
+			return false, err
+		}
+		for i := range pairs {
+			key, value := keys[i], vals[i]
+			slot := slotFor(key)
+			if value.Seg.Root != word.Zero {
+				it.Store(slot+slotValue, uint64(value.Seg.Root), word.TagPLID)
+			} else {
+				it.Store(slot+slotValue, 0, word.TagRaw)
+			}
+			it.Store(slot+slotValLen, value.Len+1, word.TagRaw)
+			if key.Seg.Root != word.Zero {
+				it.Store(slot+slotKey, uint64(key.Seg.Root), word.TagPLID)
+			}
+			it.Store(slot+slotKeyLen, key.Len, word.TagRaw)
+		}
+		ok, err := it.CommitMerge(it.Size())
+		it.Close()
+		if err == merge.ErrConflict {
+			return false, nil
+		}
+		return ok, err
+	})
+	// The committed map DAG holds its own references; drop the builder's.
+	for i := range pairs {
+		keys[i].Release(mp.h)
+		vals[i].Release(mp.h)
+	}
+	return err
+}
+
+// FromPairs allocates a map holding the given bindings, bulk-loaded in
+// one commit.
+func FromPairs(h *Heap, pairs []Pair) (*Map, error) {
+	mp := NewMap(h)
+	if err := mp.SetMany(pairs); err != nil {
+		mp.Release()
+		return nil, err
+	}
+	return mp, nil
+}
+
+// PutMany binds every item in one committed update, the bulk counterpart
+// of Put: values are built through a shared bulk builder and all slots
+// commit in a single merge. Later duplicates of a key win.
+func (o *Ordered) PutMany(items []Item) error {
+	if len(items) == 0 {
+		return nil
+	}
+	vals := make([]String, len(items))
+	{
+		b := segment.NewBuilder(o.h.M, 0)
+		for i, item := range items {
+			vals[i] = String{Seg: b.BuildBytes(item.Value), Len: uint64(len(item.Value))}
+		}
+		b.Close()
+	}
+	err := retryCAS(func() (bool, error) {
+		it, err := iterreg.Open(o.h.M, o.h.SM, o.vsid)
+		if err != nil {
+			return false, err
+		}
+		for i, item := range items {
+			value := vals[i]
+			if value.Seg.Root != word.Zero {
+				it.Store(2*item.Key, uint64(value.Seg.Root), word.TagPLID)
+			} else {
+				it.Store(2*item.Key, 0, word.TagRaw)
+			}
+			it.Store(2*item.Key+1, value.Len+1, word.TagRaw)
+		}
+		ok, err := it.CommitMerge(it.Size())
+		it.Close()
+		if err == merge.ErrConflict {
+			return false, nil
+		}
+		return ok, err
+	})
+	for i := range vals {
+		vals[i].Release(o.h)
+	}
+	return err
+}

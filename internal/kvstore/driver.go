@@ -74,10 +74,8 @@ func NewWorkload(items, requests, meanSize int, seed int64) Workload {
 // window (preload traffic excluded, end-of-run cache flush included).
 func RunHicamp(cfg core.Config, w Workload) (store.Stats, *HicampServer, error) {
 	srv := NewHicampServer(cfg)
-	for i, key := range w.Corpus.Keys {
-		if err := srv.Set([]byte(key), w.Corpus.Items[i]); err != nil {
-			return store.Stats{}, nil, fmt.Errorf("preload %q: %w", key, err)
-		}
+	if err := srv.SetMany(w.Corpus.Keys, w.Corpus.Items); err != nil {
+		return store.Stats{}, nil, fmt.Errorf("preload: %w", err)
 	}
 	// Drain preload writebacks before opening the measurement window so
 	// the trace is charged only for its own traffic.

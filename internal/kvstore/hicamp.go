@@ -44,6 +44,18 @@ func (s *HicampServer) Set(key, value []byte) error {
 	return err
 }
 
+// SetMany stores many key-value pairs through the bulk path: all strings
+// are built by one batch pipeline (shared fragments memoize) and every
+// map slot commits in a single merge — the warmup/preload counterpart of
+// per-request Set.
+func (s *HicampServer) SetMany(keys []string, values [][]byte) error {
+	pairs := make([]hds.Pair, len(keys))
+	for i := range keys {
+		pairs[i] = hds.Pair{Key: []byte(keys[i]), Value: values[i]}
+	}
+	return s.kvp.SetMany(pairs)
+}
+
 // Get returns the value for key. The read runs against a private
 // snapshot: no locking, no interference from concurrent sets (§4.4).
 func (s *HicampServer) Get(key []byte) ([]byte, bool) {

@@ -1,12 +1,44 @@
 package segment
 
-import "repro/internal/word"
+import (
+	"encoding/binary"
+
+	"repro/internal/word"
+)
+
+// bulkMinLeaves is the leaf count at which BuildWords switches from the
+// serial line-at-a-time loop to the batch pipeline: below it the batch
+// bookkeeping costs more than the lock round trips it saves.
+const bulkMinLeaves = 8
 
 // BuildWords builds the canonical segment holding the given tagged words.
 // The segment's height is the minimum covering len(ws); trailing capacity
 // reads as zero. The returned segment owns one reference on its root.
 // Passing nil tags treats every word as raw data.
+//
+// Large inputs route through a transient Builder (batched store lookups,
+// per-call memoization); small ones use the serial loop. Both produce the
+// same canonical root. Bulk producers that build many segments should
+// hold their own Builder so the memo persists across calls.
 func BuildWords(m word.Mem, ws []uint64, ts []word.Tag) Seg {
+	if (len(ws)+m.LineWords()-1)/m.LineWords() >= bulkMinLeaves {
+		// Transient builder: no memo. A one-shot build cannot amortize the
+		// memo's per-line table inserts, and within-level duplicates are
+		// deduplicated by the batch itself; the memo pays off only when a
+		// Builder lives across builds.
+		b := NewBuilder(m, 0)
+		b.memoCap = 0
+		defer b.Close()
+		return b.BuildWords(ws, ts)
+	}
+	return BuildWordsSerial(m, ws, ts)
+}
+
+// BuildWordsSerial is the line-at-a-time reference implementation of
+// BuildWords: one lookup-by-content per line, in canonical order. It is
+// kept as the semantic baseline the Builder is verified (and benchmarked)
+// against.
+func BuildWordsSerial(m word.Mem, ws []uint64, ts []word.Tag) Seg {
 	arity := m.LineWords()
 	n := uint64(len(ws))
 	if n == 0 {
@@ -62,21 +94,27 @@ func BuildWords(m word.Mem, ws []uint64, ts []word.Tag) Seg {
 // BuildBytes builds the canonical segment holding the byte string b,
 // packed little-endian into raw words.
 func BuildBytes(m word.Mem, b []byte) Seg {
+	return BuildWords(m, packWordsLE(b), nil)
+}
+
+// packWordsLE packs a byte string little-endian into 64-bit words,
+// zero-padding the final partial word. Full words decode with
+// binary.LittleEndian; only the tail (< 8 bytes) takes the shift loop.
+func packWordsLE(b []byte) []uint64 {
 	n := (len(b) + 7) / 8
 	ws := make([]uint64, n)
-	for i := range ws {
-		lo := i * 8
-		hi := lo + 8
-		if hi > len(b) {
-			hi = len(b)
-		}
-		var v uint64
-		for k := lo; k < hi; k++ {
-			v |= uint64(b[k]) << (8 * (k - lo))
-		}
-		ws[i] = v
+	full := len(b) / 8
+	for i := 0; i < full; i++ {
+		ws[i] = binary.LittleEndian.Uint64(b[i*8:])
 	}
-	return BuildWords(m, ws, nil)
+	if full < n {
+		var v uint64
+		for k := full * 8; k < len(b); k++ {
+			v |= uint64(b[k]) << (8 * (k - full*8))
+		}
+		ws[full] = v
+	}
+	return ws
 }
 
 // NewSparse returns an empty segment of the given height, ready for sparse

@@ -2,6 +2,7 @@ package spmv
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/segment"
 	"repro/internal/word"
@@ -21,8 +22,139 @@ type QTS struct {
 	Cols int
 }
 
-// BuildQTS constructs the quad-tree in the machine's deduplicated memory.
+// BuildQTS constructs the quad-tree in the machine's deduplicated memory
+// through the bulk pipeline: nonzeros are first partitioned (no memory
+// traffic) into their 2x2 leaf blocks keyed by quadrant path, then the
+// tree is canonicalized bottom-up one whole level at a time with batched
+// lookups, instead of one recursive CanonNode per block. The resulting
+// root is identical to the recursive construction — the canonical form is
+// order-independent.
 func BuildQTS(m word.Mem, mat *Matrix) *QTS {
+	dim := mat.Dim()
+	b := segment.NewBuilder(m, 0)
+	defer b.Close()
+
+	// Partition: each nonzero descends to its leaf block, accumulating a
+	// base-4 quadrant path (2 bits per level, slots matching quadNode:
+	// 0=A11, 1=A22, 2=A12, 3=A21 transposed). Entering A21 transposes the
+	// local coordinates — the QTS sharing trick, applied arithmetically.
+	keys := make([]uint64, 0, 64)
+	blocks := make(map[uint64]*[4]uint64)
+	addNZ := func(r, c int, v float64) {
+		var key uint64
+		for size := dim; size > 2; size /= 2 {
+			h := size / 2
+			switch {
+			case r < h && c < h:
+				key = key*4 + 0
+			case r >= h && c >= h:
+				key, r, c = key*4+1, r-h, c-h
+			case r < h:
+				key, c = key*4+2, c-h
+			default:
+				key, r, c = key*4+3, c, r-h // transpose into A21^T
+			}
+		}
+		blk := blocks[key]
+		if blk == nil {
+			blk = new([4]uint64)
+			blocks[key] = blk
+			keys = append(keys, key)
+		}
+		blk[r*2+c] = math.Float64bits(v)
+	}
+	for r := 0; r < mat.Rows; r++ {
+		for k := mat.RowPtr[r]; k < mat.RowPtr[r+1]; k++ {
+			addNZ(r, int(mat.ColIdx[k]), mat.Vals[k])
+		}
+	}
+	if len(keys) == 0 {
+		return &QTS{Root: word.Zero, Dim: dim, Rows: mat.Rows, Cols: mat.Cols}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Leaf level: every populated 2x2 block canonicalized in one batch.
+	edges := leafBlocks(m, b, keys, blocks)
+
+	// Interior levels, bottom-up: group nodes by parent path (key >> 2),
+	// slot them by the dropped digit, canonicalize the whole level at once.
+	levels := 0
+	for size := dim; size > 2; size /= 2 {
+		levels++
+	}
+	for l := 0; l < levels; l++ {
+		parentKeys := make([]uint64, 0, len(keys))
+		children := make(map[uint64]*[4]segment.Edge)
+		for i, k := range keys {
+			pk := k >> 2
+			grp := children[pk]
+			if grp == nil {
+				grp = new([4]segment.Edge)
+				children[pk] = grp
+				parentKeys = append(parentKeys, pk)
+			}
+			grp[k&3] = edges[i]
+		}
+		parents := quadNodes(m, b, parentKeys, children)
+		releaseEdges(m, edges...)
+		keys, edges = parentKeys, parents
+	}
+	return &QTS{
+		Root: segment.SegFromEdge(m, edges[0], 0).Root,
+		Dim:  dim,
+		Rows: mat.Rows,
+		Cols: mat.Cols,
+	}
+}
+
+// leafBlocks canonicalizes every populated 2x2 block in one batch,
+// returning one owned edge per key (in key order).
+func leafBlocks(m word.Mem, b *segment.Builder, keys []uint64, blocks map[uint64]*[4]uint64) []segment.Edge {
+	arity := m.LineWords()
+	if arity >= 4 {
+		ws := make([]uint64, len(keys)*arity)
+		for i, k := range keys {
+			copy(ws[i*arity:], blocks[k][:])
+		}
+		return b.CanonLeaves(ws)
+	}
+	// 2-word lines: each block is two value lines under one node.
+	ws := make([]uint64, len(keys)*4)
+	for i, k := range keys {
+		copy(ws[i*4:], blocks[k][:])
+	}
+	rows := b.CanonLeaves(ws) // top, bot per block
+	out := b.CanonNodes(rows)
+	releaseEdges(m, rows...)
+	return out
+}
+
+// quadNodes combines each parent's four quadrant edges into one node edge
+// per parent, the batch equivalent of quadNode (same [ [A11,A22],
+// [A12,A21^T] ] layout). Child edges are borrowed.
+func quadNodes(m word.Mem, b *segment.Builder, parentKeys []uint64, children map[uint64]*[4]segment.Edge) []segment.Edge {
+	arity := m.LineWords()
+	if arity >= 4 {
+		flat := make([]segment.Edge, len(parentKeys)*arity)
+		for i, pk := range parentKeys {
+			copy(flat[i*arity:], children[pk][:])
+		}
+		return b.CanonNodes(flat)
+	}
+	// 2-word lines: left = [A11, A22], right = [A12, A21^T], top = [left, right].
+	lr := make([]segment.Edge, len(parentKeys)*4)
+	for i, pk := range parentKeys {
+		copy(lr[i*4:], children[pk][:])
+	}
+	halves := b.CanonNodes(lr) // left, right per parent
+	out := b.CanonNodes(halves)
+	releaseEdges(m, halves...)
+	return out
+}
+
+// buildQTSRecursive is the original one-node-at-a-time construction, kept
+// as the reference BuildQTS is verified against.
+func buildQTSRecursive(m word.Mem, mat *Matrix) *QTS {
 	dim := mat.Dim()
 	ts := make([]Triplet, 0, mat.NNZ())
 	for r := 0; r < mat.Rows; r++ {

@@ -1,0 +1,32 @@
+package spmv
+
+import (
+	"testing"
+)
+
+// The batch BuildQTS must land on the identical root PLID as the original
+// recursive construction, at every line width and matrix shape — the
+// canonical form does not depend on construction order.
+func TestBuildQTSMatchesRecursive(t *testing.T) {
+	for _, lb := range []int{16, 32, 64} {
+		for _, m := range []*Matrix{
+			FEM2D(6), FEM3D(3), LP(4, 3, 8, 2), Banded(20, 3, false, 3),
+			Circuit(24, 3, 4), Pattern(3, 8, 5), Random(20, 0.1, 6),
+			NewMatrix("tiny", "test", 2, 2, []Triplet{{0, 1, 2.5}}),
+			NewMatrix("empty", "test", 4, 4, nil),
+		} {
+			mach := testMachine(lb)
+			want := buildQTSRecursive(mach, m)
+			got := BuildQTS(mach, m)
+			if got.Root != want.Root || got.Dim != want.Dim {
+				t.Fatalf("lb=%d %s: bulk root %#x/dim%d != recursive %#x/dim%d",
+					lb, m.Name, got.Root, got.Dim, want.Root, want.Dim)
+			}
+			want.Release(mach)
+			got.Release(mach)
+			if mach.LiveLines() != 0 {
+				t.Fatalf("lb=%d %s: %d lines leaked", lb, m.Name, mach.LiveLines())
+			}
+		}
+	}
+}

@@ -59,6 +59,27 @@ func (rt *rowTracker) touch(row uint64) bool {
 	return false
 }
 
+// touchN records n back-to-back accesses to the same row with two atomic
+// adds instead of n: at most the first access activates the row, every
+// subsequent one hits the then-open row — exactly the counts an
+// uninterrupted sequence of touch calls would produce. The batch lookup
+// path uses it to coalesce one lookup's row accounting.
+func (rt *rowTracker) touchN(row uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	bank := row % rowBanks
+	hits := uint64(n)
+	if rt.open[bank].Load() != row+1 {
+		rt.open[bank].Store(row + 1)
+		rt.activations.Add(1)
+		hits--
+	}
+	if hits > 0 {
+		rt.rowHits.Add(hits)
+	}
+}
+
 func (rt *rowTracker) reset() {
 	rt.activations.Store(0)
 	rt.rowHits.Store(0)

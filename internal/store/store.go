@@ -424,10 +424,11 @@ func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 	if int(c.N) != s.arity {
 		panic(fmt.Sprintf("store: content width %d, line width %d", c.N, s.arity))
 	}
-	bkt := s.BucketIndex(c)
+	h := c.Hash()
+	bkt := h & s.bucketMask
 	st := stripeOf(bkt)
 	s.bump(st, cLookups)
-	sig := c.Signature()
+	sig := word.SignatureOf(h)
 
 	// Dedup-hit fast path: most steady-state lookups find their content
 	// already resident and only need an rc increment, which the shared
@@ -437,7 +438,12 @@ func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 		return p, true
 	}
 
-	p, existed, ev := s.lookupIn(bkt, st, c, sig)
+	var acc [statCount]uint64
+	mu := &s.stripes[st].mu
+	mu.Lock()
+	p, existed, ev := s.lookupLocked(bkt, c, sig, &acc)
+	mu.Unlock()
+	s.flush(st, &acc)
 	s.fire1(ev.p, ev.init)
 	if !existed {
 		// The line's own references on its children. The caller holds a
@@ -446,6 +452,94 @@ func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 		s.retainChildren(c)
 	}
 	return p, existed
+}
+
+// LookupBatch performs lookup-by-content for every content in cs, the bulk
+// write-path primitive behind segment.Builder: contents are grouped by
+// bucket stripe so each stripe lock is taken once per batch (not once per
+// line), DRAM accounting is accumulated locally and flushed with one
+// atomic add per counter per stripe group, and row touches coalesce per
+// lookup. Results are positional: plids[i] and existed[i] describe cs[i]
+// with the same reference semantics as Lookup (the caller acquires one
+// reference per element; fresh allocations additionally retain their
+// PLID-tagged children).
+//
+// Stripe groups are processed in ascending stripe order with the overflow
+// lock only ever nested inside one stripe lock — the same stripe-then-
+// overflow order every other path uses, so concurrent batches (and
+// singular lookups) cannot deadlock. Duplicate contents within one batch
+// are safe: they land in the same stripe group, serialize under its lock,
+// and the second finds the line the first allocated. Reference-count
+// events fire, and children of fresh lines are retained, only after every
+// stripe lock has been released.
+func (s *Store) LookupBatch(cs []word.Content) (plids []word.PLID, existed []bool) {
+	n := len(cs)
+	plids = make([]word.PLID, n)
+	existed = make([]bool, n)
+	if n == 0 {
+		return plids, existed
+	}
+	events := make([]rcEvent, n)
+	bkts := make([]uint64, n)
+	sigs := make([]uint8, n)
+	var counts [numStripes]int32
+	for i := range cs {
+		if cs[i].IsZero() {
+			panic("store: LookupBatch of zero content (use word.Zero)")
+		}
+		if int(cs[i].N) != s.arity {
+			panic(fmt.Sprintf("store: content width %d, line width %d", cs[i].N, s.arity))
+		}
+		h := cs[i].Hash()
+		bkts[i] = h & s.bucketMask
+		sigs[i] = word.SignatureOf(h)
+		counts[stripeOf(bkts[i])]++
+	}
+	// Counting sort of batch indices by stripe: order[start[st]:start[st+1]]
+	// lists the elements of stripe st in input order.
+	var start [numStripes + 1]int32
+	for st := 0; st < numStripes; st++ {
+		start[st+1] = start[st] + counts[st]
+	}
+	order := make([]int32, n)
+	next := start
+	for i := range cs {
+		st := stripeOf(bkts[i])
+		order[next[st]] = int32(i)
+		next[st]++
+	}
+	for st := 0; st < numStripes; st++ {
+		group := order[start[st]:start[st+1]]
+		if len(group) == 0 {
+			continue
+		}
+		var acc [statCount]uint64
+		acc[cLookups] = uint64(len(group))
+		mu := &s.stripes[st].mu
+		mu.Lock()
+		for _, i := range group {
+			plids[i], existed[i], events[i] = s.lookupLocked(bkts[i], cs[i], sigs[i], &acc)
+		}
+		mu.Unlock()
+		s.flush(st, &acc)
+	}
+	for i := range cs {
+		s.fire1(events[i].p, events[i].init)
+		if !existed[i] {
+			s.retainChildren(cs[i])
+		}
+	}
+	return plids, existed
+}
+
+// flush adds a local counter accumulator into a stats shard, one atomic
+// add per non-zero counter.
+func (s *Store) flush(shard int, acc *[statCount]uint64) {
+	for i, v := range acc {
+		if v != 0 {
+			atomic.AddUint64(&s.shards[shard].c[i], v)
+		}
+	}
 }
 
 // lookupFast probes for an existing line under the stripe's shared lock.
@@ -503,21 +597,19 @@ func (s *Store) lookupFast(bkt uint64, st int, c word.Content, sig uint8) (word.
 // touches land after the data access rather than during it; hardware
 // interleaves concurrent lookups' row activity the same way.
 func (s *Store) chargeHit(bkt uint64, st, reads, falseSig int) {
-	for i := 0; i <= reads; i++ {
-		s.rows.touch(bkt)
-	}
+	s.rows.touchN(bkt, reads+1)
 	s.bump(st, cSigReads)
 	s.bumpN(st, cLookupReads, reads)
 	s.bumpN(st, cFalseSig, falseSig)
 	s.bump(st, cLookupHits)
 }
 
-// lookupIn is the locked body of Lookup; it returns the rc event to fire
-// once the locks are gone.
-func (s *Store) lookupIn(bkt uint64, st int, c word.Content, sig uint8) (word.PLID, bool, rcEvent) {
-	mu := &s.stripes[st].mu
-	mu.Lock()
-	defer mu.Unlock()
+// lookupLocked is the locked body of Lookup and LookupBatch: the caller
+// holds the bucket's stripe lock exclusively. DRAM accounting is charged
+// into acc (the caller flushes it into the stripe's shard after
+// unlocking), and the lookup's row accesses coalesce into one touchN per
+// element. It returns the rc event to fire once the locks are gone.
+func (s *Store) lookupLocked(bkt uint64, c word.Content, sig uint8, acc *[statCount]uint64) (word.PLID, bool, rcEvent) {
 	b := &s.buckets[bkt]
 	if b.ways == nil {
 		b.ways = make([]line, s.cfg.DataWays)
@@ -526,22 +618,24 @@ func (s *Store) lookupIn(bkt uint64, st int, c word.Content, sig uint8) (word.PL
 	// Step 2-3: read the signature line, compare signatures. This is the
 	// access that opens the bucket's DRAM row; the candidate reads,
 	// signature update and RC access below stay in the open row (§3.1).
-	s.rows.touch(bkt)
-	s.bump(st, cSigReads)
+	touches := 1
+	acc[cSigReads]++
 	for w := range b.ways {
 		ln := &b.ways[w]
 		if !ln.used || ln.sig != sig {
 			continue
 		}
 		// Step 4: candidate data line read and compare (open-row hit).
-		s.rows.touch(bkt)
-		s.bump(st, cLookupReads)
+		touches++
+		acc[cLookupReads]++
 		if ln.content == c {
 			atomic.AddUint64(&ln.rc, 1)
-			s.bump(st, cLookupHits)
-			return s.plidFor(bkt, w), true, rcEvent{s.plidFor(bkt, w), false}
+			acc[cLookupHits]++
+			s.rows.touchN(bkt, touches)
+			p := s.plidFor(bkt, w)
+			return p, true, rcEvent{p, false}
 		}
-		s.bump(st, cFalseSig)
+		acc[cFalseSig]++
 	}
 	// Overflow lines for this content are found via the overflow scan
 	// chained from the bucket row; model it as one extra read in the
@@ -551,9 +645,10 @@ func (s *Store) lookupIn(bkt uint64, st int, c word.Content, sig uint8) (word.PL
 		p := s.overflowPLID(slot)
 		s.overflow[slot].rc++
 		s.ovMu.Unlock()
-		s.rows.touch(bkt)
-		s.bump(st, cLookupReads)
-		s.bump(st, cLookupHits)
+		touches++
+		acc[cLookupReads]++
+		acc[cLookupHits]++
+		s.rows.touchN(bkt, touches)
 		return p, true, rcEvent{p, false}
 	}
 	s.ovMu.Unlock()
@@ -563,14 +658,17 @@ func (s *Store) lookupIn(bkt uint64, st int, c word.Content, sig uint8) (word.PL
 	for w := range b.ways {
 		if !b.ways[w].used {
 			b.ways[w] = line{used: true, sig: sig, rc: 1, content: c}
-			s.rows.touch(bkt)
-			s.bump(st, cSigWrites)
-			s.bump(st, cAllocs)
+			touches++
+			acc[cSigWrites]++
+			acc[cAllocs]++
 			s.liveLines.Add(1)
-			return s.plidFor(bkt, w), false, rcEvent{s.plidFor(bkt, w), true}
+			s.rows.touchN(bkt, touches)
+			p := s.plidFor(bkt, w)
+			return p, false, rcEvent{p, true}
 		}
 	}
 	// Bucket full: spill to the overflow area.
+	s.rows.touchN(bkt, touches)
 	p := s.allocOverflow(c, sig)
 	return p, false, rcEvent{p, true}
 }

@@ -1,0 +1,59 @@
+package vmhost
+
+import (
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// Host ingests synthesized VM images into a real deduplicating memory
+// system, complementing the hash-counting Meter: where the Meter predicts
+// the line population, the Host actually builds each VM image as one
+// segment, so dedup happens in the store and the footprint includes the
+// DAG's interior nodes. One bulk builder is shared across all ingested
+// VMs — its memo makes the heavy cross-VM redundancy (OS pages, app
+// pages, delta ancestors) resolve without store lookup traffic.
+type Host struct {
+	m   word.Mem
+	b   *segment.Builder
+	vms []segment.Seg
+}
+
+// NewHost creates an ingest host over m. For footprints comparable with
+// the Meter, m should use 64-byte lines (the Figure 9/10 configuration).
+func NewHost(m word.Mem) *Host {
+	return &Host{m: m, b: segment.NewBuilder(m, 0)}
+}
+
+// Ingest synthesizes one VM image and builds it as a segment through the
+// bulk pipeline. The Host keeps the segment alive (the VM is "running")
+// until Close; the returned segment is valid for that lifetime. Identical
+// images — same class, same instance — land on identical roots.
+func (h *Host) Ingest(c Class, instance int) segment.Seg {
+	image := make([]byte, 0, c.Pages*PageBytes)
+	SynthesizeVM(c, instance, func(page []byte) {
+		image = append(image, page...)
+	})
+	return h.IngestImage(image)
+}
+
+// IngestImage builds an already-materialized VM image (any byte string —
+// a migration stream, a checkpoint file) as a segment through the bulk
+// pipeline, with the same lifetime rules as Ingest.
+func (h *Host) IngestImage(image []byte) segment.Seg {
+	seg := h.b.BuildBytes(image)
+	h.vms = append(h.vms, seg)
+	return seg
+}
+
+// VMs returns the ingested images, in order.
+func (h *Host) VMs() []segment.Seg { return h.vms }
+
+// Close powers off every VM: all image segments and the builder's memo
+// references are released.
+func (h *Host) Close() {
+	for _, s := range h.vms {
+		segment.ReleaseSeg(h.m, s)
+	}
+	h.vms = nil
+	h.b.Close()
+}

@@ -1,0 +1,68 @@
+package vmhost
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+func ingestMachine() *core.Machine {
+	return core.NewMachine(core.Config{
+		LineBytes: 64, BucketBits: 16, DataWays: 12, CacheLines: 2048, CacheWays: 8,
+	})
+}
+
+func TestIngestIdenticalVMsShareEverything(t *testing.T) {
+	m := ingestMachine()
+	h := NewHost(m)
+	c, _ := ClassByName("file")
+
+	a := h.Ingest(c, 0)
+	lines := m.LiveLines()
+	b := h.Ingest(c, 0) // same class, same instance: identical image
+	if !a.Equal(b) {
+		t.Fatalf("identical VM images got roots %#x vs %#x", a.Root, b.Root)
+	}
+	if added := m.LiveLines() - lines; added != 0 {
+		t.Fatalf("re-ingesting an identical VM allocated %d new lines", added)
+	}
+	h.Close()
+	if live := m.LiveLines(); live != 0 {
+		t.Fatalf("%d lines leaked after Close", live)
+	}
+}
+
+func TestIngestSameClassSharesMostLines(t *testing.T) {
+	// A second instance of the same class shares OS, app and delta-ancestor
+	// content: it must allocate well under half of what the first did.
+	m := ingestMachine()
+	h := NewHost(m)
+	defer h.Close()
+	c, _ := ClassByName("web")
+
+	h.Ingest(c, 0)
+	first := m.LiveLines()
+	h.Ingest(c, 1)
+	added := m.LiveLines() - first
+	if added*2 >= first {
+		t.Fatalf("second instance allocated %d of %d lines; cross-VM sharing missing", added, first)
+	}
+}
+
+func TestIngestMatchesSynthesis(t *testing.T) {
+	// The segment must hold exactly the synthesized image bytes.
+	m := ingestMachine()
+	h := NewHost(m)
+	defer h.Close()
+	c, _ := ClassByName("standby")
+
+	var want []byte
+	SynthesizeVM(c, 3, func(page []byte) { want = append(want, page...) })
+	seg := h.Ingest(c, 3)
+	got := segment.ReadBytes(m, seg, 0, uint64(len(want)))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ingested image does not match synthesis (%d vs %d bytes)", len(got), len(want))
+	}
+}

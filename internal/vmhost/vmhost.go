@@ -116,6 +116,14 @@ func (mt *Meter) addPage(page []byte) {
 // and feeds it to the meter. Instances of the same class share OS and
 // application pages; each instance's delta and unique pages differ.
 func (mt *Meter) AddVM(c Class, instance int) {
+	SynthesizeVM(c, instance, mt.addPage)
+}
+
+// SynthesizeVM generates the pages of one VM image in order, calling emit
+// for each. The page buffer is reused between calls — emit must consume
+// (hash, copy, append) before returning. Both the streaming Meter and the
+// store-backed Host ingest consume the same synthesis through this hook.
+func SynthesizeVM(c Class, instance int, emit func(page []byte)) {
 	page := make([]byte, PageBytes)
 	nOS := int(float64(c.Pages) * c.OSShare)
 	nApp := int(float64(c.Pages) * c.AppShare)
@@ -129,11 +137,11 @@ func (mt *Meter) AddVM(c Class, instance int) {
 
 	for i := 0; i < nOS; i++ {
 		fillSeeded(page, seedFor("os", c.OS, 0, i), 0)
-		mt.addPage(page)
+		emit(page)
 	}
 	for i := 0; i < nApp; i++ {
 		fillSeeded(page, seedFor("app:"+c.Name, 0, 0, i), 0)
-		mt.addPage(page)
+		emit(page)
 	}
 	for i := 0; i < nDelta; i++ {
 		// Shared ancestor content, then per-instance line modifications.
@@ -143,13 +151,13 @@ func (mt *Meter) AddVM(c Class, instance int) {
 			off := rng.Intn(PageBytes/LineBytes) * LineBytes
 			rng.Read(page[off : off+LineBytes])
 		}
-		mt.addPage(page)
+		emit(page)
 	}
 	for i := 0; i < nZero; i++ {
 		for b := range page {
 			page[b] = 0
 		}
-		mt.addPage(page)
+		emit(page)
 	}
 	for i := 0; i < nPart; i++ {
 		// Unique header lines, zero tail: buffers and stacks.
@@ -157,11 +165,11 @@ func (mt *Meter) AddVM(c Class, instance int) {
 			page[b] = 0
 		}
 		fillSeeded(page[:4*LineBytes], seedFor("part:"+c.Name, 0, instance, i), 0)
-		mt.addPage(page)
+		emit(page)
 	}
 	for i := 0; i < nUnique; i++ {
 		fillSeeded(page, seedFor("uniq:"+c.Name, 0, instance, i), 0)
-		mt.addPage(page)
+		emit(page)
 	}
 }
 

@@ -159,8 +159,13 @@ func (c Content) Hash() uint64 {
 // of a hash bucket (paper §3.1). It is derived from hash bits disjoint from
 // the low bucket-index bits so that signatures discriminate within a bucket.
 // The returned signature is never zero: zero marks an empty way.
-func (c Content) Signature() uint8 {
-	s := uint8(c.Hash() >> 56)
+func (c Content) Signature() uint8 { return SignatureOf(c.Hash()) }
+
+// SignatureOf derives the bucket signature from an already computed content
+// hash, so batch paths that need both the bucket index and the signature
+// hash each content once.
+func SignatureOf(h uint64) uint8 {
+	s := uint8(h >> 56)
 	if s == 0 {
 		s = 0xA5
 	}
@@ -190,6 +195,31 @@ type Mem interface {
 	// PLIDBits returns how many low bits of a word a PLID can occupy,
 	// bounding the space available for path compaction.
 	PLIDBits() int
+}
+
+// BatchMem is implemented by memory systems that support batched
+// lookup-by-content. LookupLineBatch behaves exactly like one LookupLine
+// per element — positional results, one reference acquired per element,
+// all-zero contents resolving to Zero — but lets the memory system take
+// its internal locks once per batch instead of once per line. Bulk
+// producers (segment.Builder) type-assert for it and fall back to
+// LookupLine when the Mem does not provide it.
+type BatchMem interface {
+	Mem
+	LookupLineBatch(cs []Content) []PLID
+}
+
+// ContentRetainer is implemented by memory systems that can validate a
+// remembered content→PLID association: RetainIfContent acquires one
+// reference on p only if the line is still live and still holds content
+// c, reporting whether it did. This is the primitive behind content-hit
+// caching — between remembering the association and reusing it, the line
+// may have been freed (and even reallocated for different content) by a
+// concurrent release; a false return means the caller must fall back to
+// the authoritative LookupLine path. A successful call charges exactly
+// one reference-count touch, never lookup traffic.
+type ContentRetainer interface {
+	RetainIfContent(p PLID, c Content) bool
 }
 
 func le64(b []byte) uint64 {
