@@ -456,3 +456,98 @@ func BenchmarkExperimentSuite(b *testing.B) {
 		experiments.RunFig10()
 	}
 }
+
+// --- PR 3: bulk read/gather pipeline -----------------------------------
+//
+// Benchmarks named Bulk* form the CI bench smoke stage
+// (go test -run=NONE -bench=Bulk -benchtime=1x ./...); keep them fast.
+
+// BenchmarkBulkMultiGet compares per-key GetVia against one GetMany for
+// a power-law GET batch — the benchjson kv_multiget pair at test scale.
+func BenchmarkBulkMultiGet(b *testing.B) {
+	const items, batchKeys = 256, 512
+	c := datagen.HTMLCorpus("bench-bulk-mget", items, 512, 21)
+	trace := datagen.RequestTrace(items, 3*batchKeys, 10, 33)
+	keys := make([][]byte, 0, batchKeys)
+	for _, r := range trace {
+		if r.Get {
+			keys = append(keys, []byte(c.Keys[r.Key]))
+			if len(keys) == batchKeys {
+				break
+			}
+		}
+	}
+	newSrv := func(b *testing.B) *kvstore.HicampServer {
+		srv := kvstore.NewHicampServer(core.TestConfig())
+		if err := srv.SetMany(c.Keys, c.Items); err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	b.Run("serial", func(b *testing.B) {
+		srv := newSrv(b)
+		reader, err := srv.OpenReader()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer reader.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				srv.GetVia(reader, k)
+			}
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		srv := newSrv(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.GetMany(keys)
+		}
+	})
+}
+
+// BenchmarkBulkSpMVGather compares the depth-first SpMV kernel against
+// the level-order gather kernel on a warm machine.
+func BenchmarkBulkSpMVGather(b *testing.B) {
+	mat := spmv.FEM2D(24)
+	mach := core.NewMachine(core.TestConfig())
+	q := spmv.BuildQTS(mach, mat)
+	x := make([]float64, mat.Cols)
+	for i := range x {
+		x[i] = float64(i%97)/48.5 - 1
+	}
+	xseg := spmv.BuildXSegment(mach, x)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.MulVec(mach, xseg, mat.Cols)
+		}
+	})
+	b.Run("gather", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.MulVecGather(mach, xseg, mat.Cols)
+		}
+	})
+}
+
+// BenchmarkBulkReadWords compares serial ReadWords (one root walk per
+// word) against the level-order materializer on one large segment.
+func BenchmarkBulkReadWords(b *testing.B) {
+	m := core.NewMachine(core.TestConfig())
+	ws := make([]uint64, 1<<14)
+	for i := range ws {
+		ws[i] = uint64(i) * 2654435761
+	}
+	s := segment.BuildWords(m, ws, nil)
+	n := uint64(len(ws))
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			segment.ReadWords(m, s, 0, n)
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			segment.ReadWordsBulk(m, s, 0, n)
+		}
+	})
+}

@@ -1,7 +1,8 @@
-// Command benchjson measures the bulk segment-construction pipeline
-// against the line-at-a-time baseline and writes the comparison as
-// machine-readable JSON (BENCH_PR2.json in the repo root). Each pair is
-// run at GOMAXPROCS 1 and 4 and reports two axes:
+// Command benchjson measures the bulk segment pipelines — construction
+// (PR 2) and the read/gather path (PR 3) — against their line-at-a-time
+// baselines and writes the comparison as machine-readable JSON
+// (BENCH_PR3.json in the repo root). Each pair is run at GOMAXPROCS 1
+// and 4 and reports two axes:
 //
 //   - wall-clock (minimum over interleaved repetitions, fresh machine per
 //     repetition), the host-software cost of driving the simulated memory
@@ -14,7 +15,7 @@
 // commits (wall-clock), while memoization avoids simulated lookup traffic
 // (DRAM) at the price of bookkeeping the host must execute.
 //
-//	go run ./cmd/benchjson -o BENCH_PR2.json
+//	go run ./cmd/benchjson -o BENCH_PR3.json
 package main
 
 import (
@@ -31,7 +32,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/hds"
+	"repro/internal/kvstore"
 	"repro/internal/segment"
+	"repro/internal/spmv"
 	"repro/internal/vmhost"
 )
 
@@ -74,7 +77,7 @@ type pair struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output file")
+	out := flag.String("o", "BENCH_PR3.json", "output file")
 	only := flag.String("only", "", "run only the pair with this name")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs")
 	flag.Parse()
@@ -86,6 +89,8 @@ func main() {
 		ingestVMsNoCache(),
 		loadMap(),
 		parallelBuild(),
+		multiGet(),
+		spmvGather(),
 	}
 
 	if *only != "" {
@@ -109,10 +114,12 @@ func main() {
 	}
 
 	rep := Report{
-		Description: "Bulk (batched + memoized) segment construction vs the " +
-			"line-at-a-time baseline. Wall-clock is min over interleaved reps " +
-			"with a fresh machine per rep; DRAM accesses are the simulated " +
-			"store totals (deterministic per workload).",
+		Description: "Bulk segment pipelines vs line-at-a-time baselines: " +
+			"batched+memoized construction (build/ingest/load pairs) and the " +
+			"level-order bulk read path (multi-get and SpMV gather pairs). " +
+			"Wall-clock is min over interleaved reps with a fresh machine per " +
+			"rep; DRAM accesses are the simulated store totals (deterministic " +
+			"per workload).",
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 	}
@@ -382,6 +389,108 @@ func loadMap() pair {
 			}
 			return dramTotal(h.M)
 		},
+	}
+}
+
+// multiGet measures the PR 3 tentpole on its memcached shape: a
+// 4096-key GET batch from the repo's power-law request trace, resolved
+// one GetVia at a time versus one GetMany. Popular keys repeat within
+// the batch at reuse distances far beyond a busy server's cache slice
+// (the LLC here is scaled to 256 KB against an ~8 MB corpus), so the
+// serial side re-misses every repeat while the bulk side's waves
+// request each distinct line exactly once — repeated values, map
+// interiors shared between slots, fragments shared between
+// deduplicated items.
+func multiGet() pair {
+	const items, batchKeys = 4096, 4096
+	c := datagen.HTMLCorpus("benchjson-mget", items, 2048, 21)
+	trace := datagen.RequestTrace(items, 3*batchKeys, 10, 33)
+	keys := make([][]byte, 0, batchKeys)
+	for _, r := range trace {
+		if r.Get {
+			keys = append(keys, []byte(c.Keys[r.Key]))
+			if len(keys) == batchKeys {
+				break
+			}
+		}
+	}
+	cfg := core.Config{
+		LineBytes: 16, BucketBits: 20, DataWays: 12,
+		CacheLines: (256 << 10) / 16, CacheWays: 16,
+	}
+	run := func(batched bool) func() uint64 {
+		return func() uint64 {
+			srv := kvstore.NewHicampServer(cfg)
+			if err := srv.SetMany(c.Keys, c.Items); err != nil {
+				panic(err)
+			}
+			srv.Heap.M.FlushCache()
+			srv.Heap.M.ResetStats()
+			if batched {
+				srv.GetMany(keys)
+			} else {
+				reader, err := srv.OpenReader()
+				if err != nil {
+					panic(err)
+				}
+				for _, k := range keys {
+					srv.GetVia(reader, k)
+				}
+				reader.Close()
+			}
+			return dramTotal(srv.Heap.M)
+		}
+	}
+	return pair{
+		name:      "kv_multiget_4096keys",
+		baseline:  "per-key HicampServer.GetVia",
+		candidate: "HicampServer.GetMany (bulk gather)",
+		reps:      3,
+		base:      run(false),
+		cand:      run(true),
+	}
+}
+
+// spmvGather compares the depth-first SpMV kernel (per-node Children
+// calls, per-word re-walks of the x segment) against the level-order
+// gather kernel. The tree builds once per run; the warm multiply repeats
+// so the kernel dominates the timing, mirroring steady-state SpMV.
+func spmvGather() pair {
+	mat := spmv.FEM2D(48)
+	cfg := core.DefaultConfig(16)
+	const iters = 8
+	x := make([]float64, mat.Cols)
+	rs := randWords(mat.Cols, 31)
+	for i := range x {
+		x[i] = float64(rs[i]%1000)/500 - 1
+	}
+	run := func(gather bool) func() uint64 {
+		return func() uint64 {
+			mach := core.NewMachine(cfg)
+			q := spmv.BuildQTS(mach, mat)
+			xseg := spmv.BuildXSegment(mach, x)
+			mul := q.MulVec
+			if gather {
+				mul = q.MulVecGather
+			}
+			mul(mach, xseg, mat.Cols) // cold pass: warm the LLC
+			mach.FlushCache()
+			mach.ResetStats()
+			for i := 0; i < iters; i++ {
+				mul(mach, xseg, mat.Cols)
+			}
+			q.Release(mach)
+			segment.ReleaseSeg(mach, xseg)
+			return dramTotal(mach)
+		}
+	}
+	return pair{
+		name:      "spmv_gather_fem2d48x8",
+		baseline:  "QTS.MulVec (depth-first)",
+		candidate: "QTS.MulVecGather (level-order waves)",
+		reps:      3,
+		base:      run(false),
+		cand:      run(true),
 	}
 }
 

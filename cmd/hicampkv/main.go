@@ -7,7 +7,7 @@
 // Protocol (a text subset of memcached):
 //
 //	set <key> <bytes>\r\n<data>\r\n  -> STORED
-//	get <key>\r\n                    -> VALUE <key> <bytes>\r\n<data>\r\nEND
+//	get <key> [<key> ...]\r\n        -> VALUE <key> <bytes>\r\n<data>\r\n... END
 //	delete <key>\r\n                 -> DELETED | NOT_FOUND
 //	stats\r\n                        -> memory-system counters
 //	quit\r\n
@@ -99,14 +99,32 @@ func serve(srv *kvstore.HicampServer, conn net.Conn) {
 			}
 			fmt.Fprint(w, "STORED\r\n")
 		case "get":
-			if len(fields) != 2 {
-				fmt.Fprint(w, "CLIENT_ERROR usage: get <key>\r\n")
+			switch {
+			case len(fields) < 2:
+				fmt.Fprint(w, "CLIENT_ERROR usage: get <key> [<key> ...]\r\n")
 				continue
-			}
-			if v, ok := srv.GetVia(reader, []byte(fields[1])); ok {
-				fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1], len(v))
-				w.Write(v)
-				fmt.Fprint(w, "\r\n")
+			case len(fields) == 2:
+				if v, ok := srv.GetVia(reader, []byte(fields[1])); ok {
+					fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1], len(v))
+					w.Write(v)
+					fmt.Fprint(w, "\r\n")
+				}
+			default:
+				// Multi-key get resolves every key through one bulk
+				// gather over a single snapshot.
+				keys := make([][]byte, len(fields)-1)
+				for i, f := range fields[1:] {
+					keys[i] = []byte(f)
+				}
+				vs, found := srv.GetMany(keys)
+				for i, ok := range found {
+					if !ok {
+						continue
+					}
+					fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1+i], len(vs[i]))
+					w.Write(vs[i])
+					fmt.Fprint(w, "\r\n")
+				}
 			}
 			fmt.Fprint(w, "END\r\n")
 		case "delete":

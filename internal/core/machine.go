@@ -253,6 +253,69 @@ func (m *Machine) ReadLine(p word.PLID) word.Content {
 	return c
 }
 
+// ReadLineBatch implements word.BatchReadMem: batched read-by-PLID
+// through the LLC, with accounting pinned identical to len(ps) serial
+// ReadLine calls. The LLC still observes every line individually — each
+// element gets its own Probe, charging the same per-line hit/miss the
+// serial path charges — and only the residue that missed is forwarded to
+// the store's batch read, which takes each bucket stripe's reader lock
+// once per run and coalesces the DRAM accounting; the fetched lines are
+// then filled into the LLC in input order (clean: an addressable line has
+// been written back by construction).
+//
+// Exactness under aliasing: a pending fill could change the outcome of a
+// later probe that maps to the same cache set (a duplicate PLID that the
+// serial path would have hit, or a resident line the serial path's fill
+// would have evicted first). Whenever an element's set already has a fill
+// pending, the pending run is flushed — fetched and filled — before that
+// element probes, so every probe observes exactly the cache state the
+// serial interleaving would have shown it.
+func (m *Machine) ReadLineBatch(ps []word.PLID) []word.Content {
+	out := make([]word.Content, len(ps))
+	if len(ps) == 0 {
+		return out
+	}
+	m.readOps.Add(uint64(len(ps)))
+	if m.llc == nil {
+		return m.store.ReadBatch(ps)
+	}
+	missIdx := make([]int, 0, len(ps))
+	miss := make([]word.PLID, 0, len(ps))
+	pendingSets := make(map[int]struct{}, 16)
+	flush := func() {
+		if len(miss) == 0 {
+			return
+		}
+		cs := m.store.ReadBatch(miss)
+		for j, i := range missIdx {
+			out[i] = cs[j]
+			m.fillData(miss[j], cs[j], false)
+		}
+		missIdx = missIdx[:0]
+		miss = miss[:0]
+		clear(pendingSets)
+	}
+	for i, p := range ps {
+		if p == word.Zero {
+			out[i] = word.NewContent(m.LineWords())
+			continue
+		}
+		set := m.dataSet(p)
+		if _, pending := pendingSets[set]; pending {
+			flush()
+		}
+		if e, ok := m.llc.Probe(set, cachesim.Key{Kind: cachesim.KindData, ID: uint64(p)}, false); ok {
+			out[i] = e.Content
+			continue
+		}
+		missIdx = append(missIdx, i)
+		miss = append(miss, p)
+		pendingSets[set] = struct{}{}
+	}
+	flush()
+	return out
+}
+
 // Retain implements word.Mem.
 func (m *Machine) Retain(p word.PLID) {
 	m.store.Retain(p)
@@ -384,3 +447,4 @@ func (m *Machine) handleEviction(victim cachesim.Entry, evicted bool) {
 
 var _ word.Mem = (*Machine)(nil)
 var _ word.BatchMem = (*Machine)(nil)
+var _ word.BatchReadMem = (*Machine)(nil)

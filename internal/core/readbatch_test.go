@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// TestReadLineBatchChargesLikeSerialReads pins the machine-level
+// accounting equivalence: ReadLineBatch must report exactly the same
+// LLC probe/hit/miss/eviction counters and the same store DRAM counters
+// as issuing the same PLIDs through serial ReadLine calls — including
+// when the batch holds duplicates and when fills evict lines a later
+// request probes.
+func TestReadLineBatchChargesLikeSerialReads(t *testing.T) {
+	// A deliberately tiny LLC so a few hundred lines force evictions and
+	// set collisions inside single batches.
+	cfg := Config{LineBytes: 16, BucketBits: 10, DataWays: 12, CacheLines: 64, CacheWays: 2}
+	serial, batch := NewMachine(cfg), NewMachine(cfg)
+
+	const n = 300
+	ps := make([]word.PLID, n)
+	for i := range ps {
+		c := leaf(serial, fmt.Sprintf("line %06d", i))
+		ps[i] = serial.LookupLine(c)
+		if pb := batch.LookupLine(c); pb != ps[i] {
+			t.Fatalf("machines diverged at line %d", i)
+		}
+	}
+	// Warm both caches identically, then open the measurement window.
+	for _, m := range []*Machine{serial, batch} {
+		for i := 0; i < n/3; i++ {
+			m.ReadLine(ps[i])
+		}
+		m.ResetStats()
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 20; round++ {
+		req := make([]word.PLID, 0, 128)
+		for len(req) < 128 {
+			switch rng.Intn(12) {
+			case 0:
+				req = append(req, word.Zero)
+			case 1:
+				// Duplicate of an earlier request in the same batch.
+				if len(req) > 0 {
+					req = append(req, req[rng.Intn(len(req))])
+					continue
+				}
+				fallthrough
+			default:
+				req = append(req, ps[rng.Intn(n)])
+			}
+		}
+		want := make([]word.Content, len(req))
+		for i, p := range req {
+			want[i] = serial.ReadLine(p)
+		}
+		got := batch.ReadLineBatch(req)
+		for i := range req {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: content mismatch at %d (PLID %#x)", round, i, uint64(req[i]))
+			}
+		}
+		ss, bs := serial.Stats(), batch.Stats()
+		if ss != bs {
+			t.Fatalf("round %d: stats diverged:\nserial %+v\nbatch  %+v", round, ss, bs)
+		}
+	}
+	cs := batch.Stats().Cache
+	if cs.Hits == 0 || cs.Misses == 0 {
+		t.Fatalf("workload did not exercise both hit and miss paths: %+v", cs)
+	}
+}
+
+// TestReadLineBatchUncached covers the llc-less machine: the batch goes
+// straight to the store's grouped read path.
+func TestReadLineBatchUncached(t *testing.T) {
+	cfg := Config{LineBytes: 16, BucketBits: 10, DataWays: 12}
+	m := NewMachine(cfg)
+	c := leaf(m, "uncached batch line")
+	p := m.LookupLine(c)
+	m.ResetStats()
+	out := m.ReadLineBatch([]word.PLID{p, word.Zero, p})
+	if out[0] != c || !out[1].IsZero() || out[2] != c {
+		t.Fatal("uncached batch returned wrong contents")
+	}
+	st := m.Stats()
+	if st.Store.DataReads != 2 {
+		t.Fatalf("DataReads = %d, want 2", st.Store.DataReads)
+	}
+	if st.ReadOps != 3 {
+		t.Fatalf("ReadOps = %d, want 3", st.ReadOps)
+	}
+}

@@ -3,6 +3,7 @@ package hds
 import (
 	"repro/internal/iterreg"
 	"repro/internal/merge"
+	"repro/internal/segmap"
 	"repro/internal/segment"
 	"repro/internal/word"
 )
@@ -27,6 +28,69 @@ func NewStrings(h *Heap, bss [][]byte) []String {
 	out := make([]String, len(bss))
 	for i, bs := range bss {
 		out[i] = String{Seg: b.BuildBytes(bs), Len: uint64(len(bs))}
+	}
+	return out
+}
+
+// GetMany returns the values bound to the given keys in one consistent
+// snapshot — the read-side counterpart of SetMany and the shape of a
+// memcached multi-get. All slot words are resolved through one
+// level-order gather (segment.GatherWords), so the map DAG's root path
+// and the interior nodes shared between slots are fetched once per wave
+// instead of once per key. Results are positional; each found value is
+// retained for the caller (release with Release).
+func (mp *Map) GetMany(keys []String) ([]String, []bool) {
+	vals := make([]String, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found
+	}
+	snap, err := iterreg.Open(mp.h.M, mp.h.SM, segmap.ReadOnlyRef(mp.vsid))
+	if err != nil {
+		return vals, found
+	}
+	defer snap.Close()
+	idxs := make([]uint64, 2*len(keys))
+	for i, k := range keys {
+		slot := slotFor(k)
+		idxs[2*i] = slot + slotValue
+		idxs[2*i+1] = slot + slotValLen
+	}
+	ws, ts := segment.GatherWords(mp.h.M, snap.Seg(), idxs)
+	for i := range keys {
+		lenPlus := ws[2*i+1]
+		if lenPlus == 0 {
+			continue
+		}
+		n := lenPlus - 1
+		v := ws[2*i]
+		if v != 0 && ts[2*i] != word.TagPLID {
+			continue // corrupt slot; impossible by construction
+		}
+		val := String{Seg: segment.Seg{Root: word.PLID(v), Height: heightForBytes(mp.h, n)}, Len: n}
+		val.Retain(mp.h) // under the snapshot, which pins the value
+		vals[i], found[i] = val, true
+	}
+	return vals, found
+}
+
+// BytesMany materializes many strings through one level-order bulk read:
+// lines shared across strings — deduplicated fragments, repeated values —
+// are fetched once per wave instead of once per string. Results are
+// positional.
+func BytesMany(h *Heap, ss []String) [][]byte {
+	rs := make([]segment.Range, len(ss))
+	for i, s := range ss {
+		rs[i] = segment.Range{Seg: s.Seg, N: (s.Len + 7) / 8}
+	}
+	words := segment.GatherRanges(h.M, rs)
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		b := make([]byte, s.Len)
+		for j := uint64(0); j < s.Len; j++ {
+			b[j] = byte(words[i][j/8] >> (8 * (j % 8)))
+		}
+		out[i] = b
 	}
 	return out
 }

@@ -1,0 +1,156 @@
+package hds
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestGetManyMatchesSequentialGet(t *testing.T) {
+	h := heap()
+	mp := NewMap(h)
+	pairs := make([]Pair, 64)
+	for i := range pairs {
+		pairs[i] = Pair{
+			Key:   []byte(fmt.Sprintf("key-%03d", i)),
+			Value: bytes.Repeat([]byte(fmt.Sprintf("<val %03d>", i)), 1+i%7),
+		}
+	}
+	if err := mp.SetMany(pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Present keys, absent keys, and duplicates in one batch.
+	var keys []String
+	var wantVal [][]byte
+	var wantOK []bool
+	for i := 0; i < 100; i++ {
+		switch {
+		case i%5 == 4:
+			keys = append(keys, NewString(h, []byte(fmt.Sprintf("missing-%03d", i))))
+			wantVal, wantOK = append(wantVal, nil), append(wantOK, false)
+		default:
+			p := pairs[(i*13)%len(pairs)]
+			keys = append(keys, NewString(h, p.Key))
+			wantVal, wantOK = append(wantVal, p.Value), append(wantOK, true)
+		}
+	}
+	vals, found := mp.GetMany(keys)
+	bss := BytesMany(h, vals)
+	for i := range keys {
+		if found[i] != wantOK[i] {
+			t.Fatalf("key %d: found = %v, want %v", i, found[i], wantOK[i])
+		}
+		if !found[i] {
+			continue
+		}
+		one, ok := mp.Get(keys[i])
+		if !ok || !vals[i].Equal(one) {
+			t.Fatalf("key %d: GetMany disagrees with Get", i)
+		}
+		if !bytes.Equal(bss[i], wantVal[i]) {
+			t.Fatalf("key %d: bytes = %q, want %q", i, bss[i], wantVal[i])
+		}
+		one.Release(h)
+		vals[i].Release(h)
+	}
+	for i := range keys {
+		keys[i].Release(h)
+	}
+}
+
+func TestGetManyEmptyAndEmptyValue(t *testing.T) {
+	h := heap()
+	mp := NewMap(h)
+	if vals, found := mp.GetMany(nil); len(vals) != 0 || len(found) != 0 {
+		t.Fatal("empty batch returned entries")
+	}
+	k := NewString(h, []byte("key-of-empty"))
+	defer k.Release(h)
+	if err := mp.Set(k, NewString(h, nil)); err != nil {
+		t.Fatal(err)
+	}
+	vals, found := mp.GetMany([]String{k})
+	if !found[0] || vals[0].Len != 0 {
+		t.Fatalf("empty value: found=%v len=%d", found[0], vals[0].Len)
+	}
+	if bss := BytesMany(h, vals); len(bss[0]) != 0 {
+		t.Fatal("empty value materialized non-empty")
+	}
+}
+
+// TestConcurrentGetManySetMany is the -race stress satellite: readers
+// streaming multi-gets while a writer rebinds the same keys in bulk.
+// Every returned value must be a committed version — either the preload
+// value or some writer generation — never a torn mix.
+func TestConcurrentGetManySetMany(t *testing.T) {
+	h := heap()
+	mp := NewMap(h)
+	const nKeys = 32
+	keysB := make([][]byte, nKeys)
+	valueOf := func(gen int, k int) []byte {
+		return []byte(fmt.Sprintf("gen %04d of key %03d, padded for a few lines", gen, k))
+	}
+	pairs := make([]Pair, nKeys)
+	for i := range pairs {
+		keysB[i] = []byte(fmt.Sprintf("stress-key-%03d", i))
+		pairs[i] = Pair{Key: keysB[i], Value: valueOf(0, i)}
+	}
+	if err := mp.SetMany(pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	const gens = 30
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: whole-map rebinds, one generation per commit
+		defer wg.Done()
+		for g := 1; g <= gens; g++ {
+			ps := make([]Pair, nKeys)
+			for i := range ps {
+				ps[i] = Pair{Key: keysB[i], Value: valueOf(g, i)}
+			}
+			if err := mp.SetMany(ps); err != nil {
+				t.Errorf("SetMany: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 60; iter++ {
+				ks := make([]String, 8)
+				idx := make([]int, 8)
+				for i := range ks {
+					idx[i] = rng.Intn(nKeys)
+					ks[i] = NewString(h, keysB[idx[i]])
+				}
+				vals, found := mp.GetMany(ks)
+				bss := BytesMany(h, vals)
+				for i := range ks {
+					if !found[i] {
+						t.Errorf("key %d vanished", idx[i])
+						continue
+					}
+					ok := false
+					for g := 0; g <= gens && !ok; g++ {
+						ok = bytes.Equal(bss[i], valueOf(g, idx[i]))
+					}
+					if !ok {
+						t.Errorf("key %d: torn value %q", idx[i], bss[i])
+					}
+					vals[i].Release(h)
+				}
+				for i := range ks {
+					ks[i].Release(h)
+				}
+			}
+		}(int64(100 + r))
+	}
+	wg.Wait()
+}

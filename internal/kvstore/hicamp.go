@@ -70,6 +70,30 @@ func (s *HicampServer) Get(key []byte) ([]byte, bool) {
 	return out, true
 }
 
+// GetMany serves a multi-key GET (the memcached `get k1 k2 ...` form)
+// through the bulk read pipeline: key strings are built by one shared
+// builder, all map slots resolve in one level-order gather, and the
+// found values materialize through one cross-segment bulk read — so map
+// interiors shared between slots and lines shared between values are
+// fetched once per wave instead of once per key. Results are positional;
+// out[i] is nil iff found[i] is false.
+func (s *HicampServer) GetMany(keys [][]byte) ([][]byte, []bool) {
+	ks := hds.NewStrings(s.Heap, keys)
+	vals, found := s.kvp.GetMany(ks)
+	for i := range ks {
+		ks[i].Release(s.Heap)
+	}
+	bss := hds.BytesMany(s.Heap, vals)
+	out := make([][]byte, len(keys))
+	for i, ok := range found {
+		if ok {
+			out[i] = bss[i]
+			vals[i].Release(s.Heap)
+		}
+	}
+	return out, found
+}
+
 // GetVia is Get through a caller-owned read-only iterator, the §4.4
 // client-thread pattern: the register is reloaded once per request and
 // the map is accessed directly, with zero IPC.

@@ -1,0 +1,66 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestHicampGetManyMatchesGet(t *testing.T) {
+	srv := NewHicampServer(core.TestConfig())
+	keys := make([]string, 40)
+	vals := make([][]byte, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mk-%03d", i)
+		vals[i] = bytes.Repeat([]byte(fmt.Sprintf("value %03d ", i)), 1+i%5)
+	}
+	if err := srv.SetMany(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	req := [][]byte{
+		[]byte(keys[3]), []byte("absent"), []byte(keys[17]),
+		[]byte(keys[3]), // duplicate in one batch
+		[]byte(keys[39]),
+	}
+	got, found := srv.GetMany(req)
+	for i, k := range req {
+		want, wantOK := srv.Get(k)
+		if found[i] != wantOK {
+			t.Fatalf("key %q: found=%v, want %v", k, found[i], wantOK)
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("key %q: value %q, want %q", k, got[i], want)
+		}
+	}
+	if found[1] {
+		t.Fatal("absent key reported found")
+	}
+}
+
+// TestRunHicampMultiGetMatchesSerialResults checks the batched driver
+// serves the same trace with the same end state and strictly no more
+// DRAM accesses than the serial driver.
+func TestRunHicampMultiGetMatchesSerialResults(t *testing.T) {
+	w := NewWorkload(60, 400, 256, 7)
+	cfg := core.TestConfig()
+	serial, srvS, err := RunHicamp(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, srvB, err := RunHicampMultiGet(cfg, w, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range w.Corpus.Keys {
+		a, okA := srvS.Get([]byte(key))
+		b, okB := srvB.Get([]byte(key))
+		if okA != okB || !bytes.Equal(a, b) {
+			t.Fatalf("key %d: end states differ", i)
+		}
+	}
+	if batched.Total() > serial.Total() {
+		t.Fatalf("multi-get driver used more DRAM: %d > %d", batched.Total(), serial.Total())
+	}
+}

@@ -1,0 +1,91 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAdaptiveMemoDisablesInsertsOnLowHitRate pins the adaptive policy:
+// on a corpus with no cross-build redundancy the memo's observed hit
+// rate stays near zero, so after the warmup window closes the Builder
+// must stop inserting — while lookups continue against the table it
+// already has.
+func TestAdaptiveMemoDisablesInsertsOnLowHitRate(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	b := NewBuilder(m, 1)
+	defer b.Close()
+	b.memoWarmup = 256 // close the window quickly under test sizes
+
+	rng := rand.New(rand.NewSource(11))
+	distinct := func(n int) []uint64 {
+		ws := make([]uint64, n)
+		for i := range ws {
+			ws[i] = rng.Uint64()
+		}
+		return ws
+	}
+	for b.Stats().MemoLookups < 4*b.memoWarmup {
+		b.BuildWords(distinct(256), nil)
+	}
+	st := b.Stats()
+	if !st.MemoDecided {
+		t.Fatalf("warmup window did not close: %+v", st)
+	}
+	if !st.MemoInsertsOff {
+		t.Fatalf("inserts stayed on despite hit rate %.3f: %+v", st.HitRate(), st)
+	}
+	insertsAtDecision := st.MemoInserts
+
+	b.BuildWords(distinct(256), nil)
+	after := b.Stats()
+	if after.MemoInserts != insertsAtDecision {
+		t.Fatalf("inserts continued after decision: %d -> %d", insertsAtDecision, after.MemoInserts)
+	}
+	if after.MemoLookups <= st.MemoLookups {
+		t.Fatal("lookups stopped with inserts; they must continue")
+	}
+}
+
+// TestAdaptiveMemoKeepsInsertsOnHighHitRate is the other branch: a
+// redundant corpus keeps the hit rate above threshold, so inserts stay
+// enabled after the decision.
+func TestAdaptiveMemoKeepsInsertsOnHighHitRate(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	b := NewBuilder(m, 1)
+	defer b.Close()
+	b.memoWarmup = 256
+
+	rng := rand.New(rand.NewSource(12))
+	base := make([]uint64, 512)
+	for i := range base {
+		base[i] = rng.Uint64()
+	}
+	for b.Stats().MemoLookups < 4*b.memoWarmup {
+		b.BuildWords(base, nil) // same content every build: pure memo hits
+	}
+	st := b.Stats()
+	if !st.MemoDecided {
+		t.Fatalf("warmup window did not close: %+v", st)
+	}
+	if st.MemoInsertsOff {
+		t.Fatalf("inserts disabled despite hit rate %.3f: %+v", st.HitRate(), st)
+	}
+	if st.HitRate() < 0.5 {
+		t.Fatalf("redundant corpus hit rate unexpectedly low: %.3f", st.HitRate())
+	}
+}
+
+// TestAdaptiveMemoDefaultsUndecidedWhenSmall checks small builds never
+// reach the warmup window, so the policy stays undecided and inserts on.
+func TestAdaptiveMemoDefaultsUndecidedWhenSmall(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	b := NewBuilder(m, 1)
+	defer b.Close()
+	b.BuildBytes([]byte("one small build, far below the warmup window"))
+	st := b.Stats()
+	if st.MemoDecided {
+		t.Fatalf("tiny build closed the warmup window: %+v", st)
+	}
+}

@@ -43,6 +43,20 @@ type Builder struct {
 	memoCap int
 	memo    map[word.Content]word.PLID // no references held; revalidated on hit
 
+	// Adaptive memo policy: after a warmup of memoWarmup consultations
+	// (skipped because cold-start first occurrences always miss), the
+	// next memoWarmup consultations form the observation window; if its
+	// hit rate fell below memoMinHitPct percent, inserts are disabled
+	// for good — on low-redundancy corpora (fresh VM images, random
+	// content) the insert cost dominates the occasional hit, while
+	// lookups against the already-populated table stay free upside.
+	memoWarmup    uint64
+	memoMinHitPct uint64
+	stats         BuilderStats
+	warmSet       bool
+	warmLookups   uint64
+	warmHits      uint64
+
 	// Scratch reused across levels and builds (one goroutine, so no
 	// synchronization; resized monotonically).
 	scratchC []word.Content
@@ -52,12 +66,42 @@ type Builder struct {
 	firstOf  map[uint64]int32
 }
 
+// BuilderStats describes one Builder's memo behaviour, including the
+// adaptive-insert decision.
+type BuilderStats struct {
+	MemoLookups uint64 // memo consultations (one per pending content)
+	MemoHits    uint64 // consultations that revalidated successfully
+	MemoInserts uint64 // entries recorded
+	// MemoDecided reports that the warmup window has closed and the
+	// insert policy is settled; MemoInsertsOff is the decision — true
+	// when the observed hit rate fell below the threshold and inserts
+	// were turned off (lookups continue against the existing table).
+	MemoDecided    bool
+	MemoInsertsOff bool
+}
+
+// HitRate returns the observed memo hit fraction.
+func (s BuilderStats) HitRate() float64 {
+	if s.MemoLookups == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(s.MemoLookups)
+}
+
 const (
 	// defaultMemoCap bounds the memo table: 1<<17 entries is a few MB of
 	// table, far above any one build level and comfortably holding a
 	// bulk-load working set. (Entries hold no references, so the cap
 	// bounds only the table itself, not line memory.)
 	defaultMemoCap = 1 << 17
+	// defaultMemoWarmup is how many memo consultations the adaptive
+	// policy observes before deciding whether inserts pay for themselves.
+	defaultMemoWarmup = 1 << 13
+	// defaultMemoMinHitPct is the hit-rate percentage below which memo
+	// inserts are disabled after warmup. The ROADMAP measurement put the
+	// break-even near 50%; 20% keeps a margin for workloads whose
+	// redundancy arrives late.
+	defaultMemoMinHitPct = 20
 	// maxDefaultWorkers caps the auto-sized pool; levels rarely have
 	// enough independent work to feed more.
 	maxDefaultWorkers = 8
@@ -88,7 +132,12 @@ func NewBuilder(m word.Mem, workers int) *Builder {
 	}
 	bm, _ := m.(word.BatchMem)
 	cr, _ := m.(word.ContentRetainer)
-	return &Builder{m: m, bm: bm, cr: cr, workers: workers, memoCap: defaultMemoCap}
+	return &Builder{
+		m: m, bm: bm, cr: cr, workers: workers,
+		memoCap:       defaultMemoCap,
+		memoWarmup:    defaultMemoWarmup,
+		memoMinHitPct: defaultMemoMinHitPct,
+	}
 }
 
 // Close drops the memo table and scratch buffers. Memo entries hold no
@@ -102,6 +151,10 @@ func (b *Builder) Close() {
 
 // MemoSize returns the number of memoized lines (for tests and telemetry).
 func (b *Builder) MemoSize() int { return len(b.memo) }
+
+// Stats returns the Builder's memo telemetry, including the adaptive
+// insert decision.
+func (b *Builder) Stats() BuilderStats { return b.stats }
 
 // BuildWords builds the canonical segment holding the given tagged words,
 // level by level through the batch pipeline. Result and reference
@@ -307,8 +360,11 @@ func (b *Builder) resolvePending(contents []word.Content, pending []bool, edges 
 		}
 		c := contents[i]
 		if b.memo != nil {
+			b.stats.MemoLookups++
+			b.memoDecide()
 			if p, ok := b.memo[c]; ok {
 				if b.cr.RetainIfContent(p, c) {
+					b.stats.MemoHits++
 					edges[i] = PLIDEdge(p)
 					continue
 				}
@@ -350,15 +406,45 @@ func (b *Builder) resolvePending(contents []word.Content, pending []bool, edges 
 }
 
 // memoAdd records c -> p without taking a reference; the entry is
-// revalidated (RetainIfContent) before every reuse.
+// revalidated (RetainIfContent) before every reuse. Once the adaptive
+// policy has observed a warmup window with a hit rate below threshold,
+// inserts stop for the Builder's lifetime — the table keeps serving
+// lookups, it just stops growing on corpora that don't repay the insert.
+// memoDecide runs the adaptive policy: the first memoWarmup
+// consultations are warmup (every first occurrence of a content is
+// necessarily a miss, so the cold region says nothing about redundancy),
+// then the *next* memoWarmup consultations are the observation window
+// whose hit rate settles the insert decision for good.
+func (b *Builder) memoDecide() {
+	if b.stats.MemoDecided {
+		return
+	}
+	if !b.warmSet {
+		if b.stats.MemoLookups >= b.memoWarmup {
+			b.warmSet = true
+			b.warmLookups, b.warmHits = b.stats.MemoLookups, b.stats.MemoHits
+		}
+		return
+	}
+	if obs := b.stats.MemoLookups - b.warmLookups; obs >= b.memoWarmup {
+		b.stats.MemoDecided = true
+		b.stats.MemoInsertsOff = (b.stats.MemoHits-b.warmHits)*100 < obs*b.memoMinHitPct
+	}
+}
+
 func (b *Builder) memoAdd(c word.Content, p word.PLID) {
 	if b.cr == nil || b.memoCap <= 0 || len(b.memo) >= b.memoCap {
+		return
+	}
+	b.memoDecide()
+	if b.stats.MemoInsertsOff {
 		return
 	}
 	if b.memo == nil {
 		b.memo = make(map[word.Content]word.PLID)
 	}
 	b.memo[c] = p
+	b.stats.MemoInserts++
 }
 
 // lookupAll resolves the unique contents of one level, sharding large

@@ -144,12 +144,20 @@ func ReadWords(m word.Mem, s Seg, off, n uint64) []uint64 {
 	return out
 }
 
-// ReadBytes reads n bytes starting at byte offset off.
+// ReadBytes reads n bytes starting at byte offset off, striding per word:
+// each covering word is read once (one DAG walk per 8 bytes, not one per
+// byte) and its bytes are extracted from the register.
 func ReadBytes(m word.Mem, s Seg, off, n uint64) []byte {
 	out := make([]byte, n)
+	var w, cur uint64
+	have := false
 	for i := uint64(0); i < n; i++ {
-		w, _ := ReadWord(m, s, (off+i)/8)
-		out[i] = byte(w >> (8 * ((off + i) % 8)))
+		b := off + i
+		if wi := b / 8; !have || wi != cur {
+			w, _ = ReadWord(m, s, wi)
+			cur, have = wi, true
+		}
+		out[i] = byte(w >> (8 * (b % 8)))
 	}
 	return out
 }

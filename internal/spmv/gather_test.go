@@ -1,0 +1,46 @@
+package spmv
+
+import (
+	"testing"
+
+	"repro/internal/segment"
+)
+
+func TestQTSMulVecGatherMatchesReference(t *testing.T) {
+	for _, lb := range []int{16, 32, 64} {
+		for _, m := range []*Matrix{
+			FEM2D(6), FEM3D(3), LP(4, 3, 8, 2), Banded(20, 3, false, 3),
+			Circuit(24, 3, 4), Pattern(3, 8, 5), Random(20, 0.1, 6),
+		} {
+			mach := testMachine(lb)
+			q := BuildQTS(mach, m)
+			x := testVector(m.Cols)
+			xseg := BuildXSegment(mach, x)
+			got := q.MulVecGather(mach, xseg, m.Cols)
+			// Accumulation order differs from the depth-first kernel, so
+			// compare against the dense reference with tolerance.
+			want := m.MulVec(x)
+			if !VecEqual(got, want) {
+				t.Fatalf("lb=%d %s: MulVecGather mismatch", lb, m.Name)
+			}
+			q.Release(mach)
+			segment.ReleaseSeg(mach, xseg)
+			if mach.LiveLines() != 0 {
+				t.Fatalf("lb=%d %s: %d lines leaked", lb, m.Name, mach.LiveLines())
+			}
+		}
+	}
+}
+
+func TestSpMVHicampGatherNoMoreDRAMThanSerial(t *testing.T) {
+	m := FEM2D(6)
+	cfg := testMachine(16).Config()
+	serial, ys := SpMVHicamp(cfg, m)
+	gather, yg := SpMVHicampGather(cfg, m)
+	if !VecEqual(ys, yg) {
+		t.Fatal("kernels disagree on y")
+	}
+	if gather > serial {
+		t.Fatalf("gather kernel used more DRAM: %d > %d", gather, serial)
+	}
+}

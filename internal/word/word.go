@@ -209,6 +209,18 @@ type BatchMem interface {
 	LookupLineBatch(cs []Content) []PLID
 }
 
+// BatchReadMem is implemented by memory systems that support batched
+// read-by-PLID. ReadLineBatch behaves exactly like one ReadLine per
+// element — positional results, Zero reading as all-zero content, the
+// same per-line cache and DRAM accounting — but lets the memory system
+// take its internal locks once per batch instead of once per line. Bulk
+// consumers (the segment package's level-order materializer) type-assert
+// for it and fall back to ReadLine when the Mem does not provide it.
+type BatchReadMem interface {
+	Mem
+	ReadLineBatch(ps []PLID) []Content
+}
+
 // ContentRetainer is implemented by memory systems that can validate a
 // remembered content→PLID association: RetainIfContent acquires one
 // reference on p only if the line is still live and still holds content
