@@ -551,3 +551,160 @@ func BenchmarkBulkReadWords(b *testing.B) {
 		}
 	})
 }
+
+// --- PR 4: streaming scan pipeline -------------------------------------
+
+// BenchmarkBulkStoreScan compares the serial full-store dump (one
+// NextNonZero descent per slot, point reads per binding) against the
+// streamed Scan — the benchjson kv_store_scan pair at test scale.
+func BenchmarkBulkStoreScan(b *testing.B) {
+	const items = 4096
+	pool := datagen.HTMLCorpus("bench-bulk-scan", 128, 512, 41)
+	keys := make([]string, items)
+	values := make([][]byte, items)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("scan:key:%05d", i)
+		values[i] = pool.Items[i%len(pool.Items)]
+	}
+	newSrv := func(b *testing.B) *kvstore.HicampServer {
+		srv := kvstore.NewHicampServer(core.TestConfig())
+		if err := srv.SetMany(keys, values); err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	b.Run("serial", func(b *testing.B) {
+		srv := newSrv(b)
+		mp := srv.Map()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seg, err := mp.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := srv.Heap.M
+			for idx := uint64(0); ; {
+				nz, ok := segment.NextNonZero(m, seg, idx)
+				if !ok {
+					break
+				}
+				slot := nz - nz%4
+				if lenPlus, _ := segment.ReadWord(m, seg, slot+1); lenPlus != 0 {
+					vroot, _ := segment.ReadWord(m, seg, slot)
+					vh := segment.HeightFor(m.LineWords(), max(1, (lenPlus-1+7)/8))
+					segment.ReadBytes(m, segment.Seg{Root: word.PLID(vroot), Height: vh}, 0, lenPlus-1)
+				}
+				idx = slot + 4
+			}
+			segment.ReleaseSeg(m, seg)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		srv := newSrv(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := srv.Scan(func(k, v []byte) bool { return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBulkDiffSnapshots compares two full serial walks against the
+// PLID-equality diff co-walk on snapshots differing in ~1% of keys.
+func BenchmarkBulkDiffSnapshots(b *testing.B) {
+	const items, changes = 4096, 40
+	pool := datagen.HTMLCorpus("bench-bulk-diff", 128, 512, 43)
+	keys := make([]string, items)
+	values := make([][]byte, items)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("diff:key:%05d", i)
+		values[i] = pool.Items[i%len(pool.Items)]
+	}
+	srv := kvstore.NewHicampServer(core.TestConfig())
+	if err := srv.SetMany(keys, values); err != nil {
+		b.Fatal(err)
+	}
+	old, err := srv.Map().Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < changes; i++ {
+		k := keys[(i*101)%items]
+		if err := srv.Set([]byte(k), []byte(fmt.Sprintf("mutated %d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cur, err := srv.Map().Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := srv.Heap.M
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			diffs := 0
+			for _, seg := range []segment.Seg{old, cur} {
+				for idx := uint64(0); ; {
+					nz, ok := segment.NextNonZero(m, seg, idx)
+					if !ok {
+						break
+					}
+					diffs++
+					idx = nz + 1
+				}
+			}
+			if diffs == 0 {
+				b.Fatal("no words walked")
+			}
+		}
+	})
+	b.Run("diff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			hds.DiffSnapshots(srv.Heap, old, cur, func(d hds.MapDelta) bool {
+				n++
+				return true
+			})
+			if n != changes {
+				b.Fatalf("diff found %d deltas, want %d", n, changes)
+			}
+		}
+	})
+}
+
+// BenchmarkBulkScanWords compares the per-element serial walk against
+// the wave scanner on one large shared-structure segment.
+func BenchmarkBulkScanWords(b *testing.B) {
+	m := core.NewMachine(core.TestConfig())
+	tile := make([]uint64, 256)
+	for i := range tile {
+		tile[i] = uint64(i)*2654435761 + 1
+	}
+	ws := make([]uint64, 0, 1<<14)
+	for len(ws) < 1<<14 {
+		ws = append(ws, tile...)
+	}
+	s := segment.BuildWords(m, ws, nil)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for idx := uint64(0); ; {
+				nz, ok := segment.NextNonZero(m, s, idx)
+				if !ok {
+					break
+				}
+				segment.ReadWord(m, s, nz)
+				idx = nz + 1
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			segment.ScanWords(m, s, 0, func(uint64, uint64, word.Tag) bool { return true })
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			segment.ScanWordsParallel(m, s, 0, 4, func(uint64, uint64, word.Tag) bool { return true })
+		}
+	})
+}

@@ -1,8 +1,8 @@
 // Command benchjson measures the bulk segment pipelines — construction
-// (PR 2) and the read/gather path (PR 3) — against their line-at-a-time
-// baselines and writes the comparison as machine-readable JSON
-// (BENCH_PR3.json in the repo root). Each pair is run at GOMAXPROCS 1
-// and 4 and reports two axes:
+// (PR 2), the read/gather path (PR 3), and the streaming scan/diff path
+// (PR 4) — against their line-at-a-time baselines and writes the
+// comparison as machine-readable JSON (BENCH_PR4.json in the repo root).
+// Each pair is run at GOMAXPROCS 1 and 4 and reports two axes:
 //
 //   - wall-clock (minimum over interleaved repetitions, fresh machine per
 //     repetition), the host-software cost of driving the simulated memory
@@ -15,7 +15,7 @@
 // commits (wall-clock), while memoization avoids simulated lookup traffic
 // (DRAM) at the price of bookkeeping the host must execute.
 //
-//	go run ./cmd/benchjson -o BENCH_PR3.json
+//	go run ./cmd/benchjson -o BENCH_PR4.json
 package main
 
 import (
@@ -36,6 +36,7 @@ import (
 	"repro/internal/segment"
 	"repro/internal/spmv"
 	"repro/internal/vmhost"
+	"repro/internal/word"
 )
 
 // Result is one baseline/candidate pair at one GOMAXPROCS setting.
@@ -55,14 +56,22 @@ type Result struct {
 	BaselineDRAM  uint64  `json:"baseline_dram_accesses"`
 	CandidateDRAM uint64  `json:"candidate_dram_accesses"`
 	DRAMRatio     float64 `json:"dram_ratio"`
+	// Extra carries pair-specific counters (e.g. the diff scan's sub-DAG
+	// skip telemetry).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR2.json.
+// Report is the file layout of the BENCH_PR*.json files.
 type Report struct {
-	Description string   `json:"description"`
-	GoVersion   string   `json:"go_version"`
-	NumCPU      int      `json:"num_cpu"`
-	Results     []Result `json:"results"`
+	Description string `json:"description"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	// GOMAXPROCS is the process default at startup; each Result also
+	// records the setting it ran under.
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
 }
 
 // pair is one baseline/candidate comparison. The closures run one full
@@ -74,10 +83,13 @@ type pair struct {
 	reps      int
 	base      func() uint64
 	cand      func() uint64
+	// extra, when non-nil, is filled by the closures with pair-specific
+	// counters and copied onto the Result.
+	extra map[string]float64
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output file")
+	out := flag.String("o", "BENCH_PR4.json", "output file")
 	only := flag.String("only", "", "run only the pair with this name")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs")
 	flag.Parse()
@@ -91,6 +103,8 @@ func main() {
 		parallelBuild(),
 		multiGet(),
 		spmvGather(),
+		storeScan(),
+		diffScan(),
 	}
 
 	if *only != "" {
@@ -115,13 +129,17 @@ func main() {
 
 	rep := Report{
 		Description: "Bulk segment pipelines vs line-at-a-time baselines: " +
-			"batched+memoized construction (build/ingest/load pairs) and the " +
-			"level-order bulk read path (multi-get and SpMV gather pairs). " +
-			"Wall-clock is min over interleaved reps with a fresh machine per " +
-			"rep; DRAM accesses are the simulated store totals (deterministic " +
-			"per workload).",
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
+			"batched+memoized construction (build/ingest/load pairs), the " +
+			"level-order bulk read path (multi-get and SpMV gather pairs), and " +
+			"the streaming scan pipeline (full-store scan and PLID-equality " +
+			"snapshot diff pairs). Wall-clock is min over interleaved reps " +
+			"with a fresh machine per rep; DRAM accesses are the simulated " +
+			"store totals (deterministic per workload).",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, procs := range []int{1, 4} {
 		prev := runtime.GOMAXPROCS(procs)
@@ -177,6 +195,12 @@ func measure(p pair, procs int) Result {
 	r.Speedup = float64(r.BaselineNs) / float64(r.CandidateNs)
 	if r.CandidateDRAM != 0 {
 		r.DRAMRatio = float64(r.BaselineDRAM) / float64(r.CandidateDRAM)
+	}
+	if p.extra != nil {
+		r.Extra = make(map[string]float64, len(p.extra))
+		for k, v := range p.extra {
+			r.Extra[k] = v
+		}
 	}
 	return r
 }
@@ -491,6 +515,214 @@ func spmvGather() pair {
 		reps:      3,
 		base:      run(false),
 		cand:      run(true),
+	}
+}
+
+// byteSegHeight is heightForBytes: the height of a byte string's segment.
+func byteSegHeight(arity int, n uint64) int {
+	w := (n + 7) / 8
+	if w == 0 {
+		w = 1
+	}
+	return segment.HeightFor(arity, w)
+}
+
+// scanCorpus is the shared-structure store the scan pairs walk: 65536
+// distinct keys whose values cycle through a pool of 1024 distinct ~1 KB
+// HTML documents. Dedup collapses the pool to one copy in the store, but
+// the scan's key-PLID order is a random permutation of insertion order,
+// so a serial walk revisits each pool line at reuse distances far beyond
+// the 256 KB LLC — the memcached shape where many keys map to repeated
+// page/fragment content.
+func scanCorpus(name string, seed int64) ([]string, [][]byte) {
+	pool := datagen.HTMLCorpus(name, 1024, 1024, seed)
+	const items = 65536
+	keys := make([]string, items)
+	values := make([][]byte, items)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s:key:%06d", name, i)
+		values[i] = pool.Items[i%len(pool.Items)]
+	}
+	return keys, values
+}
+
+// scanServer loads the scan corpus into a fresh HicampServer under a
+// 256 KB LLC and opens a clean measurement window.
+func scanServer(keys []string, values [][]byte) *kvstore.HicampServer {
+	cfg := core.Config{
+		LineBytes: 16, BucketBits: 20, DataWays: 12,
+		CacheLines: (256 << 10) / 16, CacheWays: 16,
+	}
+	srv := kvstore.NewHicampServer(cfg)
+	if err := srv.SetMany(keys, values); err != nil {
+		panic(err)
+	}
+	srv.Heap.M.FlushCache()
+	srv.Heap.M.ResetStats()
+	return srv
+}
+
+// serialStoreDump is the pre-PR 4 full-store dump: one NextNonZero
+// descent per slot, four point reads per binding, one serial ReadBytes
+// per key and per value. Returns a sink so nothing is elided.
+func serialStoreDump(srv *kvstore.HicampServer) int {
+	m := srv.Heap.M
+	seg, err := srv.Map().Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	defer segment.ReleaseSeg(m, seg)
+	arity := m.LineWords()
+	sink := 0
+	// Map slot layout: [value root, value len+1, key root, key len].
+	for idx := uint64(0); ; {
+		nz, ok := segment.NextNonZero(m, seg, idx)
+		if !ok {
+			break
+		}
+		slot := nz - nz%4
+		if lenPlus, _ := segment.ReadWord(m, seg, slot+1); lenPlus != 0 {
+			vroot, _ := segment.ReadWord(m, seg, slot)
+			kroot, _ := segment.ReadWord(m, seg, slot+2)
+			klen, _ := segment.ReadWord(m, seg, slot+3)
+			kseg := segment.Seg{Root: word.PLID(kroot), Height: byteSegHeight(arity, klen)}
+			vseg := segment.Seg{Root: word.PLID(vroot), Height: byteSegHeight(arity, lenPlus-1)}
+			sink += len(segment.ReadBytes(m, kseg, 0, klen))
+			sink += len(segment.ReadBytes(m, vseg, 0, lenPlus-1))
+		}
+		idx = slot + 4
+	}
+	return sink
+}
+
+// storeScan measures the PR 4 tentpole at full-store scale: dumping the
+// 65536-key scan corpus, whose value working set dwarfs the 256 KB LLC.
+// The serial walk re-descends the map DAG per slot and re-misses the
+// pool's shared lines on nearly every binding; the streaming scan's
+// batched gathers fetch each distinct line once per wave, so repeated
+// values cost DRAM once per batch instead of once per key.
+func storeScan() pair {
+	keys, values := scanCorpus("benchjson-scan", 41)
+	return pair{
+		name:      "kv_store_scan_65536keys",
+		baseline:  "serial iterator walk (NextNonZero + point reads)",
+		candidate: "HicampServer.Scan (streamed waves)",
+		reps:      2,
+		base: func() uint64 {
+			srv := scanServer(keys, values)
+			if serialStoreDump(srv) == 0 {
+				panic("empty dump")
+			}
+			return dramTotal(srv.Heap.M)
+		},
+		cand: func() uint64 {
+			srv := scanServer(keys, values)
+			sink := 0
+			if err := srv.Scan(func(k, v []byte) bool {
+				sink += len(k) + len(v)
+				return true
+			}); err != nil {
+				panic(err)
+			}
+			if sink == 0 {
+				panic("empty scan")
+			}
+			return dramTotal(srv.Heap.M)
+		},
+	}
+}
+
+// diffScan measures the PLID-equality diff: two snapshots of a 65536-key
+// store differing in 256 keys (<1%). The baseline answers "what changed"
+// the conventional way — two full serial walks, word-compared; the
+// candidate co-walks the snapshots with DiffSnapshots, skipping identical
+// sub-DAGs, so its line reads stay proportional to the changed paths.
+// The skip telemetry lands in the result's extra map.
+func diffScan() pair {
+	const changes = 256
+	keys, values := scanCorpus("benchjson-diff", 43)
+	setup := func() (*kvstore.HicampServer, segment.Seg, segment.Seg) {
+		srv := scanServer(keys, values)
+		old, err := srv.Map().Snapshot()
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < changes; i++ {
+			k := keys[(i*251)%len(keys)]
+			if err := srv.Set([]byte(k), []byte(fmt.Sprintf("mutated payload %d for %s", i, k))); err != nil {
+				panic(err)
+			}
+		}
+		cur, err := srv.Map().Snapshot()
+		if err != nil {
+			panic(err)
+		}
+		srv.Heap.M.FlushCache()
+		srv.Heap.M.ResetStats()
+		return srv, old, cur
+	}
+	serialWords := func(m *core.Machine, seg segment.Seg) map[uint64]uint64 {
+		out := make(map[uint64]uint64)
+		for idx := uint64(0); ; {
+			nz, ok := segment.NextNonZero(m, seg, idx)
+			if !ok {
+				break
+			}
+			w, _ := segment.ReadWord(m, seg, nz)
+			out[nz] = w
+			idx = nz + 1
+		}
+		return out
+	}
+	extra := map[string]float64{}
+	return pair{
+		name:      "kv_diff_65536keys_256changed",
+		baseline:  "two full serial walks, word-compared",
+		candidate: "hds.DiffSnapshots (PLID-equality skips)",
+		reps:      2,
+		extra:     extra,
+		base: func() uint64 {
+			srv, old, cur := setup()
+			m := srv.Heap.M
+			aw := serialWords(m, old)
+			bw := serialWords(m, cur)
+			diffs := 0
+			for idx, w := range bw {
+				if aw[idx] != w {
+					diffs++
+				}
+			}
+			for idx := range aw {
+				if _, ok := bw[idx]; !ok {
+					diffs++
+				}
+			}
+			if diffs == 0 {
+				panic("serial diff found no changes")
+			}
+			segment.ReleaseSeg(m, old)
+			segment.ReleaseSeg(m, cur)
+			return dramTotal(m)
+		},
+		cand: func() uint64 {
+			srv, old, cur := setup()
+			deltas := 0
+			st := hds.DiffSnapshots(srv.Heap, old, cur, func(d hds.MapDelta) bool {
+				deltas++
+				return true
+			})
+			if deltas == 0 {
+				panic("diff scan found no changes")
+			}
+			extra["delta_entries"] = float64(deltas)
+			extra["subdag_skips"] = float64(st.SubDAGSkips)
+			extra["skipped_words"] = float64(st.SkippedWords)
+			extra["diff_line_reads"] = float64(st.LineReads)
+			extra["diff_words"] = float64(st.DiffWords)
+			segment.ReleaseSeg(srv.Heap.M, old)
+			segment.ReleaseSeg(srv.Heap.M, cur)
+			return dramTotal(srv.Heap.M)
+		},
 	}
 }
 

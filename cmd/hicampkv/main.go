@@ -141,6 +141,36 @@ func serve(srv *kvstore.HicampServer, conn net.Conn) {
 				continue
 			}
 			fmt.Fprint(w, "DELETED\r\n")
+		case "keys":
+			if len(fields) != 1 {
+				fmt.Fprint(w, "CLIENT_ERROR usage: keys\r\n")
+				continue
+			}
+			ks, err := srv.Keys()
+			if err != nil {
+				fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+				continue
+			}
+			for _, k := range ks {
+				fmt.Fprintf(w, "KEY %s\r\n", k)
+			}
+			fmt.Fprint(w, "END\r\n")
+		case "scan":
+			// Full-store dump through one streamed snapshot scan.
+			if len(fields) != 1 {
+				fmt.Fprint(w, "CLIENT_ERROR usage: scan\r\n")
+				continue
+			}
+			if err := srv.Scan(func(key, value []byte) bool {
+				fmt.Fprintf(w, "VALUE %s %d\r\n", key, len(value))
+				w.Write(value)
+				fmt.Fprint(w, "\r\n")
+				return true
+			}); err != nil {
+				fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+				continue
+			}
+			fmt.Fprint(w, "END\r\n")
 		case "stats":
 			st := srv.Stats()
 			fmt.Fprintf(w, "STAT live_lines %d\r\n", srv.Heap.M.LiveLines())

@@ -104,29 +104,41 @@ func (o *Ordered) loadAt(it *iterreg.Iterator, key uint64) (String, bool) {
 // is released after it returns unless fn retains it; returning false
 // stops the walk. This is the §2.2 long-running read-only transaction:
 // concurrent puts never disturb the iteration.
+//
+// The walk streams through the iterator's Scan (level-order waves with
+// per-wave line dedup) instead of one NextNonZero descent per element:
+// the length word at index 2*key+1 is the presence marker, and the value
+// root — when the scan emitted one for the same key — arrives one
+// emission earlier, so a two-word state machine reassembles each element
+// without any point reads.
 func (o *Ordered) Range(from uint64, fn func(key uint64, val String) bool) error {
 	it, err := iterreg.Open(o.h.M, o.h.SM, segmap.ReadOnlyRef(o.vsid))
 	if err != nil {
 		return err
 	}
 	defer it.Close()
-	at := 2 * from
-	for {
-		idx, ok := it.NextNonZero(at)
-		if !ok {
-			return nil
-		}
+	var rootKey, rootW uint64
+	haveRoot := false
+	it.Scan(2*from, func(idx uint64, w uint64, t word.Tag) bool {
 		key := idx / 2
-		val, ok := o.loadAt(it, key)
-		if ok {
-			cont := fn(key, val)
-			val.Release(o.h)
-			if !cont {
-				return nil
-			}
+		if idx%2 == 0 {
+			rootKey, rootW, haveRoot = key, w, true
+			return true
 		}
-		at = 2*key + 2
-	}
+		// Odd index: the length+1 presence marker; the value root is zero
+		// unless the preceding emission carried it.
+		n := w - 1
+		var root uint64
+		if haveRoot && rootKey == key {
+			root = rootW
+		}
+		val := String{Seg: segment.Seg{Root: word.PLID(root), Height: heightForBytes(o.h, n)}, Len: n}
+		val.Retain(o.h)
+		cont := fn(key, val)
+		val.Release(o.h)
+		return cont
+	})
+	return nil
 }
 
 // First returns the smallest key at or above from.

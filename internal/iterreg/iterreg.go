@@ -21,6 +21,8 @@ type Stats struct {
 	Seeks      uint64 // positioning operations
 	LineLoads  uint64 // DAG lines loaded into the register
 	PathReuses uint64 // levels reused from the cached path
+	Scans      uint64 // streaming Scan calls
+	ScanLines  uint64 // lines the streaming scans fetched
 	Commits    uint64
 	Aborts     uint64
 }
@@ -34,6 +36,7 @@ type Iterator struct {
 	entry segmap.Entry // snapshot; root reference owned when sm != nil
 	txn   *segment.Txn
 	stack []level
+	pows  []uint64 // memoized arity powers: pows[d] = arity^d
 	Stats Stats
 }
 
@@ -111,9 +114,10 @@ func (it *Iterator) seek(idx uint64) (uint64, word.Tag) {
 	} else {
 		idxs = make([]int, h+1)
 	}
+	pows := it.powers(h)
 	rem := idx
 	for d := 0; d <= h; d++ {
-		sub := capPow(arity, h-d)
+		sub := pows[h-d]
 		idxs[d] = int(rem / sub)
 		rem %= sub
 	}
@@ -183,6 +187,34 @@ func (it *Iterator) NextNonZero(from uint64) (uint64, bool) {
 		return 0, false
 	}
 	return segment.NextNonZero(it.m, it.entry.Seg, from)
+}
+
+// Scan streams every non-zero tagged word of the snapshot at index >=
+// from to fn in ascending index order — the same elements a
+// NextNonZero/Load loop visits, without the per-element root-to-leaf
+// re-descent: the frontier expands in level-order waves through the
+// batch read path (segment.ScanWords). fn returning false stops the
+// scan; the bounded lookahead window caps how far past the stop the
+// scanner fetched. With pending writes the scan degrades to the
+// transaction read loop, like NextNonZero.
+func (it *Iterator) Scan(from uint64, fn func(idx uint64, w uint64, t word.Tag) bool) segment.ScanStats {
+	it.Stats.Scans++
+	if it.txn != nil {
+		var st segment.ScanStats
+		capWords := segment.NewSparse(it.txn.Height()).Capacity(it.m.LineWords())
+		for i := from; i < capWords; i++ {
+			if v, tag := it.txn.ReadWord(i); v != 0 || tag != word.TagRaw {
+				st.Emitted++
+				if !fn(i, v, tag) {
+					break
+				}
+			}
+		}
+		return st
+	}
+	st := segment.ScanWords(it.m, it.entry.Seg, from, fn)
+	it.Stats.ScanLines += st.LineReads
+	return st
 }
 
 // Store buffers a write at idx (§3.3: updates go to transient lines).
@@ -279,12 +311,21 @@ func (it *Iterator) Reload() error {
 	return nil
 }
 
-// capPow returns arity^depth: the number of words one child slot covers
-// when it sits depth levels above the leaf words.
-func capPow(arity, depth int) uint64 {
-	c := uint64(1)
-	for i := 0; i < depth; i++ {
-		c *= uint64(arity)
+// powers returns the memoized arity-power table covering depths [0, h]:
+// powers(h)[d] = arity^d, the words one child slot covers d levels above
+// the leaves. Extending (never shrinking) on demand keeps the table valid
+// across Reload/commit height changes, so every seek indexes instead of
+// recomputing the power per level.
+func (it *Iterator) powers(h int) []uint64 {
+	if len(it.pows) > h {
+		return it.pows
 	}
-	return c
+	arity := uint64(it.m.LineWords())
+	if len(it.pows) == 0 {
+		it.pows = append(it.pows, 1)
+	}
+	for len(it.pows) <= h {
+		it.pows = append(it.pows, it.pows[len(it.pows)-1]*arity)
+	}
+	return it.pows
 }

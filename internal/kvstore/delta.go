@@ -1,0 +1,99 @@
+package kvstore
+
+import (
+	"repro/internal/hds"
+	"repro/internal/segment"
+)
+
+// Incremental replication. A replica (or an incremental-stats collector)
+// that must learn "what changed since I last looked" conventionally
+// re-reads the whole store or consumes a mutation log. Snapshot diffing
+// makes the question structural: the Replicator pins the last shipped map
+// snapshot, and each Delta call co-walks it against the current version
+// with segment.DiffWords — identical sub-DAGs, which is almost the whole
+// map between close versions, are skipped by a single PLID comparison, so
+// the delta costs line reads proportional to the changed paths.
+
+// DeltaEntry is one changed binding in a replication delta.
+type DeltaEntry struct {
+	Key     []byte
+	Value   []byte // nil when Deleted
+	Deleted bool
+}
+
+// DeltaReport summarizes one Delta round.
+type DeltaReport struct {
+	Changed int // bindings shipped (updates + deletes)
+	Diff    segment.DiffStats
+}
+
+// Replicator tracks a HicampServer's map across versions and ships
+// incremental deltas. Not safe for concurrent use.
+type Replicator struct {
+	srv  *HicampServer
+	last segment.Seg // pinned snapshot the previous Delta shipped
+}
+
+// NewReplicator snapshots the store's current version as the replica's
+// starting point (the initial full sync is the caller's business — Scan
+// serves it). Close releases the pinned snapshot.
+func NewReplicator(srv *HicampServer) (*Replicator, error) {
+	snap, err := srv.kvp.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Replicator{srv: srv, last: snap}, nil
+}
+
+// Delta invokes fn for every binding that changed since the previous
+// Delta (or NewReplicator), in ascending key-PLID order, then advances
+// the pinned snapshot to the version it just diffed against. Deletes
+// arrive with Deleted set and a nil Value. fn returning false still
+// advances the snapshot (the diff walk itself has completed); unshipped
+// entries are simply dropped, as a real replicator would re-sync.
+func (r *Replicator) Delta(fn func(e DeltaEntry) bool) (DeltaReport, error) {
+	cur, err := r.srv.kvp.Snapshot()
+	if err != nil {
+		return DeltaReport{}, err
+	}
+	var rep DeltaReport
+	h := r.srv.Heap
+	// Collect the changed bindings first (memory proportional to the
+	// changes), then materialize keys and surviving values through one
+	// bulk gather.
+	var strs []hds.String
+	var deltas []hds.MapDelta
+	rep.Diff = hds.DiffSnapshots(h, r.last, cur, func(d hds.MapDelta) bool {
+		deltas = append(deltas, d)
+		strs = append(strs, d.Key)
+		if d.HasAfter {
+			strs = append(strs, d.After)
+		}
+		return true
+	})
+	bs := hds.BytesMany(h, strs)
+	at := 0
+	for _, d := range deltas {
+		e := DeltaEntry{Key: bs[at]}
+		at++
+		if d.HasAfter {
+			e.Value = bs[at]
+			at++
+		} else {
+			e.Deleted = true
+		}
+		rep.Changed++
+		if !fn(e) {
+			break
+		}
+	}
+	segment.ReleaseSeg(h.M, r.last)
+	r.last = cur
+	return rep, nil
+}
+
+// Close releases the pinned snapshot.
+func (r *Replicator) Close() {
+	segment.ReleaseSeg(r.srv.Heap.M, r.last)
+	r.last = segment.Seg{}
+}

@@ -125,6 +125,70 @@ func (s *HicampServer) OpenReader() (*iterreg.Iterator, error) {
 	return iterreg.Open(s.Heap.M, s.Heap.SM, s.kvp.ReadOnlyVSID())
 }
 
+// Scan streams every key-value pair in the store, materialized as bytes,
+// from one snapshot taken at the start — a full-store dump (the memcached
+// `lru_crawler metadump`/cachedump shape) served by one streamed walk
+// instead of one map descent per key. Pairs arrive in ascending key-PLID
+// order; fn returning false stops the scan.
+func (s *HicampServer) Scan(fn func(key, value []byte) bool) error {
+	return s.kvp.BytesScan(fn)
+}
+
+// ScanParallel is Scan with the map walk sharded across a bounded worker
+// pool; fn still runs on the calling goroutine in the same order.
+// workers <= 0 sizes the pool automatically.
+func (s *HicampServer) ScanParallel(workers int, fn func(key, value []byte) bool) error {
+	var batch []hds.String
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		bs := hds.BytesMany(s.Heap, batch)
+		for i := range batch {
+			batch[i].Release(s.Heap)
+		}
+		batch = batch[:0]
+		for i := 0; i < len(bs); i += 2 {
+			if !fn(bs[i], bs[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	err := s.kvp.ForEachParallel(workers, func(key, val hds.String) bool {
+		// Retain past the callback: materialization is deferred to the
+		// batch gather below.
+		key.Retain(s.Heap)
+		val.Retain(s.Heap)
+		batch = append(batch, key, val)
+		if len(batch) >= 256 {
+			return flush()
+		}
+		return true
+	})
+	flush()
+	return err
+}
+
+// Keys returns every key in the store from one snapshot, in ascending
+// key-PLID order, via one streamed walk plus one bulk materialization.
+func (s *HicampServer) Keys() ([][]byte, error) {
+	var keys []hds.String
+	err := s.kvp.ForEach(func(key, val hds.String) bool {
+		key.Retain(s.Heap)
+		keys = append(keys, key)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := hds.BytesMany(s.Heap, keys)
+	for i := range keys {
+		keys[i].Release(s.Heap)
+	}
+	return out, nil
+}
+
 // Map exposes the underlying key-value map.
 func (s *HicampServer) Map() *hds.Map { return s.kvp }
 

@@ -77,6 +77,96 @@ func TestAdaptiveMemoKeepsInsertsOnHighHitRate(t *testing.T) {
 	}
 }
 
+// TestAdaptiveMemoFlipsOffWhenRedundancyEnds pins periodic re-observation:
+// a corpus that starts redundant (inserts stay on) and turns fresh must be
+// re-observed and flip inserts off, with the re-decision counted.
+func TestAdaptiveMemoFlipsOffWhenRedundancyEnds(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	b := NewBuilder(m, 1)
+	defer b.Close()
+	b.memoWarmup = 256
+	b.memoRecheck = 512
+
+	rng := rand.New(rand.NewSource(13))
+	base := make([]uint64, 512)
+	for i := range base {
+		base[i] = rng.Uint64()
+	}
+	for b.Stats().MemoLookups < 4*b.memoWarmup {
+		b.BuildWords(base, nil)
+	}
+	st := b.Stats()
+	if !st.MemoDecided || st.MemoInsertsOff {
+		t.Fatalf("redundant phase should settle with inserts on: %+v", st)
+	}
+
+	distinct := func(n int) []uint64 {
+		ws := make([]uint64, n)
+		for i := range ws {
+			ws[i] = rng.Uint64()
+		}
+		return ws
+	}
+	for i := 0; i < 200 && b.Stats().MemoFlips == 0; i++ {
+		b.BuildWords(distinct(256), nil)
+	}
+	st = b.Stats()
+	if st.MemoFlips == 0 {
+		t.Fatalf("fresh phase never flipped inserts off: %+v", st)
+	}
+	if !st.MemoInsertsOff {
+		t.Fatalf("flip recorded but inserts still on: %+v", st)
+	}
+	if st.MemoRedecisions == 0 {
+		t.Fatalf("flip without a recorded re-decision: %+v", st)
+	}
+}
+
+// TestAdaptiveMemoFlipsBackOnWhenRedundancyReturns is the reverse
+// direction: after inserts go off on a fresh corpus, re-observation
+// windows insert probationally, so a corpus that turns redundant is
+// detected and inserts come back on.
+func TestAdaptiveMemoFlipsBackOnWhenRedundancyReturns(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	b := NewBuilder(m, 1)
+	defer b.Close()
+	b.memoWarmup = 256
+	b.memoRecheck = 512
+
+	rng := rand.New(rand.NewSource(14))
+	distinct := func(n int) []uint64 {
+		ws := make([]uint64, n)
+		for i := range ws {
+			ws[i] = rng.Uint64()
+		}
+		return ws
+	}
+	for b.Stats().MemoLookups < 4*b.memoWarmup {
+		b.BuildWords(distinct(256), nil)
+	}
+	st := b.Stats()
+	if !st.MemoDecided || !st.MemoInsertsOff {
+		t.Fatalf("fresh phase should settle with inserts off: %+v", st)
+	}
+
+	base := make([]uint64, 512)
+	for i := range base {
+		base[i] = rng.Uint64()
+	}
+	// The first open re-observation window inserts base's lines
+	// probationally; later windows then observe hits on them and flip.
+	for i := 0; i < 200 && b.Stats().MemoInsertsOff; i++ {
+		b.BuildWords(base, nil)
+	}
+	st = b.Stats()
+	if st.MemoInsertsOff {
+		t.Fatalf("redundant phase never flipped inserts back on: %+v", st)
+	}
+	if st.MemoFlips == 0 || st.MemoRedecisions == 0 {
+		t.Fatalf("inserts on without a recorded flip: %+v", st)
+	}
+}
+
 // TestAdaptiveMemoDefaultsUndecidedWhenSmall checks small builds never
 // reach the warmup window, so the policy stays undecided and inserts on.
 func TestAdaptiveMemoDefaultsUndecidedWhenSmall(t *testing.T) {

@@ -45,17 +45,24 @@ type Builder struct {
 
 	// Adaptive memo policy: after a warmup of memoWarmup consultations
 	// (skipped because cold-start first occurrences always miss), the
-	// next memoWarmup consultations form the observation window; if its
-	// hit rate fell below memoMinHitPct percent, inserts are disabled
-	// for good — on low-redundancy corpora (fresh VM images, random
-	// content) the insert cost dominates the occasional hit, while
-	// lookups against the already-populated table stay free upside.
+	// next memoWarmup consultations form an observation window; if its
+	// hit rate fell below memoMinHitPct percent, inserts are disabled —
+	// on low-redundancy corpora (fresh VM images, random content) the
+	// insert cost dominates the occasional hit, while lookups against
+	// the already-populated table stay free upside. The decision is not
+	// final: every memoRecheck further consultations a new observation
+	// window opens (with inserts probationally re-enabled, so a workload
+	// that turned redundant can produce hits again) and the decision is
+	// re-taken, letting a long-lived server Builder track workload
+	// shifts in either direction.
 	memoWarmup    uint64
 	memoMinHitPct uint64
+	memoRecheck   uint64
 	stats         BuilderStats
-	warmSet       bool
-	warmLookups   uint64
-	warmHits      uint64
+	windowOpen    bool
+	winLookups    uint64
+	winHits       uint64
+	nextWindowAt  uint64
 
 	// Scratch reused across levels and builds (one goroutine, so no
 	// synchronization; resized monotonically).
@@ -73,11 +80,17 @@ type BuilderStats struct {
 	MemoHits    uint64 // consultations that revalidated successfully
 	MemoInserts uint64 // entries recorded
 	// MemoDecided reports that the warmup window has closed and the
-	// insert policy is settled; MemoInsertsOff is the decision — true
-	// when the observed hit rate fell below the threshold and inserts
-	// were turned off (lookups continue against the existing table).
+	// insert policy is settled; MemoInsertsOff is the current decision —
+	// true when the observed hit rate fell below the threshold and
+	// inserts were turned off (lookups continue against the existing
+	// table).
 	MemoDecided    bool
 	MemoInsertsOff bool
+	// MemoRedecisions counts re-observation windows that closed after
+	// the first decision; MemoFlips counts the subset that reversed the
+	// insert policy (in either direction).
+	MemoRedecisions uint64
+	MemoFlips       uint64
 }
 
 // HitRate returns the observed memo hit fraction.
@@ -102,6 +115,11 @@ const (
 	// break-even near 50%; 20% keeps a margin for workloads whose
 	// redundancy arrives late.
 	defaultMemoMinHitPct = 20
+	// defaultMemoRecheck is how many consultations pass between
+	// re-observation windows once a decision exists: large enough that a
+	// probation window's insert cost is noise, small enough that a
+	// long-lived Builder notices a workload shift within one bulk load.
+	defaultMemoRecheck = 1 << 16
 	// maxDefaultWorkers caps the auto-sized pool; levels rarely have
 	// enough independent work to feed more.
 	maxDefaultWorkers = 8
@@ -137,6 +155,7 @@ func NewBuilder(m word.Mem, workers int) *Builder {
 		memoCap:       defaultMemoCap,
 		memoWarmup:    defaultMemoWarmup,
 		memoMinHitPct: defaultMemoMinHitPct,
+		memoRecheck:   defaultMemoRecheck,
 	}
 }
 
@@ -405,39 +424,64 @@ func (b *Builder) resolvePending(contents []word.Content, pending []bool, edges 
 	}
 }
 
-// memoAdd records c -> p without taking a reference; the entry is
-// revalidated (RetainIfContent) before every reuse. Once the adaptive
-// policy has observed a warmup window with a hit rate below threshold,
-// inserts stop for the Builder's lifetime — the table keeps serving
-// lookups, it just stops growing on corpora that don't repay the insert.
 // memoDecide runs the adaptive policy: the first memoWarmup
 // consultations are warmup (every first occurrence of a content is
 // necessarily a miss, so the cold region says nothing about redundancy),
 // then the *next* memoWarmup consultations are the observation window
-// whose hit rate settles the insert decision for good.
+// whose hit rate settles the insert decision. After that first decision
+// a fresh observation window re-opens every memoRecheck consultations
+// and the decision is re-taken — a long-lived Builder whose workload
+// shifts from redundant to fresh (or back) flips the policy instead of
+// being stuck with the first verdict.
 func (b *Builder) memoDecide() {
-	if b.stats.MemoDecided {
+	l := b.stats.MemoLookups
+	if b.windowOpen {
+		obs := l - b.winLookups
+		if obs < b.memoWarmup {
+			return
+		}
+		off := (b.stats.MemoHits-b.winHits)*100 < obs*b.memoMinHitPct
+		if b.stats.MemoDecided {
+			b.stats.MemoRedecisions++
+			if off != b.stats.MemoInsertsOff {
+				b.stats.MemoFlips++
+			}
+		}
+		b.stats.MemoDecided = true
+		b.stats.MemoInsertsOff = off
+		b.windowOpen = false
+		b.nextWindowAt = l + b.memoRecheck
 		return
 	}
-	if !b.warmSet {
-		if b.stats.MemoLookups >= b.memoWarmup {
-			b.warmSet = true
-			b.warmLookups, b.warmHits = b.stats.MemoLookups, b.stats.MemoHits
+	if !b.stats.MemoDecided {
+		// First window opens once the cold-start warmup has passed.
+		// memoWarmup is read here (not cached at construction) so tests
+		// shrinking it after NewBuilder see the smaller window.
+		if l >= b.memoWarmup {
+			b.windowOpen = true
+			b.winLookups, b.winHits = l, b.stats.MemoHits
 		}
 		return
 	}
-	if obs := b.stats.MemoLookups - b.warmLookups; obs >= b.memoWarmup {
-		b.stats.MemoDecided = true
-		b.stats.MemoInsertsOff = (b.stats.MemoHits-b.warmHits)*100 < obs*b.memoMinHitPct
+	if l >= b.nextWindowAt {
+		b.windowOpen = true
+		b.winLookups, b.winHits = l, b.stats.MemoHits
 	}
 }
 
+// memoAdd records c -> p without taking a reference; the entry is
+// revalidated (RetainIfContent) before every reuse. While the adaptive
+// policy's latest observation says inserts don't pay, inserts stop — the
+// table keeps serving lookups, it just stops growing on corpora that
+// don't repay the insert. During an open re-observation window inserts
+// run probationally even when switched off, so a workload that turned
+// redundant can show hits again and flip the policy back on.
 func (b *Builder) memoAdd(c word.Content, p word.PLID) {
 	if b.cr == nil || b.memoCap <= 0 || len(b.memo) >= b.memoCap {
 		return
 	}
 	b.memoDecide()
-	if b.stats.MemoInsertsOff {
+	if b.stats.MemoInsertsOff && !b.windowOpen {
 		return
 	}
 	if b.memo == nil {

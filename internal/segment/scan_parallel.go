@@ -1,0 +1,167 @@
+package segment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/word"
+)
+
+// Parallel sharded scans. The root's top-level children partition the
+// index space into arity disjoint, contiguous shards; each worker streams
+// one shard at a time with its own wave buffer (the memory system is
+// concurrency-safe; the scanners share nothing), and the caller's
+// goroutine merges the per-shard item streams back in index order. The
+// callback therefore sees exactly the serial ScanWords emission sequence.
+
+// scanItem is one buffered emission of a sharded scan.
+type scanItem struct {
+	idx uint64
+	w   uint64
+	t   word.Tag
+}
+
+// scanFlushItems is how many emissions a shard worker buffers before
+// handing a chunk to the merger.
+const scanFlushItems = 1024
+
+// ScanWordsParallel is ScanWords with the frontier sharded on the root's
+// top-level children across a bounded worker pool. workers <= 0 sizes the
+// pool like the Builder's (GOMAXPROCS capped by NumCPU and
+// maxDefaultWorkers). fn runs only on the calling goroutine, in ascending
+// index order; returning false stops the scan, though shards already
+// streaming may have fetched ahead (the per-shard window still bounds
+// each one's over-fetch).
+func ScanWordsParallel(m word.Mem, s Seg, from uint64, workers int, fn func(idx uint64, w uint64, t word.Tag) bool) ScanStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if n := runtime.NumCPU(); workers > n {
+			workers = n
+		}
+		if workers > maxDefaultWorkers {
+			workers = maxDefaultWorkers
+		}
+	}
+	arity := m.LineWords()
+	var stats ScanStats
+	if s.Root == word.Zero || from >= s.Capacity(arity) {
+		return stats
+	}
+	if workers <= 1 || s.Height == 0 {
+		return ScanWords(m, s, from, fn)
+	}
+
+	kids := Children(m, PLIDEdge(s.Root), s.Height)
+	stats.LineReads++
+	sub := capacity(arity, s.Height-1)
+	type shard struct {
+		node scanNode
+		ch   chan []scanItem
+	}
+	var shards []*shard
+	for i, e := range kids {
+		base := uint64(i) * sub
+		if e.IsZero() || base+sub <= from {
+			continue
+		}
+		shards = append(shards, &shard{
+			node: scanNode{e: e, lvl: s.Height - 1, base: base},
+			ch:   make(chan []scanItem, 2),
+		})
+	}
+	if len(shards) == 0 {
+		return stats
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	var mu sync.Mutex // guards stats merging from workers
+	var nextShard atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextShard.Add(1) - 1)
+				if i >= len(shards) {
+					return
+				}
+				st := scanShard(m, shards[i].node, shards[i].ch, from, stop)
+				mu.Lock()
+				// Emitted is counted by the merger; everything else by the
+				// shard's own scanner.
+				st.Emitted = 0
+				stats.merge(st)
+				mu.Unlock()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	// Merge in shard order: shard i's indices all precede shard i+1's,
+	// and each shard emits ascending, so consuming channels in order
+	// reproduces the serial emission sequence. Emissions are counted in a
+	// local and folded into stats only after the workers drain — workers
+	// merge their shard stats into stats concurrently (under mu), and the
+	// merger must not touch the shared struct while they do.
+	var emitted uint64
+merge:
+	for _, sh := range shards {
+		for items := range sh.ch {
+			for _, it := range items {
+				emitted++
+				if !fn(it.idx, it.w, it.t) {
+					halt()
+					break merge
+				}
+			}
+		}
+	}
+	halt()
+	wg.Wait()
+	stats.Emitted = emitted
+	return stats
+}
+
+// scanShard streams one shard's subtree, batching emissions into chunks
+// on ch. The channel is always closed on return; a closed stop channel
+// abandons the shard.
+func scanShard(m word.Mem, nd scanNode, ch chan<- []scanItem, from uint64, stop <-chan struct{}) ScanStats {
+	defer close(ch)
+	sc := newScanner(m, from, DefaultScanWindow)
+	sc.pending = append(sc.pending, nd)
+	buf := make([]scanItem, 0, scanFlushItems)
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		out := make([]scanItem, len(buf))
+		copy(out, buf)
+		buf = buf[:0]
+		select {
+		case ch <- out:
+			return true
+		case <-stop:
+			return false
+		}
+	}
+	sc.run(func(idx uint64, w uint64, t word.Tag) bool {
+		buf = append(buf, scanItem{idx: idx, w: w, t: t})
+		if len(buf) >= scanFlushItems {
+			return flush()
+		}
+		return true
+	})
+	flush()
+	return sc.stats
+}

@@ -1,0 +1,56 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/segment"
+)
+
+// TestNZDMulVecBulkBitIdentical pins the wave-order claim: every pattern
+// leaf sits at uniform depth and the bulk expansion preserves quadrant
+// order, so MulVecBulk consumes values in exactly MulVec's sequence and
+// the floating-point results are bit-identical, not merely close.
+func TestNZDMulVecBulkBitIdentical(t *testing.T) {
+	for _, lb := range []int{16, 32, 64} {
+		for _, m := range []*Matrix{
+			FEM2D(6), LP(4, 3, 8, 2), Circuit(24, 3, 4), Random(20, 0.1, 6),
+			Pattern(3, 8, 5), Banded(20, 3, false, 3),
+		} {
+			mach := testMachine(lb)
+			z := BuildNZD(mach, m)
+			x := testVector(m.Cols)
+			xseg := BuildXSegment(mach, x)
+			want := z.MulVec(mach, xseg, m.Cols)
+			got := z.MulVecBulk(mach, xseg, m.Cols)
+			if len(got) != len(want) {
+				t.Fatalf("lb=%d %s: len %d vs %d", lb, m.Name, len(got), len(want))
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("lb=%d %s: y[%d] = %v (bulk) vs %v (serial) — not bit-identical",
+						lb, m.Name, i, got[i], want[i])
+				}
+			}
+			z.Release(mach)
+			segment.ReleaseSeg(mach, xseg)
+		}
+	}
+}
+
+// TestNZDMulVecBulkEmptyMatrix covers the zero-pattern edge.
+func TestNZDMulVecBulkEmptyMatrix(t *testing.T) {
+	mach := testMachine(16)
+	m := NewMatrix("t", "empty", 4, 4, nil)
+	z := BuildNZD(mach, m)
+	x := testVector(4)
+	xseg := BuildXSegment(mach, x)
+	y := z.MulVecBulk(mach, xseg, 4)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("empty matrix produced y[%d] = %v", i, v)
+		}
+	}
+	z.Release(mach)
+	segment.ReleaseSeg(mach, xseg)
+}

@@ -1,0 +1,40 @@
+package vmhost
+
+import (
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// Page-delta reports. Two ingested VM images — a VM before and after a
+// checkpoint, or two instances of one class — are canonical segments, so
+// "which pages differ" is a segment.DiffWords co-walk: runs of identical
+// pages are whole identical sub-DAGs and are skipped by a single PLID
+// comparison, making the report cost proportional to the modified pages
+// (the deltified-page population of §5.3), not the image size. This is
+// the incremental-checkpoint/live-migration dirty-page question answered
+// structurally, without dirty bits.
+
+// PageDeltaReport lists the pages differing between two VM images.
+type PageDeltaReport struct {
+	Pages       []int // indices of pages with at least one differing word
+	WordsDiffer uint64
+	Diff        segment.DiffStats
+}
+
+// pageWords is how many 64-bit words one page covers.
+const pageWords = PageBytes / 8
+
+// PageDelta diffs two ingested VM images and reports the differing
+// pages in ascending order. Both segments must live in m.
+func PageDelta(m word.Mem, a, b segment.Seg) PageDeltaReport {
+	var rep PageDeltaReport
+	rep.Diff = segment.DiffWords(m, a, b, func(idx uint64, av, bv uint64, at, bt word.Tag) bool {
+		rep.WordsDiffer++
+		page := int(idx / pageWords)
+		if n := len(rep.Pages); n == 0 || rep.Pages[n-1] != page {
+			rep.Pages = append(rep.Pages, page)
+		}
+		return true
+	})
+	return rep
+}

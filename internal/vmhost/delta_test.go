@@ -1,0 +1,62 @@
+package vmhost
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPageDeltaIdenticalImages(t *testing.T) {
+	m := ingestMachine()
+	h := NewHost(m)
+	defer h.Close()
+	c, _ := ClassByName("file")
+	a := h.Ingest(c, 0)
+	b := h.Ingest(c, 0)
+	rep := PageDelta(m, a, b)
+	if len(rep.Pages) != 0 || rep.WordsDiffer != 0 {
+		t.Fatalf("identical images reported delta: %+v", rep)
+	}
+	// Identical roots: the whole comparison is one PLID check, zero reads.
+	if rep.Diff.LineReads != 0 {
+		t.Fatalf("identical images read %d lines", rep.Diff.LineReads)
+	}
+}
+
+func TestPageDeltaReportsModifiedPages(t *testing.T) {
+	m := ingestMachine()
+	h := NewHost(m)
+	defer h.Close()
+
+	const pages = 64
+	image := make([]byte, pages*PageBytes)
+	rand.New(rand.NewSource(51)).Read(image)
+	a := h.IngestImage(image)
+
+	mod := append([]byte(nil), image...)
+	wantPages := []int{3, 17, 40}
+	for _, p := range wantPages {
+		mod[p*PageBytes+100]++
+	}
+	b := h.IngestImage(mod)
+
+	rep := PageDelta(m, a, b)
+	if len(rep.Pages) != len(wantPages) {
+		t.Fatalf("delta pages = %v, want %v", rep.Pages, wantPages)
+	}
+	for i, p := range wantPages {
+		if rep.Pages[i] != p {
+			t.Fatalf("delta pages = %v, want %v", rep.Pages, wantPages)
+		}
+	}
+	if rep.WordsDiffer != uint64(len(wantPages)) {
+		t.Fatalf("WordsDiffer = %d, want %d (one byte per page)", rep.WordsDiffer, len(wantPages))
+	}
+	if rep.Diff.SubDAGSkips == 0 {
+		t.Fatalf("no sub-DAG skips across near-identical images: %+v", rep.Diff)
+	}
+	// The walk must stay proportional to the modified paths.
+	total := m.LiveLines()
+	if rep.Diff.LineReads > total/4 {
+		t.Fatalf("delta read %d lines of %d live — not proportional to changes", rep.Diff.LineReads, total)
+	}
+}
