@@ -708,3 +708,57 @@ func BenchmarkBulkScanWords(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkWriteBatch compares the serial write discipline — one Txn
+// path rebuild and commit per update — against the wave-ordered bulk
+// writer, which groups sibling updates per DAG level and canonicalizes
+// each level in one batch lookup. cmd/benchjson emits the same
+// comparison (plus the simulated-DRAM axis) as BENCH_PR5.json.
+func BenchmarkWriteBatch(b *testing.B) {
+	const words = 65536
+	mkWords := func(n int, seed uint64) []uint64 {
+		ws := make([]uint64, n)
+		x := seed*2654435761 + 1
+		for i := range ws {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			ws[i] = x
+		}
+		return ws
+	}
+	mkUps := func(n int, seed uint64) []segment.Update {
+		rs := mkWords(2*n, seed)
+		ups := make([]segment.Update, n)
+		for i := range ups {
+			ups[i] = segment.Update{Idx: rs[2*i] % words, W: rs[2*i+1] | 1}
+		}
+		return ups
+	}
+	for _, n := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("serial/updates%d", n), func(b *testing.B) {
+			m := core.NewMachine(core.DefaultConfig(16))
+			s := segment.BuildWords(m, mkWords(words, 5), nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, u := range mkUps(n, uint64(i)+1) {
+					tx := segment.NewTxn(m, s)
+					tx.WriteWord(u.Idx, u.W, u.T)
+					next := tx.Commit()
+					segment.ReleaseSeg(m, s)
+					s = next
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("wave/updates%d", n), func(b *testing.B) {
+			m := core.NewMachine(core.DefaultConfig(16))
+			s := segment.BuildWords(m, mkWords(words, 5), nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next, _ := segment.WriteBatch(m, s, mkUps(n, uint64(i)+1))
+				segment.ReleaseSeg(m, s)
+				s = next
+			}
+		})
+	}
+}

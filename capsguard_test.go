@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// word.Caps is the single capability probe for the optional Mem fast
+// paths. Every consumer takes a word.MemCaps at construction time; ad-hoc
+// type asserts of the optional interfaces scattered through call sites
+// are the failure mode this guard locks out.
+func TestNoAdHocCapabilityAsserts(t *testing.T) {
+	assertRE := regexp.MustCompile(`\.\(\s*word\.(BatchMem|BatchReadMem|ContentRetainer)\s*\)`)
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || path == filepath.Join("internal", "word") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if assertRE.MatchString(line) {
+				t.Errorf("%s:%d: ad-hoc capability assert %q — probe once with word.Caps instead",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+}

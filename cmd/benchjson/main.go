@@ -1,7 +1,8 @@
 // Command benchjson measures the bulk segment pipelines — construction
-// (PR 2), the read/gather path (PR 3), and the streaming scan/diff path
-// (PR 4) — against their line-at-a-time baselines and writes the
-// comparison as machine-readable JSON (BENCH_PR4.json in the repo root).
+// (PR 2), the read/gather path (PR 3), the streaming scan/diff path
+// (PR 4), and the wave-ordered bulk write path (PR 5) — against their
+// line-at-a-time baselines and writes the comparison as machine-readable
+// JSON (BENCH_PR5.json in the repo root).
 // Each pair is run at GOMAXPROCS 1 and 4 and reports two axes:
 //
 //   - wall-clock (minimum over interleaved repetitions, fresh machine per
@@ -15,7 +16,7 @@
 // commits (wall-clock), while memoization avoids simulated lookup traffic
 // (DRAM) at the price of bookkeeping the host must execute.
 //
-//	go run ./cmd/benchjson -o BENCH_PR4.json
+//	go run ./cmd/benchjson -o BENCH_PR5.json
 package main
 
 import (
@@ -89,7 +90,7 @@ type pair struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output file")
+	out := flag.String("o", "BENCH_PR5.json", "output file")
 	only := flag.String("only", "", "run only the pair with this name")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs")
 	flag.Parse()
@@ -105,6 +106,8 @@ func main() {
 		spmvGather(),
 		storeScan(),
 		diffScan(),
+		writeWave(),
+		bulkUpdate(),
 	}
 
 	if *only != "" {
@@ -130,9 +133,11 @@ func main() {
 	rep := Report{
 		Description: "Bulk segment pipelines vs line-at-a-time baselines: " +
 			"batched+memoized construction (build/ingest/load pairs), the " +
-			"level-order bulk read path (multi-get and SpMV gather pairs), and " +
+			"level-order bulk read path (multi-get and SpMV gather pairs), " +
 			"the streaming scan pipeline (full-store scan and PLID-equality " +
-			"snapshot diff pairs). Wall-clock is min over interleaved reps " +
+			"snapshot diff pairs), and the wave-ordered bulk write path " +
+			"(scattered-update wave commit and 4096-key map update pairs). " +
+			"Wall-clock is min over interleaved reps " +
 			"with a fresh machine per rep; DRAM accesses are the simulated " +
 			"store totals (deterministic per workload).",
 		GoVersion:  runtime.Version(),
@@ -755,5 +760,119 @@ func parallelBuild() pair {
 		cand: run(func(m *core.Machine, ws []uint64) segment.Seg {
 			return segment.BuildWords(m, ws, nil)
 		}),
+	}
+}
+
+// writeWave measures the PR 5 tentpole directly: 4096 scattered updates
+// to a 65536-word segment, committed one root-to-leaf path rebuild at a
+// time (one Txn per update, the paper's per-store commit discipline)
+// versus one bottom-up wave commit that canonicalizes each DAG level in
+// a single batch lookup and passes untouched sub-DAGs through by PLID.
+func writeWave() pair {
+	const words, updates = 65536, 4096
+	baseWords := randWords(words, 41)
+	upWords := randWords(2*updates, 42)
+	mkUps := func() []segment.Update {
+		ups := make([]segment.Update, updates)
+		for i := range ups {
+			ups[i] = segment.Update{
+				Idx: upWords[2*i] % words,
+				W:   upWords[2*i+1] | 1,
+			}
+		}
+		return ups
+	}
+	ex := map[string]float64{}
+	return pair{
+		name:      "segment_writebatch_4096upd",
+		baseline:  "per-update Txn commit (path rebuild each)",
+		candidate: "segment.WriteBatch (one wave commit)",
+		reps:      3,
+		extra:     ex,
+		base: func() uint64 {
+			m := core.NewMachine(core.DefaultConfig(16))
+			s := segment.BuildWords(m, baseWords, nil)
+			m.FlushCache()
+			m.ResetStats()
+			for _, u := range mkUps() {
+				tx := segment.NewTxn(m, s)
+				tx.WriteWord(u.Idx, u.W, u.T)
+				next := tx.Commit()
+				segment.ReleaseSeg(m, s)
+				s = next
+			}
+			segment.ReleaseSeg(m, s)
+			return dramTotal(m)
+		},
+		cand: func() uint64 {
+			m := core.NewMachine(core.DefaultConfig(16))
+			s := segment.BuildWords(m, baseWords, nil)
+			m.FlushCache()
+			m.ResetStats()
+			next, st := segment.WriteBatch(m, s, mkUps())
+			segment.ReleaseSeg(m, s)
+			segment.ReleaseSeg(m, next)
+			ex["wave_levels"] = float64(st.WaveLevels)
+			ex["sibling_coalesced"] = float64(st.SiblingCoalesced)
+			ex["paths_rebuilt"] = float64(st.PathsRebuilt)
+			ex["pass_through"] = float64(st.PassThrough)
+			return dramTotal(m)
+		},
+	}
+}
+
+// bulkUpdate is the application-level shape of the acceptance pin: a
+// populated 4096-key map whose every value is replaced, one Set commit
+// per key versus one Apply wave commit riding a single CAS attempt.
+func bulkUpdate() pair {
+	const n = 4096
+	oldPairs := make([]hds.Pair, n)
+	newPairs := make([]hds.Pair, n)
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("upd:key:%06d", i))
+		oldPairs[i] = hds.Pair{Key: key, Value: []byte(fmt.Sprintf("generation zero payload %d", i))}
+		newPairs[i] = hds.Pair{Key: key, Value: []byte(fmt.Sprintf("generation one payload %d rewritten", i))}
+	}
+	preload := func() (*hds.Heap, *hds.Map) {
+		h := hds.NewHeap(core.DefaultConfig(16))
+		mp := hds.NewMap(h)
+		if err := mp.Apply(oldPairs, hds.ApplyOptions{}); err != nil {
+			panic(err)
+		}
+		h.M.FlushCache()
+		h.M.ResetStats()
+		return h, mp
+	}
+	ex := map[string]float64{}
+	return pair{
+		name:      "map_bulkupdate_4096keys",
+		baseline:  "per-key Map.Set",
+		candidate: "hds.Map.Apply (wave commit)",
+		reps:      3,
+		extra:     ex,
+		base: func() uint64 {
+			h, mp := preload()
+			for _, p := range newPairs {
+				k, v := hds.NewString(h, p.Key), hds.NewString(h, p.Value)
+				if err := mp.Set(k, v); err != nil {
+					panic(err)
+				}
+				k.Release(h)
+				v.Release(h)
+			}
+			return dramTotal(h.M)
+		},
+		cand: func() uint64 {
+			h, mp := preload()
+			var st segment.WriteStats
+			if err := mp.Apply(newPairs, hds.ApplyOptions{Stats: &st}); err != nil {
+				panic(err)
+			}
+			ex["wave_levels"] = float64(st.WaveLevels)
+			ex["sibling_coalesced"] = float64(st.SiblingCoalesced)
+			ex["paths_rebuilt"] = float64(st.PathsRebuilt)
+			ex["pass_through"] = float64(st.PassThrough)
+			return dramTotal(h.M)
+		},
 	}
 }

@@ -7,6 +7,7 @@
 // Protocol (a text subset of memcached):
 //
 //	set <key> <bytes>\r\n<data>\r\n  -> STORED
+//	mset <n>\r\n then n of <key> <bytes>\r\n<data>\r\n -> STORED <n>
 //	get <key> [<key> ...]\r\n        -> VALUE <key> <bytes>\r\n<data>\r\n... END
 //	delete <key>\r\n                 -> DELETED | NOT_FOUND
 //	stats\r\n                        -> memory-system counters
@@ -98,6 +99,52 @@ func serve(srv *kvstore.HicampServer, conn net.Conn) {
 				continue
 			}
 			fmt.Fprint(w, "STORED\r\n")
+		case "mset":
+			// Batched store: n key/payload pairs land in one wave commit
+			// through the unified bulk-apply path.
+			if len(fields) != 2 {
+				fmt.Fprint(w, "CLIENT_ERROR usage: mset <n>\r\n")
+				continue
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 || n > 1<<16 {
+				fmt.Fprint(w, "CLIENT_ERROR bad count\r\n")
+				continue
+			}
+			keys := make([]string, 0, n)
+			vals := make([][]byte, 0, n)
+			bad := false
+			for i := 0; i < n; i++ {
+				hdr, err := r.ReadString('\n')
+				if err != nil {
+					return
+				}
+				hf := strings.Fields(strings.TrimSpace(hdr))
+				if len(hf) != 2 {
+					bad = true
+					break
+				}
+				sz, err := strconv.Atoi(hf[1])
+				if err != nil || sz < 0 || sz > 8<<20 {
+					bad = true
+					break
+				}
+				data := make([]byte, sz+2) // payload + trailing \r\n
+				if _, err := io.ReadFull(r, data); err != nil {
+					return
+				}
+				keys = append(keys, hf[0])
+				vals = append(vals, data[:sz])
+			}
+			if bad {
+				fmt.Fprint(w, "CLIENT_ERROR usage: mset <n>\\r\\n then n of <key> <bytes>\\r\\n<data>\\r\\n\r\n")
+				continue
+			}
+			if err := srv.SetMany(keys, vals); err != nil {
+				fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+				continue
+			}
+			fmt.Fprintf(w, "STORED %d\r\n", len(keys))
 		case "get":
 			switch {
 			case len(fields) < 2:

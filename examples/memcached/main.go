@@ -17,13 +17,16 @@ import (
 func main() {
 	srv := kvstore.NewHicampServer(core.DefaultConfig(16))
 
-	// Preload a working set.
-	for i := 0; i < 200; i++ {
-		key := fmt.Sprintf("page:%04d", i)
-		val := fmt.Sprintf("<html><body>cached page %d</body></html>", i)
-		if err := srv.Set([]byte(key), []byte(val)); err != nil {
-			log.Fatal(err)
-		}
+	// Preload a working set through the bulk path: one wave commit
+	// instead of 200 per-key commits.
+	keys := make([]string, 200)
+	vals := make([][]byte, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("page:%04d", i)
+		vals[i] = []byte(fmt.Sprintf("<html><body>cached page %d</body></html>", i))
+	}
+	if err := srv.SetMany(keys, vals); err != nil {
+		log.Fatal(err)
 	}
 
 	var wg sync.WaitGroup
@@ -81,8 +84,8 @@ func main() {
 		st.Store.LookupTraffic(), st.Store.DeallocOps, st.Store.RCTraffic())
 
 	// Fault isolation: a client that dies mid-update leaves no trace —
-	// uncommitted transient lines are reclaimed on Close, and the map's
-	// root never moved.
+	// buffered writes are discarded on Close without ever allocating, and
+	// the map's root never moved.
 	crasher, _ := srv.OpenReader()
 	crasher.Store(12345, 0xDEAD, 0)
 	crasher.Close() // "process killed": abort, nothing published

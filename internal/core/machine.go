@@ -448,3 +448,4 @@ func (m *Machine) handleEviction(victim cachesim.Entry, evicted bool) {
 var _ word.Mem = (*Machine)(nil)
 var _ word.BatchMem = (*Machine)(nil)
 var _ word.BatchReadMem = (*Machine)(nil)
+var _ word.BulkMem = (*Machine)(nil)

@@ -1,0 +1,171 @@
+package hds
+
+import (
+	"errors"
+
+	"repro/internal/iterreg"
+	"repro/internal/merge"
+	"repro/internal/segment"
+	"repro/internal/word"
+)
+
+// ErrDuplicateKey reports that a batch bound the same key more than once
+// under ApplyOptions.ErrorOnDup.
+var ErrDuplicateKey = errors.New("hds: duplicate key in batch")
+
+// ApplyOptions configures one bulk mutation. The zero value is the
+// SetMany/PutMany behavior: later duplicates win and the commit publishes
+// with merge-update, so concurrent batches touching disjoint keys never
+// retry.
+type ApplyOptions struct {
+	// ErrorOnDup rejects the whole batch with ErrDuplicateKey when two
+	// entries bind the same key (same slot), instead of letting the later
+	// one win.
+	ErrorOnDup bool
+
+	// NoMerge publishes with a plain CAS instead of merge-update: any
+	// concurrent commit — even to unrelated keys — forces this batch to
+	// rebuild and retry. Use it when the batch's writes must not be
+	// interleaved with a concurrent version via three-way merge.
+	NoMerge bool
+
+	// Stats, when non-nil, accumulates the wave-commit counters of every
+	// attempt (including retries), exposing how many sibling updates
+	// coalesced and how many DAG levels one commit swept.
+	Stats *segment.WriteStats
+}
+
+// Apply binds every pair in one committed update — the single bulk
+// mutation entry point SetMany and FromPairs wrap. All key and value
+// strings are built through one shared bulk builder (one batch-lookup
+// pipeline, memoized across pairs), every slot is buffered in one
+// iterator register, and the whole batch canonicalizes in a single
+// bottom-up wave commit (segment.WriteBatch) published according to
+// opts.
+func (mp *Map) Apply(pairs []Pair, opts ApplyOptions) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	keys := make([]String, len(pairs))
+	vals := make([]String, len(pairs))
+	{
+		b := segment.NewBuilder(mp.h.M, 0)
+		for i, p := range pairs {
+			keys[i] = String{Seg: b.BuildBytes(p.Key), Len: uint64(len(p.Key))}
+			vals[i] = String{Seg: b.BuildBytes(p.Value), Len: uint64(len(p.Value))}
+		}
+		b.Close()
+	}
+	// The committed map DAG holds its own references; drop the builder's.
+	release := func() {
+		for i := range pairs {
+			keys[i].Release(mp.h)
+			vals[i].Release(mp.h)
+		}
+	}
+	if opts.ErrorOnDup {
+		seen := make(map[uint64]struct{}, len(pairs))
+		for i := range keys {
+			s := slotFor(keys[i])
+			if _, dup := seen[s]; dup {
+				release()
+				return ErrDuplicateKey
+			}
+			seen[s] = struct{}{}
+		}
+	}
+	err := retryCAS(func() (bool, error) {
+		it, err := iterreg.Open(mp.h.M, mp.h.SM, mp.vsid)
+		if err != nil {
+			return false, err
+		}
+		for i := range pairs {
+			key, value := keys[i], vals[i]
+			slot := slotFor(key)
+			if value.Seg.Root != word.Zero {
+				it.Store(slot+slotValue, uint64(value.Seg.Root), word.TagPLID)
+			} else {
+				it.Store(slot+slotValue, 0, word.TagRaw)
+			}
+			it.Store(slot+slotValLen, value.Len+1, word.TagRaw)
+			if key.Seg.Root != word.Zero {
+				it.Store(slot+slotKey, uint64(key.Seg.Root), word.TagPLID)
+			}
+			it.Store(slot+slotKeyLen, key.Len, word.TagRaw)
+		}
+		ok, err := commitApply(it, opts)
+		it.Close()
+		if err == merge.ErrConflict {
+			return false, nil
+		}
+		return ok, err
+	})
+	release()
+	return err
+}
+
+// Apply binds every item in one committed update — the bulk mutation
+// entry point PutMany wraps, with the same options as Map.Apply.
+func (o *Ordered) Apply(items []Item, opts ApplyOptions) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if opts.ErrorOnDup {
+		seen := make(map[uint64]struct{}, len(items))
+		for _, item := range items {
+			if _, dup := seen[item.Key]; dup {
+				return ErrDuplicateKey
+			}
+			seen[item.Key] = struct{}{}
+		}
+	}
+	vals := make([]String, len(items))
+	{
+		b := segment.NewBuilder(o.h.M, 0)
+		for i, item := range items {
+			vals[i] = String{Seg: b.BuildBytes(item.Value), Len: uint64(len(item.Value))}
+		}
+		b.Close()
+	}
+	err := retryCAS(func() (bool, error) {
+		it, err := iterreg.Open(o.h.M, o.h.SM, o.vsid)
+		if err != nil {
+			return false, err
+		}
+		for i, item := range items {
+			value := vals[i]
+			if value.Seg.Root != word.Zero {
+				it.Store(2*item.Key, uint64(value.Seg.Root), word.TagPLID)
+			} else {
+				it.Store(2*item.Key, 0, word.TagRaw)
+			}
+			it.Store(2*item.Key+1, value.Len+1, word.TagRaw)
+		}
+		ok, err := commitApply(it, opts)
+		it.Close()
+		if err == merge.ErrConflict {
+			return false, nil
+		}
+		return ok, err
+	})
+	for i := range vals {
+		vals[i].Release(o.h)
+	}
+	return err
+}
+
+// commitApply publishes one buffered batch according to opts and feeds
+// the attempt's wave counters into opts.Stats.
+func commitApply(it *iterreg.Iterator, opts ApplyOptions) (bool, error) {
+	var ok bool
+	var err error
+	if opts.NoMerge {
+		ok, err = it.TryCommit(it.Size())
+	} else {
+		ok, err = it.CommitMerge(it.Size())
+	}
+	if opts.Stats != nil {
+		opts.Stats.Add(it.Stats.Wave)
+	}
+	return ok, err
+}

@@ -2,7 +2,6 @@ package hds
 
 import (
 	"repro/internal/iterreg"
-	"repro/internal/merge"
 	"repro/internal/segmap"
 	"repro/internal/segment"
 	"repro/internal/word"
@@ -96,64 +95,18 @@ func BytesMany(h *Heap, ss []String) [][]byte {
 }
 
 // SetMany binds every pair, replacing previous bindings, in one committed
-// update: all key and value strings are built through a shared bulk
-// builder (one batch-lookup pipeline, memoized across pairs), then every
-// slot is written under a single iterator transaction with one merge
-// commit — instead of one open/commit round trip per key. Later duplicates
-// of a key win, matching sequential Set calls.
+// update. Compatibility shim: it is exactly Apply with the default
+// options (later duplicates win, merge-update publish).
 func (mp *Map) SetMany(pairs []Pair) error {
-	if len(pairs) == 0 {
-		return nil
-	}
-	keys := make([]String, len(pairs))
-	vals := make([]String, len(pairs))
-	{
-		b := segment.NewBuilder(mp.h.M, 0)
-		for i, p := range pairs {
-			keys[i] = String{Seg: b.BuildBytes(p.Key), Len: uint64(len(p.Key))}
-			vals[i] = String{Seg: b.BuildBytes(p.Value), Len: uint64(len(p.Value))}
-		}
-		b.Close()
-	}
-	err := retryCAS(func() (bool, error) {
-		it, err := iterreg.Open(mp.h.M, mp.h.SM, mp.vsid)
-		if err != nil {
-			return false, err
-		}
-		for i := range pairs {
-			key, value := keys[i], vals[i]
-			slot := slotFor(key)
-			if value.Seg.Root != word.Zero {
-				it.Store(slot+slotValue, uint64(value.Seg.Root), word.TagPLID)
-			} else {
-				it.Store(slot+slotValue, 0, word.TagRaw)
-			}
-			it.Store(slot+slotValLen, value.Len+1, word.TagRaw)
-			if key.Seg.Root != word.Zero {
-				it.Store(slot+slotKey, uint64(key.Seg.Root), word.TagPLID)
-			}
-			it.Store(slot+slotKeyLen, key.Len, word.TagRaw)
-		}
-		ok, err := it.CommitMerge(it.Size())
-		it.Close()
-		if err == merge.ErrConflict {
-			return false, nil
-		}
-		return ok, err
-	})
-	// The committed map DAG holds its own references; drop the builder's.
-	for i := range pairs {
-		keys[i].Release(mp.h)
-		vals[i].Release(mp.h)
-	}
-	return err
+	return mp.Apply(pairs, ApplyOptions{})
 }
 
 // FromPairs allocates a map holding the given bindings, bulk-loaded in
-// one commit.
+// one commit. Compatibility shim over NewMap + Apply with the default
+// options.
 func FromPairs(h *Heap, pairs []Pair) (*Map, error) {
 	mp := NewMap(h)
-	if err := mp.SetMany(pairs); err != nil {
+	if err := mp.Apply(pairs, ApplyOptions{}); err != nil {
 		mp.Release()
 		return nil, err
 	}
@@ -161,43 +114,8 @@ func FromPairs(h *Heap, pairs []Pair) (*Map, error) {
 }
 
 // PutMany binds every item in one committed update, the bulk counterpart
-// of Put: values are built through a shared bulk builder and all slots
-// commit in a single merge. Later duplicates of a key win.
+// of Put. Compatibility shim: it is exactly Apply with the default
+// options (later duplicates win, merge-update publish).
 func (o *Ordered) PutMany(items []Item) error {
-	if len(items) == 0 {
-		return nil
-	}
-	vals := make([]String, len(items))
-	{
-		b := segment.NewBuilder(o.h.M, 0)
-		for i, item := range items {
-			vals[i] = String{Seg: b.BuildBytes(item.Value), Len: uint64(len(item.Value))}
-		}
-		b.Close()
-	}
-	err := retryCAS(func() (bool, error) {
-		it, err := iterreg.Open(o.h.M, o.h.SM, o.vsid)
-		if err != nil {
-			return false, err
-		}
-		for i, item := range items {
-			value := vals[i]
-			if value.Seg.Root != word.Zero {
-				it.Store(2*item.Key, uint64(value.Seg.Root), word.TagPLID)
-			} else {
-				it.Store(2*item.Key, 0, word.TagRaw)
-			}
-			it.Store(2*item.Key+1, value.Len+1, word.TagRaw)
-		}
-		ok, err := it.CommitMerge(it.Size())
-		it.Close()
-		if err == merge.ErrConflict {
-			return false, nil
-		}
-		return ok, err
-	})
-	for i := range vals {
-		vals[i].Release(o.h)
-	}
-	return err
+	return o.Apply(items, ApplyOptions{})
 }

@@ -2,13 +2,15 @@
 // Figure 5): the architectural register that holds a segment reference
 // plus the cached path of DAG lines to its current position. Sequential
 // and nearby accesses reuse the cached path and load only the lines below
-// the divergence point; stores buffer in transient lines (segment.Txn)
-// and convert to content-unique lines at commit, published with CAS or
-// merge-update on the virtual segment map.
+// the divergence point; stores buffer in the register's update overlay
+// and convert to content-unique lines in one wave commit
+// (segment.WriteBatch), published with CAS or merge-update on the
+// virtual segment map.
 package iterreg
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/merge"
 	"repro/internal/segmap"
@@ -25,19 +27,21 @@ type Stats struct {
 	ScanLines  uint64 // lines the streaming scans fetched
 	Commits    uint64
 	Aborts     uint64
+	Wave       segment.WriteStats // accumulated wave-commit counters
 }
 
 // Iterator is one iterator register. It is not safe for concurrent use —
 // a register belongs to one hardware thread; spawn one per goroutine.
 type Iterator struct {
-	m     word.Mem
-	sm    *segmap.Map // nil for detached (segment-only) iterators
-	vsid  word.VSID
-	entry segmap.Entry // snapshot; root reference owned when sm != nil
-	txn   *segment.Txn
-	stack []level
-	pows  []uint64 // memoized arity powers: pows[d] = arity^d
-	Stats Stats
+	m       word.Mem
+	sm      *segmap.Map // nil for detached (segment-only) iterators
+	vsid    word.VSID
+	entry   segmap.Entry // snapshot; root reference owned when sm != nil
+	writes  []segment.Update
+	writeAt map[uint64]int // idx -> position in writes (last-wins overlay)
+	stack   []level
+	pows    []uint64 // memoized arity powers: pows[d] = arity^d
+	Stats   Stats
 }
 
 // level caches one step of the path: the expanded children of the node at
@@ -74,13 +78,9 @@ func (it *Iterator) Entry() segmap.Entry { return it.entry }
 // Size returns the snapshotted logical byte size.
 func (it *Iterator) Size() uint64 { return it.entry.Size }
 
-// Close releases the snapshot and aborts any pending writes.
+// Close releases the snapshot and discards any pending writes.
 func (it *Iterator) Close() {
-	if it.txn != nil {
-		it.txn.Abort()
-		it.txn = nil
-		it.Stats.Aborts++
-	}
+	it.discardWrites()
 	if it.sm != nil {
 		segment.ReleaseSeg(it.m, it.entry.Seg)
 	}
@@ -88,9 +88,11 @@ func (it *Iterator) Close() {
 }
 
 // Load returns the tagged word at idx, reading through pending writes.
+// The write buffer overlays the snapshot, so unwritten indexes still go
+// through the cached path — buffering a store does not invalidate it.
 func (it *Iterator) Load(idx uint64) (uint64, word.Tag) {
-	if it.txn != nil {
-		return it.txn.ReadWord(idx)
+	if j, ok := it.writeAt[idx]; ok {
+		return it.writes[j].W, it.writes[j].T
 	}
 	return it.seek(idx)
 }
@@ -162,31 +164,41 @@ func (it *Iterator) pushLevel(e segment.Edge, lvl int) {
 	top.child = 0
 }
 
-func (it *Iterator) expand(e segment.Edge, lvl int) []segment.Edge {
-	if e.T == word.TagPLID && e.W != 0 {
-		it.Stats.LineLoads++
-	}
-	return segment.Children(it.m, e, lvl)
-}
-
 // NextNonZero returns the first index at or after from holding a non-zero
 // word (value or tag), skipping elided zero subtrees — the §3.3 register
 // increment that "moves to the next non-null element". ok is false at the
 // end of the segment.
 func (it *Iterator) NextNonZero(from uint64) (uint64, bool) {
-	if it.txn != nil {
-		// Pending writes invalidate pure DAG iteration; scan through the
-		// transaction (correct, if slower — committed iteration is the
-		// hot path).
-		capWords := segment.NewSparse(it.txn.Height()).Capacity(it.m.LineWords())
-		for i := from; i < capWords; i++ {
-			if v, tag := it.txn.ReadWord(i); v != 0 || tag != word.TagRaw {
-				return i, true
-			}
-		}
-		return 0, false
+	if len(it.writes) == 0 {
+		return segment.NextNonZero(it.m, it.entry.Seg, from)
 	}
-	return segment.NextNonZero(it.m, it.entry.Seg, from)
+	// Merge the snapshot's next hit with the buffered overlay: the first
+	// non-zero buffered update at or after from competes with the first
+	// snapshot hit the overlay does not zero out.
+	over := it.sortedWrites()
+	pos := sort.Search(len(over), func(i int) bool { return over[i].Idx >= from })
+	oIdx, oOK := uint64(0), false
+	for i := pos; i < len(over); i++ {
+		if over[i].W != 0 || over[i].T != word.TagRaw {
+			oIdx, oOK = over[i].Idx, true
+			break
+		}
+	}
+	n, ok := segment.NextNonZero(it.m, it.entry.Seg, from)
+	for ok {
+		if j, hit := it.writeAt[n]; hit && it.writes[j].W == 0 && it.writes[j].T == word.TagRaw {
+			n, ok = segment.NextNonZero(it.m, it.entry.Seg, n+1)
+			continue
+		}
+		break
+	}
+	switch {
+	case ok && (!oOK || n < oIdx):
+		return n, true
+	case oOK:
+		return oIdx, true
+	}
+	return 0, false
 }
 
 // Scan streams every non-zero tagged word of the snapshot at index >=
@@ -195,53 +207,125 @@ func (it *Iterator) NextNonZero(from uint64) (uint64, bool) {
 // re-descent: the frontier expands in level-order waves through the
 // batch read path (segment.ScanWords). fn returning false stops the
 // scan; the bounded lookahead window caps how far past the stop the
-// scanner fetched. With pending writes the scan degrades to the
-// transaction read loop, like NextNonZero.
+// scanner fetched. With pending writes the sorted write buffer is
+// interleaved with the snapshot stream — buffered values shadow the
+// snapshot's at equal indexes, zero writes suppress, and buffered
+// indexes past the snapshot's last element are emitted as a tail.
 func (it *Iterator) Scan(from uint64, fn func(idx uint64, w uint64, t word.Tag) bool) segment.ScanStats {
 	it.Stats.Scans++
-	if it.txn != nil {
-		var st segment.ScanStats
-		capWords := segment.NewSparse(it.txn.Height()).Capacity(it.m.LineWords())
-		for i := from; i < capWords; i++ {
-			if v, tag := it.txn.ReadWord(i); v != 0 || tag != word.TagRaw {
-				st.Emitted++
-				if !fn(i, v, tag) {
-					break
-				}
-			}
-		}
+	if len(it.writes) == 0 {
+		st := segment.ScanWords(it.m, it.entry.Seg, from, fn)
+		it.Stats.ScanLines += st.LineReads
 		return st
 	}
-	st := segment.ScanWords(it.m, it.entry.Seg, from, fn)
+	over := it.sortedWrites()
+	pos := sort.Search(len(over), func(i int) bool { return over[i].Idx >= from })
+	emitted := uint64(0)
+	stopped := false
+	emit := func(idx, w uint64, t word.Tag) bool {
+		emitted++
+		if !fn(idx, w, t) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	// Drains the overlay up to (exclusive) bound, skipping zero writes.
+	drain := func(bound uint64) bool {
+		for pos < len(over) && over[pos].Idx < bound {
+			u := over[pos]
+			pos++
+			if u.W == 0 && u.T == word.TagRaw {
+				continue
+			}
+			if !emit(u.Idx, u.W, u.T) {
+				return false
+			}
+		}
+		return true
+	}
+	st := segment.ScanWords(it.m, it.entry.Seg, from, func(idx uint64, w uint64, t word.Tag) bool {
+		if !drain(idx) {
+			return false
+		}
+		if pos < len(over) && over[pos].Idx == idx {
+			u := over[pos]
+			pos++
+			if u.W == 0 && u.T == word.TagRaw {
+				return true // overwritten to zero: suppress
+			}
+			return emit(idx, u.W, u.T)
+		}
+		return emit(idx, w, t)
+	})
+	if !stopped {
+		drain(^uint64(0))
+	}
+	st.Emitted = emitted
 	it.Stats.ScanLines += st.LineReads
 	return st
 }
 
-// Store buffers a write at idx (§3.3: updates go to transient lines).
+// Store buffers a write at idx (§3.3: updates go to transient state).
+// Writes accumulate in the register's update buffer — last write to an
+// index wins — and convert to content-unique lines in one wave at
+// commit (segment.WriteBatch).
 func (it *Iterator) Store(idx uint64, v uint64, tag word.Tag) {
-	if it.txn == nil {
-		it.txn = segment.NewTxn(it.m, it.entry.Seg)
-		it.stack = nil // subsequent reads go through the transaction
+	if j, ok := it.writeAt[idx]; ok {
+		it.writes[j] = segment.Update{Idx: idx, W: v, T: tag}
+		return
 	}
-	it.txn.WriteWord(idx, v, tag)
+	if it.writeAt == nil {
+		it.writeAt = make(map[uint64]int)
+	}
+	it.writeAt[idx] = len(it.writes)
+	it.writes = append(it.writes, segment.Update{Idx: idx, W: v, T: tag})
 }
 
-// CommitSegment converts pending transient lines and returns the new
-// segment without publishing it; the caller owns the returned root. Only
-// valid on detached iterators.
+// sortedWrites returns the buffered updates in ascending index order.
+// The buffer itself stays in store order; the overlay readers need index
+// order, and the buffer is deduplicated so each index appears once.
+func (it *Iterator) sortedWrites() []segment.Update {
+	over := make([]segment.Update, len(it.writes))
+	copy(over, it.writes)
+	sort.Slice(over, func(i, j int) bool { return over[i].Idx < over[j].Idx })
+	return over
+}
+
+// discardWrites drops the buffered updates without committing them.
+func (it *Iterator) discardWrites() {
+	if len(it.writes) == 0 {
+		return
+	}
+	it.writes = it.writes[:0]
+	clear(it.writeAt)
+	it.Stats.Aborts++
+}
+
+// flush converts the buffered updates into a committed segment via one
+// wave commit and clears the buffer. The caller owns the returned root.
+func (it *Iterator) flush() segment.Seg {
+	next, wst := segment.WriteBatch(it.m, it.entry.Seg, it.writes)
+	it.Stats.Wave.Add(wst)
+	it.writes = it.writes[:0]
+	clear(it.writeAt)
+	return next
+}
+
+// CommitSegment converts pending writes and returns the new segment
+// without publishing it; the caller owns the returned root. Only valid
+// on detached iterators.
 func (it *Iterator) CommitSegment() segment.Seg {
 	if it.sm != nil {
 		panic("iterreg: CommitSegment on an attached iterator; use TryCommit")
 	}
 	it.Stats.Commits++
-	if it.txn == nil {
+	if len(it.writes) == 0 {
 		seg := it.entry.Seg
 		segment.RetainSeg(it.m, seg)
 		return seg
 	}
-	seg := it.txn.Commit()
-	it.txn = nil
-	return seg
+	return it.flush()
 }
 
 // TryCommit converts pending writes and publishes the new root with a CAS
@@ -264,11 +348,10 @@ func (it *Iterator) commit(size uint64, useMerge bool) (bool, error) {
 	if it.sm == nil {
 		return false, fmt.Errorf("iterreg: commit on detached iterator")
 	}
-	if it.txn == nil {
+	if len(it.writes) == 0 {
 		return true, nil // nothing to publish
 	}
-	next := it.txn.Commit()
-	it.txn = nil
+	next := it.flush()
 	it.stack = nil
 	it.Stats.Commits++
 
@@ -296,11 +379,7 @@ func (it *Iterator) Reload() error {
 	if it.sm == nil {
 		return fmt.Errorf("iterreg: reload on detached iterator")
 	}
-	if it.txn != nil {
-		it.txn.Abort()
-		it.txn = nil
-		it.Stats.Aborts++
-	}
+	it.discardWrites()
 	e, err := it.sm.Load(it.vsid)
 	if err != nil {
 		return err

@@ -46,14 +46,14 @@ func (s *HicampServer) Set(key, value []byte) error {
 
 // SetMany stores many key-value pairs through the bulk path: all strings
 // are built by one batch pipeline (shared fragments memoize) and every
-// map slot commits in a single merge — the warmup/preload counterpart of
-// per-request Set.
+// map slot commits in a single wave — the warmup/preload counterpart of
+// per-request Set. It is a thin caller of hds.Map.Apply.
 func (s *HicampServer) SetMany(keys []string, values [][]byte) error {
 	pairs := make([]hds.Pair, len(keys))
 	for i := range keys {
 		pairs[i] = hds.Pair{Key: []byte(keys[i]), Value: values[i]}
 	}
-	return s.kvp.SetMany(pairs)
+	return s.kvp.Apply(pairs, hds.ApplyOptions{})
 }
 
 // Get returns the value for key. The read runs against a private

@@ -37,8 +37,7 @@ import (
 // never a phantom lookup.
 type Builder struct {
 	m       word.Mem
-	bm      word.BatchMem        // nil when m has no batch support
-	cr      word.ContentRetainer // nil disables the memo (no way to revalidate)
+	caps    word.MemCaps // optional fast paths, probed once at construction
 	workers int
 	memoCap int
 	memo    map[word.Content]word.PLID // no references held; revalidated on hit
@@ -148,10 +147,8 @@ func NewBuilder(m word.Mem, workers int) *Builder {
 			workers = maxDefaultWorkers
 		}
 	}
-	bm, _ := m.(word.BatchMem)
-	cr, _ := m.(word.ContentRetainer)
 	return &Builder{
-		m: m, bm: bm, cr: cr, workers: workers,
+		m: m, caps: word.Caps(m), workers: workers,
 		memoCap:       defaultMemoCap,
 		memoWarmup:    defaultMemoWarmup,
 		memoMinHitPct: defaultMemoMinHitPct,
@@ -382,7 +379,7 @@ func (b *Builder) resolvePending(contents []word.Content, pending []bool, edges 
 			b.stats.MemoLookups++
 			b.memoDecide()
 			if p, ok := b.memo[c]; ok {
-				if b.cr.RetainIfContent(p, c) {
+				if b.caps.RetainIfContent(p, c) {
 					b.stats.MemoHits++
 					edges[i] = PLIDEdge(p)
 					continue
@@ -477,7 +474,7 @@ func (b *Builder) memoDecide() {
 // run probationally even when switched off, so a workload that turned
 // redundant can show hits again and flip the policy back on.
 func (b *Builder) memoAdd(c word.Content, p word.PLID) {
-	if b.cr == nil || b.memoCap <= 0 || len(b.memo) >= b.memoCap {
+	if !b.caps.CanRetainContent() || b.memoCap <= 0 || len(b.memo) >= b.memoCap {
 		return
 	}
 	b.memoDecide()
@@ -495,16 +492,12 @@ func (b *Builder) memoAdd(c word.Content, p word.PLID) {
 // batches across the worker pool: shards hold disjoint contents, so their
 // stripe groups lock independently.
 func (b *Builder) lookupAll(cs []word.Content) []word.PLID {
-	if b.bm == nil {
-		out := make([]word.PLID, len(cs))
-		for i := range cs {
-			out[i] = b.m.LookupLine(cs[i])
-		}
-		return out
-	}
 	w := b.workerCount(len(cs))
-	if w <= 1 {
-		return b.bm.LookupLineBatch(cs)
+	if !b.caps.HasBatchLookup() || w <= 1 {
+		// Serial memories take no per-batch locks, so sharding a fallback
+		// loop across workers buys nothing; one LookupBatch call covers
+		// both the native single-shard case and the serial fallback.
+		return b.caps.LookupBatch(cs)
 	}
 	out := make([]word.PLID, len(cs))
 	chunk := (len(cs) + w - 1) / w
@@ -514,7 +507,7 @@ func (b *Builder) lookupAll(cs []word.Content) []word.PLID {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			copy(out[lo:hi], b.bm.LookupLineBatch(cs[lo:hi]))
+			copy(out[lo:hi], b.caps.LookupBatch(cs[lo:hi]))
 		}(lo, hi)
 	}
 	wg.Wait()

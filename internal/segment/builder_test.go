@@ -435,8 +435,8 @@ func TestBuilderWithoutBatchMem(t *testing.T) {
 	m := core.NewMachine(core.TestConfig())
 	plain := plainMem{m}
 	b := NewBuilder(plain, 2)
-	if b.bm != nil {
-		t.Fatalf("plainMem should not type-assert to BatchMem")
+	if b.caps.HasBatchLookup() {
+		t.Fatalf("plainMem should not probe as batch-lookup capable")
 	}
 	ws := randWords(rand.New(rand.NewSource(5)), 1500)
 	want := BuildWordsSerial(m, ws, nil)

@@ -37,7 +37,7 @@ type DiffStats struct {
 func DiffWords(m word.Mem, a, b Seg, fn func(idx uint64, av, bv uint64, at, bt word.Tag) bool) DiffStats {
 	var st DiffStats
 	arity := m.LineWords()
-	br, _ := m.(word.BatchReadMem)
+	caps := word.Caps(m)
 	view := a.Height
 	if b.Height > view {
 		view = b.Height
@@ -81,14 +81,7 @@ func DiffWords(m word.Mem, a, b Seg, fn func(idx uint64, av, bv uint64, at, bt w
 			add(nd.eb, nd.lb, nd.view)
 		}
 		if len(plids) > 0 {
-			if br != nil {
-				contents = br.ReadLineBatch(plids)
-			} else {
-				contents = contents[:0]
-				for _, p := range plids {
-					contents = append(contents, m.ReadLine(p))
-				}
-			}
+			contents = caps.ReadBatch(plids)
 			st.Waves++
 			st.LineReads += uint64(len(plids))
 		}

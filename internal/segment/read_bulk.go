@@ -43,7 +43,7 @@ type bulkNode struct {
 // value, which is exactly what the serial read returns for them.
 func gather(m word.Mem, nodes []bulkNode, vals []uint64, tags []word.Tag) {
 	arity := m.LineWords()
-	br, _ := m.(word.BatchReadMem)
+	caps := word.Caps(m)
 	var plids []word.PLID
 	at := make(map[word.PLID]int)
 	for len(nodes) > 0 {
@@ -101,15 +101,7 @@ func gather(m word.Mem, nodes []bulkNode, vals []uint64, tags []word.Tag) {
 				plids = append(plids, p)
 			}
 		}
-		var contents []word.Content
-		if br != nil {
-			contents = br.ReadLineBatch(plids)
-		} else {
-			contents = make([]word.Content, len(plids))
-			for i, p := range plids {
-				contents[i] = m.ReadLine(p)
-			}
-		}
+		contents := caps.ReadBatch(plids)
 		// Expand into the next wave: leaf nodes resolve their requests,
 		// interior nodes partition requests over their children.
 		var next []bulkNode
@@ -286,15 +278,7 @@ func ChildrenBulk(m word.Mem, es []Edge, level int) [][]Edge {
 	if len(plids) == 0 {
 		return out
 	}
-	var contents []word.Content
-	if br, ok := m.(word.BatchReadMem); ok {
-		contents = br.ReadLineBatch(plids)
-	} else {
-		contents = make([]word.Content, len(plids))
-		for i, p := range plids {
-			contents[i] = m.ReadLine(p)
-		}
-	}
+	contents := word.Caps(m).ReadBatch(plids)
 	for i, e := range es {
 		if e.T != word.TagPLID || e.W == 0 {
 			continue

@@ -76,7 +76,7 @@ type scanNode struct {
 // scanner drains a frontier of scanNodes in window-bounded chunks.
 type scanner struct {
 	m       word.Mem
-	br      word.BatchReadMem // nil when m has no batch read path
+	caps    word.MemCaps // optional fast paths, probed once
 	arity   int
 	from    uint64
 	window  uint64
@@ -92,10 +92,9 @@ func newScanner(m word.Mem, from uint64, window int) *scanner {
 	if window < 2*arity {
 		window = 2 * arity
 	}
-	br, _ := m.(word.BatchReadMem)
 	return &scanner{
 		m:      m,
-		br:     br,
+		caps:   word.Caps(m),
 		arity:  arity,
 		from:   from,
 		window: uint64(window),
@@ -246,15 +245,7 @@ func (sc *scanner) expand(nodes []scanNode, fn func(idx uint64, w uint64, t word
 		if len(sc.plids) == 0 {
 			break
 		}
-		var contents []word.Content
-		if sc.br != nil {
-			contents = sc.br.ReadLineBatch(sc.plids)
-		} else {
-			contents = make([]word.Content, len(sc.plids))
-			for i, p := range sc.plids {
-				contents[i] = sc.m.ReadLine(p)
-			}
-		}
+		contents := sc.caps.ReadBatch(sc.plids)
 		sc.stats.Waves++
 		sc.stats.LineReads += uint64(len(sc.plids))
 

@@ -1,0 +1,377 @@
+package segment
+
+import (
+	"sort"
+
+	"repro/internal/word"
+)
+
+// Wave-ordered bulk writes. A Txn commits one root-to-leaf path walk per
+// transient node, depth-first; k independent Set-style updates therefore
+// cost k path rebuilds even when they land in sibling slots of the same
+// lines. WriteBatch applies a whole update set against one root in two
+// level-order sweeps instead: a top-down descent that expands only the
+// touched sub-DAG (every distinct line fetched once per level through the
+// batch read path) and a bottom-up canonicalization that resolves each
+// level's fresh lines in a single batch lookup. Untouched sub-DAGs pass
+// through by PLID — zero reads, zero reference-count traffic — which is
+// the write-side half of the paper's claim that segment updates cost
+// O(changed paths), not O(size) (§3.3–3.4).
+//
+// The result is bit-identical to buffering the same writes in a Txn and
+// committing: same canonical rules (zero elision, inlining, path
+// compaction), same growth re-rooting, same reference-count ownership —
+// so the root PLID, and with an ample LLC the simulated-DRAM accounting,
+// match the serial path-by-path commit exactly when no two updates share
+// line content (and come out strictly cheaper when they do).
+
+// Update is one word write for WriteBatch: set the tagged word at Idx.
+// Later updates to the same index win, like sequential WriteWord calls.
+type Update struct {
+	Idx uint64
+	W   uint64
+	T   word.Tag
+}
+
+// WriteStats describes one WriteBatch wave commit.
+type WriteStats struct {
+	Updates          uint64 // updates submitted (before last-wins collapse)
+	WaveLevels       uint64 // DAG levels canonicalized, one batch pass each
+	SiblingCoalesced uint64 // updates beyond the first landing in an already-touched leaf (exact-index duplicates included)
+	PathsRebuilt     uint64 // distinct leaf lines (root-to-leaf paths) rebuilt
+	PassThrough      uint64 // untouched non-zero child edges passed through by PLID
+	LineReads        uint64 // distinct lines fetched during the descent
+	Lookups          uint64 // lookup-by-content operations issued at canonicalization
+}
+
+// Add accumulates o into s.
+func (s *WriteStats) Add(o WriteStats) {
+	s.Updates += o.Updates
+	s.WaveLevels += o.WaveLevels
+	s.SiblingCoalesced += o.SiblingCoalesced
+	s.PathsRebuilt += o.PathsRebuilt
+	s.PassThrough += o.PassThrough
+	s.LineReads += o.LineReads
+	s.Lookups += o.Lookups
+}
+
+// wnode is one touched node of the write wave: the original subtree edge
+// it replaces, its expanded child edges (borrowed from the immutable DAG,
+// overlaid by owned fresh edges as lower levels canonicalize), and the
+// updates that land inside it (indices relative to the subtree base).
+// Growth spine nodes are synthetic — they replace no edge and arrive with
+// their child edges prefilled.
+type wnode struct {
+	level int
+	e     Edge // original edge; meaningful only when !pre
+	pre   bool // edges prefilled (growth spine); skip expansion
+	edges []Edge
+	owned []bool // edges[i] is a fresh canonicalized child we must release
+	ups   []Update
+	slots []int // child slots rebuilt below, parallel to kids
+	kids  []*wnode
+	out   Edge // canonical replacement edge (owns its PLID reference)
+}
+
+// WriteBatch applies ups to s as one wave-ordered bulk commit and returns
+// the new segment; the caller owns one reference on its root and keeps
+// ownership of s (exactly the Txn.Commit contract). The segment grows to
+// fit out-of-capacity indices the way Txn.grow re-roots. An empty update
+// set retains and returns s unchanged.
+func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
+	var st WriteStats
+	st.Updates = uint64(len(ups))
+	if len(ups) == 0 {
+		RetainSeg(m, s)
+		return s, st
+	}
+	arity := m.LineWords()
+	caps := word.Caps(m)
+
+	// Last-wins collapse to one update per index, then index order.
+	at := make(map[uint64]int, len(ups))
+	uniq := make([]Update, 0, len(ups))
+	for _, u := range ups {
+		if j, ok := at[u.Idx]; ok {
+			uniq[j] = u
+		} else {
+			at[u.Idx] = len(uniq)
+			uniq = append(uniq, u)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Idx < uniq[j].Idx })
+	// Exact-index duplicates coalesced by the collapse above; the leaf
+	// overlay adds the sibling-sharing remainder, so the invariant
+	// PathsRebuilt + SiblingCoalesced == Updates always holds.
+	st.SiblingCoalesced = uint64(len(ups) - len(uniq))
+
+	// Grow the logical height until every index fits (Txn.grow).
+	height := s.Height
+	for uniq[len(uniq)-1].Idx >= capacity(arity, height) {
+		height++
+	}
+
+	levels := make([][]*wnode, height+1)
+	add := func(n *wnode) { levels[n.level] = append(levels[n.level], n) }
+
+	var root *wnode
+	if height == s.Height {
+		root = &wnode{level: height, e: PLIDEdge(s.Root), ups: uniq}
+		add(root)
+	} else {
+		// Growth re-rooting: a spine of synthetic nodes whose child 0
+		// carries the zero-extended original segment, mirroring the
+		// transient parents Txn.grow stacks above the old root.
+		root = &wnode{level: height, pre: true, ups: uniq,
+			edges: make([]Edge, arity), owned: make([]bool, arity)}
+		add(root)
+		cur := root
+		for lvl := height - 1; lvl > s.Height; lvl-- {
+			kid := &wnode{level: lvl, pre: true,
+				edges: make([]Edge, arity), owned: make([]bool, arity)}
+			cur.slots = append(cur.slots, 0)
+			cur.kids = append(cur.kids, kid)
+			add(kid)
+			cur = kid
+		}
+		cur.edges[0] = PLIDEdge(s.Root)
+	}
+
+	// Top-down descent: expand each level's touched nodes (one deduped
+	// batch read per level), then partition their updates over children.
+	var plids []word.PLID
+	readAt := make(map[word.PLID]int)
+	for lvl := height; lvl >= 0; lvl-- {
+		nodes := levels[lvl]
+		if len(nodes) == 0 {
+			continue
+		}
+		// Collect the level's fetch set: each distinct line once.
+		plids = plids[:0]
+		clear(readAt)
+		for _, n := range nodes {
+			if !n.pre && n.e.T == word.TagPLID && n.e.W != 0 {
+				p := word.PLID(n.e.W)
+				if _, ok := readAt[p]; !ok {
+					readAt[p] = len(plids)
+					plids = append(plids, p)
+				}
+			}
+		}
+		var contents []word.Content
+		if len(plids) > 0 {
+			contents = caps.ReadBatch(plids)
+			st.LineReads += uint64(len(plids))
+		}
+		for _, n := range nodes {
+			if !n.pre {
+				n.edges = make([]Edge, arity)
+				n.owned = make([]bool, arity)
+				switch {
+				case n.e.IsZero():
+				case n.e.T == word.TagPLID:
+					c := contents[readAt[word.PLID(n.e.W)]]
+					for i := 0; i < arity; i++ {
+						n.edges[i] = Edge{W: c.W[i], T: c.T[i]}
+					}
+				default:
+					// Inline and compact edges expand without memory
+					// accesses, exactly as in the serial walk.
+					n.edges = ChildrenInto(m, n.e, n.level, n.edges)
+				}
+			}
+			if lvl == 0 {
+				// Leaf overlay: the updates are the new tagged words.
+				for _, u := range n.ups {
+					n.edges[int(u.Idx)] = Edge{W: u.W, T: u.T}
+				}
+				st.PathsRebuilt++
+				st.SiblingCoalesced += uint64(len(n.ups)) - 1
+				continue
+			}
+			// Partition the node's updates over its children; contiguous
+			// runs share a child because updates are in index order.
+			sub := capacity(arity, lvl-1)
+			for lo := 0; lo < len(n.ups); {
+				slot := int(n.ups[lo].Idx / sub)
+				hi := lo
+				for hi < len(n.ups) && int(n.ups[hi].Idx/sub) == slot {
+					hi++
+				}
+				childUps := n.ups[lo:hi]
+				for i := range childUps {
+					childUps[i].Idx -= uint64(slot) * sub
+				}
+				if kid := n.kidAt(slot); kid != nil {
+					kid.ups = childUps // pre-linked growth spine child
+				} else {
+					kid := &wnode{level: lvl - 1, e: n.edges[slot], ups: childUps}
+					n.slots = append(n.slots, slot)
+					n.kids = append(n.kids, kid)
+					add(kid)
+				}
+				lo = hi
+			}
+			for i := 0; i < arity; i++ {
+				if n.kidAt(i) == nil && !n.edges[i].IsZero() {
+					st.PassThrough++
+				}
+			}
+		}
+	}
+
+	// Bottom-up canonicalization: one batched lookup pass per level.
+	// Fresh child references release only after their parent level
+	// resolves — the parent lines take their own references during the
+	// lookup, which needs the children still live (Builder rule).
+	var pendC []word.Content
+	var pendN []*wnode
+	for lvl := 0; lvl <= height; lvl++ {
+		nodes := levels[lvl]
+		if len(nodes) == 0 {
+			continue
+		}
+		st.WaveLevels++
+		pendC, pendN = pendC[:0], pendN[:0]
+		for _, n := range nodes {
+			for i, slot := range n.slots {
+				n.edges[slot] = n.kids[i].out
+				n.owned[slot] = true
+			}
+			if lvl == 0 {
+				canonLeafNode(m, n, &pendC, &pendN)
+			} else {
+				canonInteriorNode(m, n, &pendC, &pendN)
+			}
+		}
+		if len(pendC) > 0 {
+			st.Lookups += resolveLevel(m, caps, pendC, pendN)
+		}
+		for _, n := range nodes {
+			for i := range n.edges {
+				if n.owned[i] {
+					n.edges[i].Release(m)
+					n.owned[i] = false
+				}
+			}
+		}
+	}
+	return Seg{Root: materializeRoot(m, root.out), Height: height}, st
+}
+
+// kidAt returns the rebuilt child at slot, if any.
+func (n *wnode) kidAt(slot int) *wnode {
+	for i, s := range n.slots {
+		if s == slot {
+			return n.kids[i]
+		}
+	}
+	return nil
+}
+
+// canonLeafNode canonicalizes one leaf wnode, mirroring CanonLeaf: the
+// zero edge, an inline edge, or a pending content lookup.
+func canonLeafNode(m word.Mem, n *wnode, pendC *[]word.Content, pendN *[]*wnode) {
+	arity := m.LineWords()
+	c := word.NewContent(arity)
+	allZero, allSmallRaw := true, true
+	for i := 0; i < arity; i++ {
+		e := n.edges[i]
+		c.W[i], c.T[i] = e.W, e.T
+		if e.W != 0 || e.T != word.TagRaw {
+			allZero = false
+		}
+		if e.T != word.TagRaw {
+			allSmallRaw = false
+		}
+	}
+	if allZero {
+		n.out = ZeroEdge
+		return
+	}
+	if allSmallRaw {
+		if w, ok := word.PackInline(c.W[:arity], arity); ok {
+			n.out = Edge{W: w, T: word.TagInline}
+			return
+		}
+	}
+	*pendC = append(*pendC, c)
+	*pendN = append(*pendN, n)
+}
+
+// canonInteriorNode canonicalizes one interior wnode, mirroring
+// CanonNode: the zero edge, a path-compacted edge (retaining the target),
+// or a pending content lookup.
+func canonInteriorNode(m word.Mem, n *wnode, pendC *[]word.Content, pendN *[]*wnode) {
+	arity := m.LineWords()
+	plidBits := m.PLIDBits()
+	c := word.NewContent(arity)
+	nz, idx := 0, -1
+	for i := 0; i < arity; i++ {
+		e := n.edges[i]
+		c.W[i], c.T[i] = e.W, e.T
+		if !e.IsZero() {
+			nz++
+			idx = i
+		}
+	}
+	if nz == 0 {
+		n.out = ZeroEdge
+		return
+	}
+	if nz == 1 {
+		child := n.edges[idx]
+		switch child.T {
+		case word.TagPLID:
+			if w, ok := word.EncodeCompact(word.PLID(child.W), []int{idx}, arity, plidBits); ok {
+				m.Retain(word.PLID(child.W))
+				n.out = Edge{W: w, T: word.TagCompact}
+				return
+			}
+		case word.TagCompact:
+			p, path := word.DecodeCompact(child.W, arity, plidBits)
+			if w, ok := word.EncodeCompact(p, append([]int{idx}, path...), arity, plidBits); ok {
+				m.Retain(p)
+				n.out = Edge{W: w, T: word.TagCompact}
+				return
+			}
+		}
+	}
+	*pendC = append(*pendC, c)
+	*pendN = append(*pendN, n)
+}
+
+// resolveLevel turns one level's pending contents into owned PLID edges
+// through a single batch lookup, deduplicating equal contents within the
+// level (duplicates retain the first lookup's line — content-uniqueness
+// makes that the same line the store would have returned). It reports how
+// many lookups were issued.
+func resolveLevel(m word.Mem, caps word.MemCaps, pendC []word.Content, pendN []*wnode) uint64 {
+	firstAt := make(map[word.Content]int, len(pendC))
+	uniqC := pendC[:0] // compacts in place; position i is read before any write can reach it
+	uniqN := pendN[:0]
+	type dup struct {
+		n    *wnode
+		uniq int
+	}
+	var dups []dup
+	for i, c := range pendC {
+		if j, ok := firstAt[c]; ok {
+			dups = append(dups, dup{pendN[i], j})
+			continue
+		}
+		firstAt[c] = len(uniqC)
+		uniqC = append(uniqC, c)
+		uniqN = append(uniqN, pendN[i])
+	}
+	plids := caps.LookupBatch(uniqC)
+	for j, n := range uniqN {
+		n.out = PLIDEdge(plids[j]) // consumes the lookup's reference
+	}
+	for _, d := range dups {
+		p := plids[d.uniq]
+		m.Retain(p)
+		d.n.out = PLIDEdge(p)
+	}
+	return uint64(len(uniqC))
+}

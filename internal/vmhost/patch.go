@@ -1,0 +1,45 @@
+package vmhost
+
+import (
+	"fmt"
+
+	"repro/internal/segment"
+)
+
+// PagePatch replaces one page of an ingested VM image. Data shorter than
+// PageBytes is zero-padded to the page boundary.
+type PagePatch struct {
+	Page int
+	Data []byte
+}
+
+// PatchVM applies page-granularity writes to ingested VM i in one wave
+// commit — the dirty-page application side of live migration or
+// incremental checkpoint restore, the inverse of PageDelta. All patched
+// pages' words form a single segment.WriteBatch update set: sibling
+// pages canonicalize level by level through batched lookups, and every
+// untouched sub-DAG passes through by PLID without a read. The host's
+// entry is replaced (the old image version is released) and the new
+// segment plus the wave counters are returned.
+func (h *Host) PatchVM(i int, patches []PagePatch) (segment.Seg, segment.WriteStats) {
+	if i < 0 || i >= len(h.vms) {
+		panic(fmt.Sprintf("vmhost: PatchVM index %d out of range (%d VMs)", i, len(h.vms)))
+	}
+	ups := make([]segment.Update, 0, len(patches)*pageWords)
+	for _, p := range patches {
+		base := uint64(p.Page) * pageWords
+		for w := 0; w < pageWords; w++ {
+			var v uint64
+			for b := 0; b < 8; b++ {
+				if off := w*8 + b; off < len(p.Data) {
+					v |= uint64(p.Data[off]) << (8 * b)
+				}
+			}
+			ups = append(ups, segment.Update{Idx: base + uint64(w), W: v})
+		}
+	}
+	next, st := segment.WriteBatch(h.m, h.vms[i], ups)
+	segment.ReleaseSeg(h.m, h.vms[i])
+	h.vms[i] = next
+	return next, st
+}

@@ -1,0 +1,80 @@
+package vmhost
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Patching pages in place must land on the same canonical segment as
+// ingesting the patched image from scratch (content uniqueness on one
+// machine: same bytes, same root), and the wave commit must pass the
+// untouched page sub-DAGs through without rebuilding them.
+func TestPatchVMMatchesReingest(t *testing.T) {
+	m := ingestMachine()
+	h := NewHost(m)
+	defer h.Close()
+
+	const pages = 64
+	image := make([]byte, pages*PageBytes)
+	rand.New(rand.NewSource(91)).Read(image)
+	orig := h.IngestImage(image) // stays live: the "before" version
+	_ = h.IngestImage(image)     // vms[1]: the VM being patched
+
+	patchPages := []int{5, 20, 21, 63}
+	var patches []PagePatch
+	want := append([]byte(nil), image...)
+	rng := rand.New(rand.NewSource(92))
+	for _, p := range patchPages {
+		data := make([]byte, PageBytes)
+		rng.Read(data)
+		copy(want[p*PageBytes:], data)
+		patches = append(patches, PagePatch{Page: p, Data: data})
+	}
+
+	patched, st := h.PatchVM(1, patches)
+	expect := h.IngestImage(want)
+	if !patched.Equal(expect) {
+		t.Fatalf("patched root %#x/h%d != re-ingested %#x/h%d",
+			patched.Root, patched.Height, expect.Root, expect.Height)
+	}
+	if st.PassThrough == 0 {
+		t.Fatalf("no sub-DAG pass-throughs on a 4-of-64-page patch: %+v", st)
+	}
+	if st.Updates != uint64(len(patchPages)*pageWords) {
+		t.Fatalf("updates = %d, want %d", st.Updates, len(patchPages)*pageWords)
+	}
+
+	// The delta between the before image and the patched VM is exactly
+	// the patched page set.
+	rep := PageDelta(m, orig, patched)
+	if len(rep.Pages) != len(patchPages) {
+		t.Fatalf("delta pages = %v, want %v", rep.Pages, patchPages)
+	}
+	for i, p := range patchPages {
+		if rep.Pages[i] != p {
+			t.Fatalf("delta pages = %v, want %v", rep.Pages, patchPages)
+		}
+	}
+}
+
+// A zero-padded short patch clears the rest of its page.
+func TestPatchVMShortDataZeroPads(t *testing.T) {
+	m := ingestMachine()
+	h := NewHost(m)
+	defer h.Close()
+
+	image := make([]byte, 8*PageBytes)
+	rand.New(rand.NewSource(93)).Read(image)
+	h.IngestImage(image)
+
+	patched, _ := h.PatchVM(0, []PagePatch{{Page: 2, Data: []byte("short")}})
+	want := append([]byte(nil), image...)
+	for i := range want[2*PageBytes : 3*PageBytes] {
+		want[2*PageBytes+i] = 0
+	}
+	copy(want[2*PageBytes:], "short")
+	expect := h.IngestImage(want)
+	if !patched.Equal(expect) {
+		t.Fatalf("zero-padded patch root %#x != expected %#x", patched.Root, expect.Root)
+	}
+}

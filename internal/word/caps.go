@@ -1,0 +1,102 @@
+package word
+
+// Capability detection. The memory API grew three optional fast-path
+// interfaces around Mem — batched lookup (BatchMem), batched read
+// (BatchReadMem) and content revalidation (ContentRetainer) — and every
+// bulk consumer used to probe for them with its own type assert at its
+// own call site. Caps collapses that sprawl into one probe: callers ask
+// once, at construction time, and afterwards use the MemCaps methods,
+// which route to the batch implementation when the memory system has one
+// and to the exactly-equivalent serial loop when it does not.
+
+// BulkMem is the full bulk-capable memory interface: a Mem that batches
+// both lookup-by-content and read-by-PLID and can revalidate remembered
+// content→PLID associations. core.Machine implements it; a Mem that
+// implements BulkMem gets every fast path MemCaps can offer.
+type BulkMem interface {
+	Mem
+	LookupLineBatch(cs []Content) []PLID
+	ReadLineBatch(ps []PLID) []Content
+	RetainIfContent(p PLID, c Content) bool
+}
+
+// MemCaps bundles a Mem with its optional fast paths, probed once. The
+// zero value is not meaningful; construct with Caps. MemCaps is a small
+// value type — copy it freely.
+type MemCaps struct {
+	// M is the underlying memory system every non-batch operation
+	// (Retain, Release, ReadLine, ...) goes through.
+	M Mem
+
+	batch    BatchMem
+	reader   BatchReadMem
+	retainer ContentRetainer
+}
+
+// Caps probes m for its optional capabilities. Call it once when a bulk
+// consumer is constructed (or once at the entry of a bulk free function)
+// and keep the result; do not re-assert the capability interfaces at
+// call sites.
+func Caps(m Mem) MemCaps {
+	bm, _ := m.(BatchMem)
+	br, _ := m.(BatchReadMem)
+	cr, _ := m.(ContentRetainer)
+	return MemCaps{M: m, batch: bm, reader: br, retainer: cr}
+}
+
+// HasBatchLookup reports whether LookupBatch routes to a native batched
+// implementation (true) or the serial fallback loop (false). Consumers
+// that shard batches across workers use this to decide whether sharding
+// can pay off.
+func (c MemCaps) HasBatchLookup() bool { return c.batch != nil }
+
+// HasBatchRead reports whether ReadBatch routes to a native batched
+// implementation.
+func (c MemCaps) HasBatchRead() bool { return c.reader != nil }
+
+// CanRetainContent reports whether RetainIfContent can ever succeed —
+// memoizing consumers disable content→PLID caching when it cannot,
+// because a remembered PLID would be unverifiable.
+func (c MemCaps) CanRetainContent() bool { return c.retainer != nil }
+
+// LookupBatch behaves exactly like one Mem.LookupLine per element —
+// positional results, one reference acquired per element, all-zero
+// contents resolving to Zero — through the batch path when the memory
+// system provides one and a serial loop otherwise.
+func (c MemCaps) LookupBatch(cs []Content) []PLID {
+	if c.batch != nil {
+		return c.batch.LookupLineBatch(cs)
+	}
+	out := make([]PLID, len(cs))
+	for i := range cs {
+		out[i] = c.M.LookupLine(cs[i])
+	}
+	return out
+}
+
+// ReadBatch behaves exactly like one Mem.ReadLine per element —
+// positional results, Zero reading as all-zero content — through the
+// batch path when the memory system provides one and a serial loop
+// otherwise.
+func (c MemCaps) ReadBatch(ps []PLID) []Content {
+	if c.reader != nil {
+		return c.reader.ReadLineBatch(ps)
+	}
+	out := make([]Content, len(ps))
+	for i, p := range ps {
+		out[i] = c.M.ReadLine(p)
+	}
+	return out
+}
+
+// RetainIfContent acquires one reference on p only if the line is still
+// live and still holds content ct, reporting whether it did. When the
+// memory system cannot revalidate content it returns false, which sends
+// the caller down the authoritative lookup path — the always-correct
+// degradation.
+func (c MemCaps) RetainIfContent(p PLID, ct Content) bool {
+	if c.retainer == nil {
+		return false
+	}
+	return c.retainer.RetainIfContent(p, ct)
+}

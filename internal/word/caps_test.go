@@ -1,0 +1,128 @@
+package word_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// fakeMem implements only the base word.Mem interface — none of the
+// optional fast paths — so Caps must report every capability absent and
+// route the bulk helpers through the serial fallbacks.
+type fakeMem struct {
+	byContent map[word.Content]word.PLID
+	byPLID    map[word.PLID]word.Content
+	refs      map[word.PLID]int
+	next      uint64
+	lookups   int
+	reads     int
+}
+
+func newFakeMem() *fakeMem {
+	return &fakeMem{
+		byContent: map[word.Content]word.PLID{},
+		byPLID:    map[word.PLID]word.Content{},
+		refs:      map[word.PLID]int{},
+	}
+}
+
+func (f *fakeMem) LookupLine(c word.Content) word.PLID {
+	f.lookups++
+	if c.IsZero() {
+		return word.Zero
+	}
+	if p, ok := f.byContent[c]; ok {
+		f.refs[p]++
+		return p
+	}
+	f.next++
+	p := word.PLID(f.next)
+	f.byContent[c] = p
+	f.byPLID[p] = c
+	f.refs[p] = 1
+	return p
+}
+
+func (f *fakeMem) ReadLine(p word.PLID) word.Content {
+	f.reads++
+	if p == word.Zero {
+		return word.NewContent(f.LineWords())
+	}
+	return f.byPLID[p]
+}
+
+func (f *fakeMem) Retain(p word.PLID) {
+	if p != word.Zero {
+		f.refs[p]++
+	}
+}
+
+func (f *fakeMem) Release(p word.PLID) {
+	if p != word.Zero {
+		f.refs[p]--
+	}
+}
+
+func (f *fakeMem) LineWords() int { return 4 }
+func (f *fakeMem) PLIDBits() int  { return 48 }
+
+func TestCapsFallbacks(t *testing.T) {
+	fm := newFakeMem()
+	caps := word.Caps(fm)
+	if caps.HasBatchLookup() || caps.HasBatchRead() || caps.CanRetainContent() {
+		t.Fatalf("plain Mem probed as capable: %v %v %v",
+			caps.HasBatchLookup(), caps.HasBatchRead(), caps.CanRetainContent())
+	}
+
+	cs := make([]word.Content, 3)
+	for i := range cs {
+		cs[i] = word.NewContent(fm.LineWords())
+		cs[i].W[0] = uint64(i + 1)
+	}
+	ps := caps.LookupBatch(cs)
+	if len(ps) != len(cs) || fm.lookups != len(cs) {
+		t.Fatalf("fallback LookupBatch: %d results from %d lookups", len(ps), fm.lookups)
+	}
+	back := caps.ReadBatch(ps)
+	if fm.reads != len(ps) {
+		t.Fatalf("fallback ReadBatch issued %d reads, want %d", fm.reads, len(ps))
+	}
+	for i := range back {
+		if back[i] != cs[i] {
+			t.Fatalf("content %d did not round-trip", i)
+		}
+	}
+	if caps.RetainIfContent(ps[0], cs[0]) {
+		t.Fatalf("RetainIfContent must report false without ContentRetainer support")
+	}
+	if fm.refs[ps[0]] != 1 {
+		t.Fatalf("unsupported RetainIfContent changed the refcount to %d", fm.refs[ps[0]])
+	}
+}
+
+func TestCapsMachineFastPaths(t *testing.T) {
+	m := core.NewMachine(core.TestConfig())
+	caps := word.Caps(m)
+	if !caps.HasBatchLookup() || !caps.HasBatchRead() || !caps.CanRetainContent() {
+		t.Fatalf("Machine must probe as fully bulk-capable")
+	}
+
+	c := word.NewContent(m.LineWords())
+	c.W[0], c.W[1] = 0xA0, 0xB0
+	p := caps.LookupBatch([]word.Content{c})[0]
+	if p == word.Zero {
+		t.Fatalf("lookup returned Zero for non-zero content")
+	}
+	if got := caps.ReadBatch([]word.PLID{p})[0]; got != c {
+		t.Fatalf("batch read mismatch")
+	}
+	if !caps.RetainIfContent(p, c) {
+		t.Fatalf("RetainIfContent must succeed for a live matching line")
+	}
+	m.Release(p)
+	m.Release(p)
+	if live := m.LiveLines(); live != 0 {
+		t.Fatalf("%d lines leaked", live)
+	}
+}
