@@ -368,6 +368,85 @@ func BenchmarkMergeDisjoint(b *testing.B) {
 	}
 }
 
+// BenchmarkMergeWaveRebase times the wave rebase engine against the
+// recursive reference walker on a full-depth triple: mod and cur update
+// adjacent words of the same 32 leaf lines of a 16384-word segment, so
+// neither side can resolve by sub-DAG skipping near the root.
+func BenchmarkMergeWaveRebase(b *testing.B) {
+	const n, k = 16384, 32
+	m := core.NewMachine(core.DefaultConfig(64))
+	ws := make([]uint64, n)
+	for i := range ws {
+		ws[i] = uint64(i%509) + 1
+	}
+	orig := segment.BuildWords(m, ws, nil)
+	ups := func(off int) []segment.Update {
+		out := make([]segment.Update, k)
+		for i := range out {
+			out[i] = segment.Update{
+				Idx: uint64((n/k)*i + off),
+				W:   uint64(i + off + 5000),
+				T:   word.TagRaw,
+			}
+		}
+		return out
+	}
+	mod, _ := segment.WriteBatch(m, orig, ups(0))
+	cur, _ := segment.WriteBatch(m, orig, ups(1))
+	for _, bb := range []struct {
+		name string
+		fn   func() (segment.Seg, error)
+	}{
+		{"wave", func() (segment.Seg, error) { return merge.Merge(m, orig, mod, cur, nil) }},
+		{"serial", func() (segment.Seg, error) { return merge.MergeSerial(m, orig, mod, cur, nil) }},
+	} {
+		b.Run(bb.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got, err := bb.fn()
+				if err != nil {
+					b.Fatal(err)
+				}
+				segment.ReleaseSeg(m, got)
+			}
+		})
+	}
+}
+
+// BenchmarkMergeContention drives one deterministic stale-snapshot round
+// per iteration: every worker builds its version against the same
+// snapshot and the versions publish sequentially, so all but the first
+// publish per round rebases through the merge engine — the contention
+// model behind cmd/hicampbench -exp contention.
+func BenchmarkMergeContention(b *testing.B) {
+	const workers, words = 4, 1 << 14
+	h := hds.NewHeap(core.DefaultConfig(64))
+	ws := make([]uint64, words)
+	for i := range ws {
+		ws[i] = uint64(i%251) + 1
+	}
+	base := segment.BuildWords(h.M, ws, nil)
+	vsid := h.SM.Create(segmap.Entry{
+		Seg: base, Size: words * 8, Flags: segmap.FlagMergeUpdate,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := h.SM.Load(vsid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for g := 0; g < workers; g++ {
+			idx := uint64((i*workers+g)*67) % words
+			next, _ := segment.WriteBatch(h.M, e.Seg,
+				[]segment.Update{{Idx: idx, W: uint64(i + g + 1), T: word.TagRaw}})
+			ok, err := merge.MCAS(h.M, h.SM, vsid, e.Seg, next, words*8, nil)
+			if err != nil || !ok {
+				b.Fatalf("mcas ok=%v err=%v", ok, err)
+			}
+		}
+		segment.ReleaseSeg(h.M, e.Seg)
+	}
+}
+
 func BenchmarkQTSBuild(b *testing.B) {
 	m := spmv.FEM2D(24)
 	for i := 0; i < b.N; i++ {

@@ -1,8 +1,9 @@
 // Command benchjson measures the bulk segment pipelines — construction
 // (PR 2), the read/gather path (PR 3), the streaming scan/diff path
-// (PR 4), and the wave-ordered bulk write path (PR 5) — against their
+// (PR 4), the wave-ordered bulk write path (PR 5), and the
+// wave-structured merge rebase engine (PR 6) — against their
 // line-at-a-time baselines and writes the comparison as machine-readable
-// JSON (BENCH_PR5.json in the repo root).
+// JSON (BENCH_PR6.json in the repo root).
 // Each pair is run at GOMAXPROCS 1 and 4 and reports two axes:
 //
 //   - wall-clock (minimum over interleaved repetitions, fresh machine per
@@ -16,7 +17,7 @@
 // commits (wall-clock), while memoization avoids simulated lookup traffic
 // (DRAM) at the price of bookkeeping the host must execute.
 //
-//	go run ./cmd/benchjson -o BENCH_PR5.json
+//	go run ./cmd/benchjson -o BENCH_PR6.json
 package main
 
 import (
@@ -32,8 +33,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/experiments"
 	"repro/internal/hds"
 	"repro/internal/kvstore"
+	"repro/internal/merge"
+	"repro/internal/segmap"
 	"repro/internal/segment"
 	"repro/internal/spmv"
 	"repro/internal/vmhost"
@@ -90,7 +94,7 @@ type pair struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output file")
+	out := flag.String("o", "BENCH_PR6.json", "output file")
 	only := flag.String("only", "", "run only the pair with this name")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs")
 	flag.Parse()
@@ -108,6 +112,8 @@ func main() {
 		diffScan(),
 		writeWave(),
 		bulkUpdate(),
+		mergeRebase(),
+		mapContention(),
 	}
 
 	if *only != "" {
@@ -135,8 +141,13 @@ func main() {
 			"batched+memoized construction (build/ingest/load pairs), the " +
 			"level-order bulk read path (multi-get and SpMV gather pairs), " +
 			"the streaming scan pipeline (full-store scan and PLID-equality " +
-			"snapshot diff pairs), and the wave-ordered bulk write path " +
-			"(scattered-update wave commit and 4096-key map update pairs). " +
+			"snapshot diff pairs), the wave-ordered bulk write path " +
+			"(scattered-update wave commit and 4096-key map update pairs), " +
+			"and the wave-structured merge rebase (recursive vs level-order " +
+			"three-way merge, and stale-snapshot contention where plain-CAS " +
+			"replay is the baseline and MCAS merge rebase the candidate; " +
+			"its extras pin DRAM/commit flat across a 16x segment-size " +
+			"ratio). " +
 			"Wall-clock is min over interleaved reps " +
 			"with a fresh machine per rep; DRAM accesses are the simulated " +
 			"store totals (deterministic per workload).",
@@ -873,6 +884,195 @@ func bulkUpdate() pair {
 			ex["paths_rebuilt"] = float64(st.PathsRebuilt)
 			ex["pass_through"] = float64(st.PassThrough)
 			return dramTotal(h.M)
+		},
+	}
+}
+
+// mergeRebase compares the recursive reference three-way merge with the
+// wave-structured rebase engine on a full-depth workload: mod and cur
+// each update adjacent words of the same 64 leaf lines of a 65536-word
+// segment, so the merge cannot resolve by sub-DAG skipping near the root
+// and must co-walk every changed path to the leaves. Twin machines with
+// identical preload histories (PLIDs are allocation-order-dependent) and
+// an ample LLC, so the DRAM axis is the walk itself, not capacity misses.
+func mergeRebase() pair {
+	const n, k = 65536, 64
+	ampleCfg := core.Config{
+		LineBytes: 64, BucketBits: 16, DataWays: 12,
+		CacheLines: 1 << 15, CacheWays: 8,
+	}
+	mkTriple := func(m *core.Machine) (orig, mod, cur segment.Seg) {
+		orig = segment.BuildWords(m, randWords(n, 61), nil)
+		vals := randWords(2*k, 62)
+		ups := func(off int) []segment.Update {
+			out := make([]segment.Update, k)
+			for i := range out {
+				out[i] = segment.Update{
+					Idx: uint64((n/k)*i + off),
+					W:   vals[2*i+off] | 1,
+					T:   word.TagRaw,
+				}
+			}
+			return out
+		}
+		mod, _ = segment.WriteBatch(m, orig, ups(0))
+		cur, _ = segment.WriteBatch(m, orig, ups(1))
+		// Exclude the preload's deferred writebacks from the measured window.
+		m.FlushCache()
+		m.ResetStats()
+		return orig, mod, cur
+	}
+	ex := map[string]float64{}
+	return pair{
+		name:      "merge_rebase_64paths",
+		baseline:  "recursive MergeSerial (per-node reads)",
+		candidate: "wave Merge (level-order batched co-walk)",
+		reps:      3,
+		extra:     ex,
+		base: func() uint64 {
+			m := core.NewMachine(ampleCfg)
+			orig, mod, cur := mkTriple(m)
+			res, err := merge.MergeSerial(m, orig, mod, cur, nil)
+			if err != nil {
+				panic(err)
+			}
+			for _, s := range []segment.Seg{res, orig, mod, cur} {
+				segment.ReleaseSeg(m, s)
+			}
+			return dramTotal(m)
+		},
+		cand: func() uint64 {
+			m := core.NewMachine(ampleCfg)
+			orig, mod, cur := mkTriple(m)
+			var st merge.Stats
+			res, err := merge.Merge(m, orig, mod, cur, &st)
+			if err != nil {
+				panic(err)
+			}
+			for _, s := range []segment.Seg{res, orig, mod, cur} {
+				segment.ReleaseSeg(m, s)
+			}
+			ex["wave_levels"] = float64(st.WaveLevels)
+			ex["subdag_skips"] = float64(st.SubDAGSkips)
+			ex["nodes_walked"] = float64(st.NodesWalked)
+			ex["line_reads"] = float64(st.LineReads)
+			ex["lookups"] = float64(st.Lookups)
+			return dramTotal(m)
+		},
+	}
+}
+
+// mapContention pins the Sec 2.4/3.4 contention claim as a benchmark
+// pair: deterministic stale-snapshot rounds of disjoint 4-word commits
+// on one shared merge-update segment — every worker builds against the
+// round's snapshot and the versions publish sequentially, so all but the
+// first publish per round is stale. The baseline replays each lost
+// commit from scratch against the committed version (the plain-CAS retry
+// an application without merge support must run); the candidate rebases
+// the stale version through the wave merge in one MCAS. Extras record
+// DRAM per successful commit at 4096 and 65536 words: flat across the
+// 16x size ratio, since merged commits walk changed paths only.
+func mapContention() pair {
+	const workers, rounds, perCommit = 4, 12, 4
+	run := func(words uint64, useMerge bool) (dram, commits, conflicts uint64) {
+		h := hds.NewHeap(core.Config{
+			LineBytes: 64, BucketBits: 16, DataWays: 12,
+			CacheLines: 1 << 15, CacheWays: 8,
+		})
+		ws := make([]uint64, words)
+		for i := range ws {
+			ws[i] = uint64(i%251) + 1
+		}
+		base := segment.BuildWords(h.M, ws, nil)
+		vsid := h.SM.Create(segmap.Entry{
+			Seg: base, Size: words * 8, Flags: segmap.FlagMergeUpdate,
+		})
+		// Exclude the preload's deferred writebacks from the measured window.
+		h.M.FlushCache()
+		h.M.ResetStats()
+		stride := words / uint64(workers*rounds*perCommit)
+		if stride == 0 {
+			stride = 1
+		}
+		for r := 0; r < rounds; r++ {
+			e, err := h.SM.Load(vsid)
+			if err != nil {
+				panic(err)
+			}
+			for g := 0; g < workers; g++ {
+				ups := make([]segment.Update, perCommit)
+				for j := range ups {
+					seq := uint64((g*rounds+r)*perCommit + j)
+					ups[j] = segment.Update{
+						Idx: (seq * stride) % words,
+						W:   seq + 1000,
+						T:   word.TagRaw,
+					}
+				}
+				if useMerge {
+					next, _ := segment.WriteBatch(h.M, e.Seg, ups)
+					ok, err := merge.MCAS(h.M, h.SM, vsid, e.Seg, next, words*8, nil)
+					if err != nil || !ok {
+						panic(fmt.Sprintf("mcas ok=%v err=%v", ok, err))
+					}
+				} else {
+					snap, owned := e.Seg, false
+					for {
+						next, _ := segment.WriteBatch(h.M, snap, ups)
+						ok := h.SM.CAS(vsid, snap, next, words*8)
+						if owned {
+							segment.ReleaseSeg(h.M, snap)
+						}
+						if ok {
+							break
+						}
+						segment.ReleaseSeg(h.M, next)
+						cur, err := h.SM.Load(vsid)
+						if err != nil {
+							panic(err)
+						}
+						snap, owned = cur.Seg, true
+					}
+				}
+			}
+			segment.ReleaseSeg(h.M, e.Seg)
+		}
+		h.M.FlushCache()
+		okCAS, failCAS := h.SM.CASStats()
+		return h.M.Stats().Store.Total(), okCAS, failCAS
+	}
+	ex := map[string]float64{}
+	// The overlap-degradation curve rides along as extras, computed once
+	// here (not in the measured closures, whose wall-clock it would
+	// swamp): per overlap fraction, the replays forced by true conflicts
+	// and the resulting commit attempts per key — the deterministic
+	// inverse-throughput measure (keys/s on a 1-CPU container is noise).
+	if _, res, err := experiments.RunContention(experiments.ScaleTest); err == nil {
+		for _, row := range res.Overlap {
+			tag := fmt.Sprintf("%.0f", row.Overlap*100)
+			ex["replays_overlap_"+tag] = float64(row.Replays)
+			ex["attempts_per_key_overlap_"+tag] =
+				1 + float64(row.Replays)/float64(row.Keys)
+		}
+	}
+	return pair{
+		name:      "map_contention_stale_rounds",
+		baseline:  "plain CAS, full replay per lost publish",
+		candidate: "merge.MCAS wave rebase",
+		reps:      3,
+		extra:     ex,
+		base: func() uint64 {
+			d, _, _ := run(1<<16, false)
+			return d
+		},
+		cand: func() uint64 {
+			d, commits, conflicts := run(1<<16, true)
+			dSmall, cSmall, _ := run(1<<12, true)
+			ex["commits"] = float64(commits)
+			ex["stale_publishes_rebased"] = float64(conflicts)
+			ex["dram_per_commit_65536w"] = float64(d) / float64(commits)
+			ex["dram_per_commit_4096w"] = float64(dSmall) / float64(cSmall)
+			return d
 		},
 	}
 }

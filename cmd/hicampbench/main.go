@@ -20,13 +20,14 @@ import (
 )
 
 var experimentOrder = []string{
-	"fig6", "table1", "conflict", "fig7", "fig8", "table2", "fig9", "fig10",
+	"fig6", "table1", "conflict", "contention", "fig7", "fig8", "table2", "fig9", "fig10",
 }
 
 var descriptions = map[string]string{
-	"fig6":     "memcached DRAM accesses, conventional vs HICAMP, 16/32/64B lines",
-	"table1":   "memcached data compaction per dataset and line size",
-	"conflict": "sec 5.1.1 concurrent-update analysis + live mCAS contention",
+	"fig6":       "memcached DRAM accesses, conventional vs HICAMP, 16/32/64B lines",
+	"table1":     "memcached data compaction per dataset and line size",
+	"conflict":   "sec 5.1.1 concurrent-update analysis + live mCAS contention",
+	"contention": "multi-writer merge-update: DRAM flat over size, throughput vs overlap",
 	"fig7":     "SpMV off-chip access ratio over the matrix suite",
 	"fig8":     "per-matrix footprint, best HICAMP format vs CSR",
 	"table2":   "footprint savings grouped by matrix category",
@@ -35,7 +36,7 @@ var descriptions = map[string]string{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig6, table1, conflict, fig7, fig8, table2, fig9, fig10, all)")
+	exp := flag.String("exp", "all", "experiment id (fig6, table1, conflict, contention, fig7, fig8, table2, fig9, fig10, all)")
 	paper := flag.Bool("paper", false, "run at paper-approaching scale (slower)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -112,6 +113,12 @@ func run(id string, sc experiments.Scale) error {
 		tbl, _ = experiments.RunTable1(sc)
 	case "conflict":
 		t, _, err := experiments.RunConflict(sc)
+		if err != nil {
+			return err
+		}
+		tbl = t
+	case "contention":
+		t, _, err := experiments.RunContention(sc)
 		if err != nil {
 			return err
 		}

@@ -133,10 +133,20 @@ func runLiveContention(sc Scale) (LiveResult, error) {
 					errs <- err
 					return
 				}
+				idx := uint64(1 + g*updates + i)
 				tx := segment.NewTxn(h.M, e.Seg)
-				tx.WriteWord(uint64(1+g*updates+i), uint64(g+1), word.TagRaw)
+				tx.WriteWord(idx, uint64(g+1), word.TagRaw)
 				next := tx.Commit()
-				ok, err := merge.MCAS(h.M, h.SM, vsid, e.Seg, next, 0, &st)
+				// Register the version's full logical size: the snapshot's
+				// registered size extended by this write. MCAS additionally
+				// keeps the maximum across merged-in versions, so the
+				// entry's size tracks the largest committed write whatever
+				// the commit order.
+				size := (idx + 1) * 8
+				if e.Size > size {
+					size = e.Size
+				}
+				ok, err := merge.MCAS(h.M, h.SM, vsid, e.Seg, next, size, &st)
 				segment.ReleaseSeg(h.M, e.Seg)
 				if err != nil || !ok {
 					errs <- fmt.Errorf("worker %d: mcas ok=%v err=%v", g, ok, err)
@@ -171,6 +181,11 @@ func runLiveContention(sc Scale) (LiveResult, error) {
 				agg.LostUpdates++
 			}
 		}
+	}
+	// The registered size must reflect the largest committed write even
+	// when that write's publish was rebased by a later merge.
+	if want := uint64(workers*updates+1) * 8; final.Size != want {
+		return agg, fmt.Errorf("registered size %d, want %d (merge dropped size)", final.Size, want)
 	}
 	return agg, nil
 }

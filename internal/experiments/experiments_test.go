@@ -49,6 +49,40 @@ func TestRunConflictLiveNoLostUpdates(t *testing.T) {
 	}
 }
 
+func TestRunContentionShape(t *testing.T) {
+	tbl, res, err := RunContention(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Disjoint) < 2 || len(res.Overlap) != 4 {
+		t.Fatalf("sweep shapes: %d disjoint, %d overlap", len(res.Disjoint), len(res.Overlap))
+	}
+	// Disjoint writers: every stale publish rebased (conflicts observed,
+	// none failed) and DRAM/commit stays flat while the segment grows —
+	// well under the size ratio; path depth adds only a log factor.
+	first, last := res.Disjoint[0], res.Disjoint[len(res.Disjoint)-1]
+	if first.Conflicts == 0 {
+		t.Fatal("disjoint sweep produced no contention")
+	}
+	sizeRatio := float64(last.Words) / float64(first.Words)
+	if last.DRAMPerCommit >= first.DRAMPerCommit*sizeRatio/4 {
+		t.Fatalf("DRAM/commit grew with size: %.1f @%d words vs %.1f @%d words",
+			first.DRAMPerCommit, first.Words, last.DRAMPerCommit, last.Words)
+	}
+	// Overlapping writers: replays scale with the overlap fraction.
+	if res.Overlap[0].Replays != 0 {
+		t.Fatalf("disjoint end replayed %d times", res.Overlap[0].Replays)
+	}
+	for i := 1; i < len(res.Overlap); i++ {
+		if res.Overlap[i].Replays <= res.Overlap[i-1].Replays {
+			t.Fatalf("replays not increasing with overlap: %+v", res.Overlap)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "overlap") {
+		t.Fatal("table missing overlap rows")
+	}
+}
+
 func TestRunTable1Shape(t *testing.T) {
 	tbl, rows := RunTable1(ScaleTest)
 	if len(rows) != 7 {

@@ -39,6 +39,56 @@ func TestApplyErrorOnDup(t *testing.T) {
 	}
 }
 
+// TestConcurrentApplyMergeStress drives concurrent Apply batches on one
+// map (disjoint key ranges, values large enough to keep growing the
+// segment) so merge-first conflict resolution and height-aligned rebases
+// run under real interleavings; run with -race -cpu=1,4 in CI. Every
+// batch must land without application-visible retry errors.
+func TestConcurrentApplyMergeStress(t *testing.T) {
+	h := heap()
+	mp := NewMap(h)
+	const workers, batches, perBatch = 4, 12, 6
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				pairs := make([]Pair, perBatch)
+				for k := range pairs {
+					pairs[k] = Pair{
+						Key:   []byte(fmt.Sprintf("w%d-b%d-k%d", g, b, k)),
+						Value: []byte(fmt.Sprintf("value-%d-%d-%d", g, b, k)),
+					}
+				}
+				if err := mp.Apply(pairs, ApplyOptions{}); err != nil {
+					t.Errorf("worker %d batch %d: %v", g, b, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < workers; g++ {
+		for b := 0; b < batches; b++ {
+			for k := 0; k < perBatch; k++ {
+				key := NewString(h, []byte(fmt.Sprintf("w%d-b%d-k%d", g, b, k)))
+				v, ok := mp.Get(key)
+				want := fmt.Sprintf("value-%d-%d-%d", g, b, k)
+				if !ok || string(v.Bytes(h)) != want {
+					t.Fatalf("key w%d-b%d-k%d: ok=%v got %q want %q",
+						g, b, k, ok, v.Bytes(h), want)
+				}
+				v.Release(h)
+				key.Release(h)
+			}
+		}
+	}
+	if n := mp.Len(); n != workers*batches*perBatch {
+		t.Fatalf("map len %d, want %d", n, workers*batches*perBatch)
+	}
+}
+
 // Apply must surface the wave-commit counters: one batch of k fresh keys
 // rebuilds k*2 value/length word paths plus key words, in one wave.
 func TestApplyReportsWaveStats(t *testing.T) {

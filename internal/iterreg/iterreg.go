@@ -20,13 +20,14 @@ import (
 
 // Stats counts iterator register activity.
 type Stats struct {
-	Seeks      uint64 // positioning operations
-	LineLoads  uint64 // DAG lines loaded into the register
-	PathReuses uint64 // levels reused from the cached path
-	Scans      uint64 // streaming Scan calls
-	ScanLines  uint64 // lines the streaming scans fetched
-	Commits    uint64
-	Aborts     uint64
+	Seeks       uint64 // positioning operations
+	LineLoads   uint64 // DAG lines loaded into the register
+	PathReuses  uint64 // levels reused from the cached path
+	Scans       uint64 // streaming Scan calls
+	ScanLines   uint64 // lines the streaming scans fetched
+	Commits     uint64 // publishes (and detached conversions) that succeeded
+	CommitFails uint64 // publishes whose CAS/merge lost or conflicted
+	Aborts      uint64
 	Wave       segment.WriteStats // accumulated wave-commit counters
 }
 
@@ -353,7 +354,6 @@ func (it *Iterator) commit(size uint64, useMerge bool) (bool, error) {
 	}
 	next := it.flush()
 	it.stack = nil
-	it.Stats.Commits++
 
 	var ok bool
 	var err error
@@ -364,6 +364,13 @@ func (it *Iterator) commit(size uint64, useMerge bool) (bool, error) {
 		if !ok {
 			segment.ReleaseSeg(it.m, next)
 		}
+	}
+	// Count after the outcome is known: a contended or conflicted publish
+	// is a failure, not a commit.
+	if ok {
+		it.Stats.Commits++
+	} else {
+		it.Stats.CommitFails++
 	}
 	// Whatever happened, resynchronize the snapshot with the published
 	// version (after a merge the committed root differs from next).

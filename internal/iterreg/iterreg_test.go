@@ -133,6 +133,51 @@ func TestTryCommitConflictRetry(t *testing.T) {
 	}
 }
 
+func TestCommitStatsCountOutcomes(t *testing.T) {
+	// Commits counts successful publishes only; a lost CAS is a
+	// CommitFail, not a commit. (Regression: the counter used to
+	// increment before the outcome was known, so contended commits
+	// inflated it.)
+	m, sm := setup()
+	v := sm.Create(segmap.Entry{Seg: segment.BuildWords(m, []uint64{10, 20}, nil)})
+	a, _ := Open(m, sm, v)
+	b, _ := Open(m, sm, v)
+	defer a.Close()
+	defer b.Close()
+
+	a.Store(0, 11, word.TagRaw)
+	b.Store(1, 21, word.TagRaw)
+	if ok, _ := a.TryCommit(16); !ok {
+		t.Fatal("first commit failed")
+	}
+	if ok, _ := b.TryCommit(16); ok {
+		t.Fatal("stale commit succeeded without merge")
+	}
+	if b.Stats.Commits != 0 || b.Stats.CommitFails != 1 {
+		t.Fatalf("after lost CAS: Commits=%d CommitFails=%d, want 0/1",
+			b.Stats.Commits, b.Stats.CommitFails)
+	}
+	b.Store(1, 21, word.TagRaw)
+	if ok, _ := b.TryCommit(16); !ok {
+		t.Fatal("retry after reload failed")
+	}
+	if b.Stats.Commits != 1 || b.Stats.CommitFails != 1 {
+		t.Fatalf("after retry: Commits=%d CommitFails=%d, want 1/1",
+			b.Stats.Commits, b.Stats.CommitFails)
+	}
+	// An empty commit publishes nothing and counts nothing.
+	if ok, _ := b.TryCommit(16); !ok {
+		t.Fatal("empty commit should trivially succeed")
+	}
+	if b.Stats.Commits != 1 {
+		t.Fatal("empty commit must not count as a publish")
+	}
+	if a.Stats.Commits != 1 || a.Stats.CommitFails != 0 {
+		t.Fatalf("winner: Commits=%d CommitFails=%d, want 1/0",
+			a.Stats.Commits, a.Stats.CommitFails)
+	}
+}
+
 func TestCommitMergeResolvesConflict(t *testing.T) {
 	m, sm := setup()
 	v := sm.Create(segmap.Entry{

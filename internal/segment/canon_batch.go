@@ -1,0 +1,149 @@
+package segment
+
+import (
+	"repro/internal/word"
+)
+
+// CanonBatch canonicalizes one DAG level's worth of nodes with a single
+// batched lookup-by-content. It is the bottom-up half of every wave
+// pipeline (WriteBatch, the merge rebase engine): callers submit each
+// node's children through Leaf/Node — the canonical special cases (zero
+// elision, inlining, path compaction) resolve immediately without memory
+// accesses, everything else pends — and one Resolve call turns the
+// pending contents into owned PLID edges through word.MemCaps.LookupBatch,
+// deduplicating equal contents within the level (content-uniqueness makes
+// the duplicate's line the same line the store would have returned).
+//
+// The produced edges follow the CanonLeaf/CanonNode ownership contract:
+// each out edge owns one reference when it carries a PLID; ownership of
+// the submitted child edges is untouched.
+type CanonBatch struct {
+	m     word.Mem
+	caps  word.MemCaps
+	arity int
+	pendC []word.Content
+	pendO []*Edge
+}
+
+// NewCanonBatch probes m's capabilities once and returns a reusable
+// batch canonicalizer.
+func NewCanonBatch(m word.Mem) *CanonBatch {
+	return NewCanonBatchCaps(m, word.Caps(m))
+}
+
+// NewCanonBatchCaps is NewCanonBatch for callers that already hold the
+// one-shot capability probe.
+func NewCanonBatchCaps(m word.Mem, caps word.MemCaps) *CanonBatch {
+	return &CanonBatch{m: m, caps: caps, arity: m.LineWords()}
+}
+
+// Leaf canonicalizes a leaf of exactly arity word-level edges into *out,
+// mirroring CanonLeaf: the zero edge and the inline encoding resolve
+// immediately, a real leaf line pends until Resolve.
+func (b *CanonBatch) Leaf(edges []Edge, out *Edge) {
+	c := word.NewContent(b.arity)
+	allZero, allSmallRaw := true, true
+	for i := 0; i < b.arity; i++ {
+		e := edges[i]
+		c.W[i], c.T[i] = e.W, e.T
+		if e.W != 0 || e.T != word.TagRaw {
+			allZero = false
+		}
+		if e.T != word.TagRaw {
+			allSmallRaw = false
+		}
+	}
+	if allZero {
+		*out = ZeroEdge
+		return
+	}
+	if allSmallRaw {
+		if w, ok := word.PackInline(c.W[:b.arity], b.arity); ok {
+			*out = Edge{W: w, T: word.TagInline}
+			return
+		}
+	}
+	b.pendC = append(b.pendC, c)
+	b.pendO = append(b.pendO, out)
+}
+
+// Node canonicalizes an interior node of exactly arity child edges into
+// *out, mirroring CanonNode: the zero edge and the path-compacted
+// single-child encodings resolve immediately (retaining the compacted
+// target), a real interior line pends until Resolve.
+func (b *CanonBatch) Node(edges []Edge, out *Edge) {
+	plidBits := b.m.PLIDBits()
+	c := word.NewContent(b.arity)
+	nz, idx := 0, -1
+	for i := 0; i < b.arity; i++ {
+		e := edges[i]
+		c.W[i], c.T[i] = e.W, e.T
+		if !e.IsZero() {
+			nz++
+			idx = i
+		}
+	}
+	if nz == 0 {
+		*out = ZeroEdge
+		return
+	}
+	if nz == 1 {
+		child := edges[idx]
+		switch child.T {
+		case word.TagPLID:
+			if w, ok := word.EncodeCompact(word.PLID(child.W), []int{idx}, b.arity, plidBits); ok {
+				b.m.Retain(word.PLID(child.W))
+				*out = Edge{W: w, T: word.TagCompact}
+				return
+			}
+		case word.TagCompact:
+			p, path := word.DecodeCompact(child.W, b.arity, plidBits)
+			if w, ok := word.EncodeCompact(p, append([]int{idx}, path...), b.arity, plidBits); ok {
+				b.m.Retain(p)
+				*out = Edge{W: w, T: word.TagCompact}
+				return
+			}
+		}
+	}
+	b.pendC = append(b.pendC, c)
+	b.pendO = append(b.pendO, out)
+}
+
+// Resolve turns the pending contents into owned PLID edges through one
+// batched lookup and resets the batch for the next level. It reports how
+// many lookups were issued (after within-level dedup).
+func (b *CanonBatch) Resolve() uint64 {
+	if len(b.pendC) == 0 {
+		return 0
+	}
+	firstAt := make(map[word.Content]int, len(b.pendC))
+	uniqC := b.pendC[:0] // compacts in place; position i is read before any write can reach it
+	uniqO := b.pendO[:0]
+	type dup struct {
+		out  *Edge
+		uniq int
+	}
+	var dups []dup
+	for i, c := range b.pendC {
+		if j, ok := firstAt[c]; ok {
+			dups = append(dups, dup{b.pendO[i], j})
+			continue
+		}
+		firstAt[c] = len(uniqC)
+		uniqC = append(uniqC, c)
+		uniqO = append(uniqO, b.pendO[i])
+	}
+	plids := b.caps.LookupBatch(uniqC)
+	for j, out := range uniqO {
+		*out = PLIDEdge(plids[j]) // consumes the lookup's reference
+	}
+	for _, d := range dups {
+		p := plids[d.uniq]
+		b.m.Retain(p)
+		*d.out = PLIDEdge(p)
+	}
+	n := uint64(len(uniqC))
+	b.pendC = b.pendC[:0]
+	b.pendO = b.pendO[:0]
+	return n
+}

@@ -224,29 +224,25 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 	// Fresh child references release only after their parent level
 	// resolves — the parent lines take their own references during the
 	// lookup, which needs the children still live (Builder rule).
-	var pendC []word.Content
-	var pendN []*wnode
+	cb := NewCanonBatchCaps(m, caps)
 	for lvl := 0; lvl <= height; lvl++ {
 		nodes := levels[lvl]
 		if len(nodes) == 0 {
 			continue
 		}
 		st.WaveLevels++
-		pendC, pendN = pendC[:0], pendN[:0]
 		for _, n := range nodes {
 			for i, slot := range n.slots {
 				n.edges[slot] = n.kids[i].out
 				n.owned[slot] = true
 			}
 			if lvl == 0 {
-				canonLeafNode(m, n, &pendC, &pendN)
+				cb.Leaf(n.edges, &n.out)
 			} else {
-				canonInteriorNode(m, n, &pendC, &pendN)
+				cb.Node(n.edges, &n.out)
 			}
 		}
-		if len(pendC) > 0 {
-			st.Lookups += resolveLevel(m, caps, pendC, pendN)
-		}
+		st.Lookups += cb.Resolve()
 		for _, n := range nodes {
 			for i := range n.edges {
 				if n.owned[i] {
@@ -269,109 +265,3 @@ func (n *wnode) kidAt(slot int) *wnode {
 	return nil
 }
 
-// canonLeafNode canonicalizes one leaf wnode, mirroring CanonLeaf: the
-// zero edge, an inline edge, or a pending content lookup.
-func canonLeafNode(m word.Mem, n *wnode, pendC *[]word.Content, pendN *[]*wnode) {
-	arity := m.LineWords()
-	c := word.NewContent(arity)
-	allZero, allSmallRaw := true, true
-	for i := 0; i < arity; i++ {
-		e := n.edges[i]
-		c.W[i], c.T[i] = e.W, e.T
-		if e.W != 0 || e.T != word.TagRaw {
-			allZero = false
-		}
-		if e.T != word.TagRaw {
-			allSmallRaw = false
-		}
-	}
-	if allZero {
-		n.out = ZeroEdge
-		return
-	}
-	if allSmallRaw {
-		if w, ok := word.PackInline(c.W[:arity], arity); ok {
-			n.out = Edge{W: w, T: word.TagInline}
-			return
-		}
-	}
-	*pendC = append(*pendC, c)
-	*pendN = append(*pendN, n)
-}
-
-// canonInteriorNode canonicalizes one interior wnode, mirroring
-// CanonNode: the zero edge, a path-compacted edge (retaining the target),
-// or a pending content lookup.
-func canonInteriorNode(m word.Mem, n *wnode, pendC *[]word.Content, pendN *[]*wnode) {
-	arity := m.LineWords()
-	plidBits := m.PLIDBits()
-	c := word.NewContent(arity)
-	nz, idx := 0, -1
-	for i := 0; i < arity; i++ {
-		e := n.edges[i]
-		c.W[i], c.T[i] = e.W, e.T
-		if !e.IsZero() {
-			nz++
-			idx = i
-		}
-	}
-	if nz == 0 {
-		n.out = ZeroEdge
-		return
-	}
-	if nz == 1 {
-		child := n.edges[idx]
-		switch child.T {
-		case word.TagPLID:
-			if w, ok := word.EncodeCompact(word.PLID(child.W), []int{idx}, arity, plidBits); ok {
-				m.Retain(word.PLID(child.W))
-				n.out = Edge{W: w, T: word.TagCompact}
-				return
-			}
-		case word.TagCompact:
-			p, path := word.DecodeCompact(child.W, arity, plidBits)
-			if w, ok := word.EncodeCompact(p, append([]int{idx}, path...), arity, plidBits); ok {
-				m.Retain(p)
-				n.out = Edge{W: w, T: word.TagCompact}
-				return
-			}
-		}
-	}
-	*pendC = append(*pendC, c)
-	*pendN = append(*pendN, n)
-}
-
-// resolveLevel turns one level's pending contents into owned PLID edges
-// through a single batch lookup, deduplicating equal contents within the
-// level (duplicates retain the first lookup's line — content-uniqueness
-// makes that the same line the store would have returned). It reports how
-// many lookups were issued.
-func resolveLevel(m word.Mem, caps word.MemCaps, pendC []word.Content, pendN []*wnode) uint64 {
-	firstAt := make(map[word.Content]int, len(pendC))
-	uniqC := pendC[:0] // compacts in place; position i is read before any write can reach it
-	uniqN := pendN[:0]
-	type dup struct {
-		n    *wnode
-		uniq int
-	}
-	var dups []dup
-	for i, c := range pendC {
-		if j, ok := firstAt[c]; ok {
-			dups = append(dups, dup{pendN[i], j})
-			continue
-		}
-		firstAt[c] = len(uniqC)
-		uniqC = append(uniqC, c)
-		uniqN = append(uniqN, pendN[i])
-	}
-	plids := caps.LookupBatch(uniqC)
-	for j, n := range uniqN {
-		n.out = PLIDEdge(plids[j]) // consumes the lookup's reference
-	}
-	for _, d := range dups {
-		p := plids[d.uniq]
-		m.Retain(p)
-		d.n.out = PLIDEdge(p)
-	}
-	return uint64(len(uniqC))
-}
