@@ -1,23 +1,28 @@
 // Command benchjson measures the bulk segment pipelines — construction
 // (PR 2), the read/gather path (PR 3), the streaming scan/diff path
 // (PR 4), the wave-ordered bulk write path (PR 5), and the
-// wave-structured merge rebase engine (PR 6) — against their
-// line-at-a-time baselines and writes the comparison as machine-readable
-// JSON (BENCH_PR6.json in the repo root).
-// Each pair is run at GOMAXPROCS 1 and 4 and reports two axes:
+// wave-structured merge rebase engine (PR 6), all running over the
+// bucketed scratch pools (PR 7) — against their line-at-a-time baselines
+// and writes the comparison as machine-readable JSON (BENCH_PR7.json in
+// the repo root).
+// Each pair is run at GOMAXPROCS 1 and 4 and reports three axes:
 //
 //   - wall-clock (minimum over interleaved repetitions, fresh machine per
 //     repetition), the host-software cost of driving the simulated memory
-//     system; and
+//     system;
 //   - simulated DRAM accesses (store Stats.Total after a cache flush),
 //     the architectural metric the paper's evaluation is built on. This
-//     axis is deterministic per workload.
+//     axis is deterministic per workload; and
+//   - host allocations (the -benchmem axis: mallocs and bytes per run,
+//     from runtime.MemStats deltas around the final repetition), the
+//     metric the PR 7 scratch pooling moves.
 //
-// The two axes move independently: batching amortizes host-side locks and
-// commits (wall-clock), while memoization avoids simulated lookup traffic
-// (DRAM) at the price of bookkeeping the host must execute.
+// The axes move independently: batching amortizes host-side locks and
+// commits (wall-clock), memoization avoids simulated lookup traffic
+// (DRAM) at the price of bookkeeping the host must execute, and pooling
+// removes the bookkeeping's allocation cost.
 //
-//	go run ./cmd/benchjson -o BENCH_PR6.json
+//	go run ./cmd/benchjson -o BENCH_PR7.json
 package main
 
 import (
@@ -61,6 +66,20 @@ type Result struct {
 	BaselineDRAM  uint64  `json:"baseline_dram_accesses"`
 	CandidateDRAM uint64  `json:"candidate_dram_accesses"`
 	DRAMRatio     float64 `json:"dram_ratio"`
+	// Host allocations for one run of each side (the -benchmem axis:
+	// runtime.MemStats Mallocs/TotalAlloc deltas around the final
+	// repetition, after the pools are warm) and the malloc ratio
+	// (baseline over candidate; >1 means the bulk path allocates less).
+	BaselineAllocs  uint64  `json:"baseline_allocs_op"`
+	CandidateAllocs uint64  `json:"candidate_allocs_op"`
+	BaselineBytes   uint64  `json:"baseline_bytes_op"`
+	CandidateBytes  uint64  `json:"candidate_bytes_op"`
+	AllocRatio      float64 `json:"alloc_ratio"`
+	// DegradedParallel marks rows measured at a GOMAXPROCS above the
+	// container's CPU count: the wall-clock column then measures
+	// oversubscription, not parallel speedup, and should not be compared
+	// against runs on wider hosts.
+	DegradedParallel bool `json:"degraded_parallel,omitempty"`
 	// Extra carries pair-specific counters (e.g. the diff scan's sub-DAG
 	// skip telemetry).
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -94,7 +113,7 @@ type pair struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output file")
+	out := flag.String("o", "BENCH_PR7.json", "output file")
 	only := flag.String("only", "", "run only the pair with this name")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs")
 	flag.Parse()
@@ -150,7 +169,10 @@ func main() {
 			"ratio). " +
 			"Wall-clock is min over interleaved reps " +
 			"with a fresh machine per rep; DRAM accesses are the simulated " +
-			"store totals (deterministic per workload).",
+			"store totals (deterministic per workload); allocs/bytes per op " +
+			"are MemStats deltas on the final (pool-warm) rep. Rows with " +
+			"degraded_parallel ran at a GOMAXPROCS above the container's " +
+			"CPU count.",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -162,10 +184,10 @@ func main() {
 		for _, p := range pairs {
 			r := measure(p, procs)
 			rep.Results = append(rep.Results, r)
-			fmt.Printf("%-28s procs=%d  %8.1fms vs %8.1fms  %.2fx wall  %.2fx dram\n",
+			fmt.Printf("%-28s procs=%d  %8.1fms vs %8.1fms  %.2fx wall  %.2fx dram  %.2fx allocs\n",
 				p.name, procs,
 				float64(r.BaselineNs)/1e6, float64(r.CandidateNs)/1e6,
-				r.Speedup, r.DRAMRatio)
+				r.Speedup, r.DRAMRatio, r.AllocRatio)
 		}
 		runtime.GOMAXPROCS(prev)
 	}
@@ -187,23 +209,27 @@ func main() {
 // left by earlier pairs, scheduler weather — perturbs both sides alike
 // instead of whichever ran second. Wall-clock is the per-side minimum;
 // the DRAM totals are deterministic, so the last repetition's values
-// stand for all of them.
+// stand for all of them. The allocation axis is taken on the final
+// repetition only: by then the scratch pools are warm, so the deltas
+// measure steady state rather than freelist fill.
 func measure(p pair, procs int) Result {
 	r := Result{
 		Name: p.name, GOMAXPROCS: procs,
 		Baseline: p.baseline, Candidate: p.candidate, Reps: p.reps,
 		BaselineNs: 1<<63 - 1, CandidateNs: 1<<63 - 1,
+		DegradedParallel: procs > runtime.NumCPU(),
 	}
 	for i := 0; i < p.reps; i++ {
+		last := i == p.reps-1
 		runtime.GC()
 		start := time.Now()
-		r.BaselineDRAM = p.base()
+		r.BaselineDRAM, r.BaselineAllocs, r.BaselineBytes = counted(p.base, last)
 		if d := time.Since(start).Nanoseconds(); d < r.BaselineNs {
 			r.BaselineNs = d
 		}
 		runtime.GC()
 		start = time.Now()
-		r.CandidateDRAM = p.cand()
+		r.CandidateDRAM, r.CandidateAllocs, r.CandidateBytes = counted(p.cand, last)
 		if d := time.Since(start).Nanoseconds(); d < r.CandidateNs {
 			r.CandidateNs = d
 		}
@@ -212,6 +238,9 @@ func measure(p pair, procs int) Result {
 	if r.CandidateDRAM != 0 {
 		r.DRAMRatio = float64(r.BaselineDRAM) / float64(r.CandidateDRAM)
 	}
+	if r.CandidateAllocs != 0 {
+		r.AllocRatio = float64(r.BaselineAllocs) / float64(r.CandidateAllocs)
+	}
 	if p.extra != nil {
 		r.Extra = make(map[string]float64, len(p.extra))
 		for k, v := range p.extra {
@@ -219,6 +248,21 @@ func measure(p pair, procs int) Result {
 		}
 	}
 	return r
+}
+
+// counted runs one side's closure; on the final repetition it also
+// reads the runtime.MemStats malloc counters around the run. The stats
+// read costs a stop-the-world pair, so non-final repetitions (whose
+// minimum sets the wall-clock column) skip it.
+func counted(fn func() uint64, withAllocs bool) (dram, allocs, bytes uint64) {
+	if !withAllocs {
+		return fn(), 0, 0
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	dram = fn()
+	runtime.ReadMemStats(&after)
+	return dram, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
 }
 
 // dramTotal flushes the LLC and returns the machine's simulated

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/pool"
 )
 
 var experimentOrder = []string{
@@ -28,11 +29,11 @@ var descriptions = map[string]string{
 	"table1":     "memcached data compaction per dataset and line size",
 	"conflict":   "sec 5.1.1 concurrent-update analysis + live mCAS contention",
 	"contention": "multi-writer merge-update: DRAM flat over size, throughput vs overlap",
-	"fig7":     "SpMV off-chip access ratio over the matrix suite",
-	"fig8":     "per-matrix footprint, best HICAMP format vs CSR",
-	"table2":   "footprint savings grouped by matrix category",
-	"fig9":     "memory consumed scaling 1-10 VMs per VMmark workload",
-	"fig10":    "memory consumed scaling 1-10 VMmark tiles",
+	"fig7":       "SpMV off-chip access ratio over the matrix suite",
+	"fig8":       "per-matrix footprint, best HICAMP format vs CSR",
+	"table2":     "footprint savings grouped by matrix category",
+	"fig9":       "memory consumed scaling 1-10 VMs per VMmark workload",
+	"fig10":      "memory consumed scaling 1-10 VMmark tiles",
 }
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	poolstats := flag.Bool("poolstats", false, "print scratch-pool hit/miss/oversize telemetry on exit")
 	flag.Parse()
 
 	if *list {
@@ -51,10 +53,10 @@ func main() {
 	}
 	// Profiles are finalized by defers inside realMain, so run/flag errors
 	// (which exit non-zero) still flush whatever was collected.
-	os.Exit(realMain(*exp, *paper, *cpuprofile, *memprofile))
+	os.Exit(realMain(*exp, *paper, *cpuprofile, *memprofile, *poolstats))
 }
 
-func realMain(exp string, paper bool, cpuprofile, memprofile string) int {
+func realMain(exp string, paper bool, cpuprofile, memprofile string, poolstats bool) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -96,7 +98,38 @@ func realMain(exp string, paper bool, cpuprofile, memprofile string) int {
 			return 1
 		}
 	}
+	if poolstats {
+		printPoolStats()
+	}
 	return 0
+}
+
+// printPoolStats renders the scratch-pool registry: one row per pool
+// with the aggregate hit/miss/oversize/returned counters, and the
+// non-empty bins underneath. A healthy steady-state run shows hits
+// dominating misses (misses are the warmup) and oversize near zero.
+func printPoolStats() {
+	snap := pool.Snapshot()
+	if len(snap) == 0 {
+		fmt.Println("scratch pools: none registered")
+		return
+	}
+	fmt.Println("scratch pools (hits/misses/oversize/returned):")
+	for _, ps := range snap {
+		if ps.Hits == 0 && ps.Misses == 0 && ps.Oversize == 0 {
+			continue
+		}
+		fmt.Printf("  %-22s %8d %8d %8d %8d\n",
+			ps.Name, ps.Hits, ps.Misses, ps.Oversize, ps.Returned)
+		for _, b := range ps.Bins {
+			if b.Hits == 0 && b.Misses == 0 {
+				continue
+			}
+			fmt.Printf("    bin %-8d           %8d %8d          %8d\n",
+				b.Size, b.Hits, b.Misses, b.Returned)
+		}
+	}
+	fmt.Println()
 }
 
 func run(id string, sc experiments.Scale) error {

@@ -10,8 +10,20 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cachesim"
+	"repro/internal/pool"
 	"repro/internal/store"
 	"repro/internal/word"
+)
+
+// Pooled scratch for the batched LLC paths: miss runs and fetch buffers
+// are borrowed per call so steady-state batched lookups and reads
+// allocate nothing.
+var (
+	poolIdx      = pool.NewSlice[int]("core.idx")
+	poolPLIDs    = pool.NewSlice[word.PLID]("core.plid")
+	poolContents = pool.NewSlice[word.Content]("core.content")
+	poolBools    = pool.NewSlice[bool]("core.bool")
+	poolSets     = pool.NewMap[int, struct{}]("core.pendingsets")
 )
 
 // Config sizes a Machine.
@@ -196,15 +208,31 @@ func (m *Machine) LookupLine(c word.Content) word.PLID {
 // dedup hits clean), again with per-line eviction handling.
 func (m *Machine) LookupLineBatch(cs []word.Content) []word.PLID {
 	out := make([]word.PLID, len(cs))
+	m.LookupLineBatchInto(cs, out)
+	return out
+}
+
+// LookupLineBatchInto implements word.BatchIntoMem: LookupLineBatch
+// writing into a caller-supplied buffer of length len(cs). All internal
+// miss-residue scratch is pooled, so a steady-state batched lookup —
+// every content already resident, hitting the LLC or the store's dedup
+// path — allocates nothing.
+func (m *Machine) LookupLineBatchInto(cs []word.Content, out []word.PLID) {
+	if len(out) != len(cs) {
+		panic("core: LookupLineBatchInto buffer length mismatch")
+	}
+	clear(out)
 	if len(cs) == 0 {
-		return out
+		return
 	}
 	m.lookupOps.Add(uint64(len(cs)))
-	// Preallocated at batch size: misses are the common case on fresh
+	var sc pool.Scratch
+	defer sc.Release()
+	// Acquired at batch size: misses are the common case on fresh
 	// content, and growing a []Content by doubling would copy the
 	// 144-byte elements repeatedly.
-	missIdx := make([]int, 0, len(cs))
-	missCs := make([]word.Content, 0, len(cs))
+	missIdx := poolIdx.GetCap(&sc, len(cs))
+	missCs := poolContents.GetCap(&sc, len(cs))
 	for i := range cs {
 		c := cs[i]
 		if c.IsZero() {
@@ -224,14 +252,15 @@ func (m *Machine) LookupLineBatch(cs []word.Content) []word.PLID {
 		missCs = append(missCs, c)
 	}
 	if len(missCs) == 0 {
-		return out
+		return
 	}
-	plids, existed := m.store.LookupBatch(missCs)
+	plids := poolPLIDs.Get(&sc, len(missCs))
+	existed := poolBools.Get(&sc, len(missCs))
+	m.store.LookupBatchInto(missCs, plids, existed)
 	for j, i := range missIdx {
 		out[i] = plids[j]
 		m.fillData(plids[j], missCs[j], !existed[j])
 	}
-	return out
 }
 
 // ReadLine implements word.Mem: read-by-PLID through the LLC. The caller
@@ -272,29 +301,49 @@ func (m *Machine) ReadLine(p word.PLID) word.Content {
 // serial interleaving would have shown it.
 func (m *Machine) ReadLineBatch(ps []word.PLID) []word.Content {
 	out := make([]word.Content, len(ps))
+	m.ReadLineBatchInto(ps, out)
+	return out
+}
+
+// readFlush fetches the pending miss run through the store's batch read
+// and fills each line into the LLC. fetched is scratch of at least
+// len(miss) capacity; it returns with the runs emptied.
+func (m *Machine) readFlush(out []word.Content, missIdx []int, miss []word.PLID, fetched []word.Content, pendingSets map[int]struct{}) ([]int, []word.PLID) {
+	if len(miss) == 0 {
+		return missIdx, miss
+	}
+	cs := fetched[:len(miss)]
+	m.store.ReadBatchInto(miss, cs)
+	for j, i := range missIdx {
+		out[i] = cs[j]
+		m.fillData(miss[j], cs[j], false)
+	}
+	clear(pendingSets)
+	return missIdx[:0], miss[:0]
+}
+
+// ReadLineBatchInto implements word.BatchIntoMem: ReadLineBatch writing
+// into a caller-supplied buffer of length len(ps). The miss runs, fetch
+// buffer and pending-set map are pooled, so a steady-state wave read
+// allocates nothing.
+func (m *Machine) ReadLineBatchInto(ps []word.PLID, out []word.Content) {
+	if len(out) != len(ps) {
+		panic("core: ReadLineBatchInto buffer length mismatch")
+	}
 	if len(ps) == 0 {
-		return out
+		return
 	}
 	m.readOps.Add(uint64(len(ps)))
 	if m.llc == nil {
-		return m.store.ReadBatch(ps)
+		m.store.ReadBatchInto(ps, out)
+		return
 	}
-	missIdx := make([]int, 0, len(ps))
-	miss := make([]word.PLID, 0, len(ps))
-	pendingSets := make(map[int]struct{}, 16)
-	flush := func() {
-		if len(miss) == 0 {
-			return
-		}
-		cs := m.store.ReadBatch(miss)
-		for j, i := range missIdx {
-			out[i] = cs[j]
-			m.fillData(miss[j], cs[j], false)
-		}
-		missIdx = missIdx[:0]
-		miss = miss[:0]
-		clear(pendingSets)
-	}
+	var sc pool.Scratch
+	defer sc.Release()
+	missIdx := poolIdx.GetCap(&sc, len(ps))
+	miss := poolPLIDs.GetCap(&sc, len(ps))
+	fetched := poolContents.Get(&sc, len(ps))
+	pendingSets := poolSets.Get(&sc)
 	for i, p := range ps {
 		if p == word.Zero {
 			out[i] = word.NewContent(m.LineWords())
@@ -302,7 +351,7 @@ func (m *Machine) ReadLineBatch(ps []word.PLID) []word.Content {
 		}
 		set := m.dataSet(p)
 		if _, pending := pendingSets[set]; pending {
-			flush()
+			missIdx, miss = m.readFlush(out, missIdx, miss, fetched, pendingSets)
 		}
 		if e, ok := m.llc.Probe(set, cachesim.Key{Kind: cachesim.KindData, ID: uint64(p)}, false); ok {
 			out[i] = e.Content
@@ -312,8 +361,7 @@ func (m *Machine) ReadLineBatch(ps []word.PLID) []word.Content {
 		miss = append(miss, p)
 		pendingSets[set] = struct{}{}
 	}
-	flush()
-	return out
+	m.readFlush(out, missIdx, miss, fetched, pendingSets)
 }
 
 // Retain implements word.Mem.

@@ -9,7 +9,9 @@
 package iterreg
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/merge"
@@ -28,7 +30,7 @@ type Stats struct {
 	Commits     uint64 // publishes (and detached conversions) that succeeded
 	CommitFails uint64 // publishes whose CAS/merge lost or conflicted
 	Aborts      uint64
-	Wave       segment.WriteStats // accumulated wave-commit counters
+	Wave        segment.WriteStats // accumulated wave-commit counters
 }
 
 // Iterator is one iterator register. It is not safe for concurrent use —
@@ -39,7 +41,8 @@ type Iterator struct {
 	vsid    word.VSID
 	entry   segmap.Entry // snapshot; root reference owned when sm != nil
 	writes  []segment.Update
-	writeAt map[uint64]int // idx -> position in writes (last-wins overlay)
+	writeAt map[uint64]int   // idx -> position in writes (last-wins overlay)
+	sorted  []segment.Update // sortedWrites scratch, reused across overlay reads
 	stack   []level
 	pows    []uint64 // memoized arity powers: pows[d] = arity^d
 	Stats   Stats
@@ -285,11 +288,14 @@ func (it *Iterator) Store(idx uint64, v uint64, tag word.Tag) {
 
 // sortedWrites returns the buffered updates in ascending index order.
 // The buffer itself stays in store order; the overlay readers need index
-// order, and the buffer is deduplicated so each index appears once.
+// order, and the buffer is deduplicated so each index appears once. The
+// returned slice is the register's reused scratch — valid only until the
+// next sortedWrites call, which every overlay reader respects (the
+// register is single-threaded by contract).
 func (it *Iterator) sortedWrites() []segment.Update {
-	over := make([]segment.Update, len(it.writes))
-	copy(over, it.writes)
-	sort.Slice(over, func(i, j int) bool { return over[i].Idx < over[j].Idx })
+	over := append(it.sorted[:0], it.writes...)
+	slices.SortFunc(over, func(a, b segment.Update) int { return cmp.Compare(a.Idx, b.Idx) })
+	it.sorted = over
 	return over
 }
 

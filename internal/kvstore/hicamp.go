@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hds"
 	"repro/internal/iterreg"
+	"repro/internal/pool"
 	"repro/internal/segmap"
 )
 
@@ -198,6 +199,13 @@ func (s *HicampServer) Stats() core.Stats { return s.Heap.M.Stats() }
 // MapStats returns the segment map's conflict telemetry: per-VSID
 // commit/conflict/denial/abort counters plus the aggregate totals.
 func (s *HicampServer) MapStats() segmap.Snapshot { return s.Heap.SM.Snapshot() }
+
+// PoolStats returns the scratch-pool telemetry of every registered
+// bucketed pool (wave-engine scratch, store batch buffers, dedup maps):
+// per-pool and per-bin hit/miss/oversize/return counters. The registry
+// is process-global — pools are package-level — so the numbers cover
+// all machines in the process, not just this server's.
+func (s *HicampServer) PoolStats() []pool.PoolStats { return pool.Snapshot() }
 
 func (s *HicampServer) String() string {
 	return fmt.Sprintf("kvstore.HicampServer(lines=%d)", s.Heap.M.LiveLines())

@@ -1,0 +1,47 @@
+package merge
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/segment"
+)
+
+// Allocation pin for the wave merge engine, mirroring the segment
+// package's TestAlloc* pins: re-merging the same live triple is the
+// steady state (the merged lines already exist content-uniquely, so the
+// store's population is stable across runs) and must pay zero amortized
+// heap allocations once the pools and the LLC are warm.
+
+func TestAllocMerge(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("allocation pins are meaningless under -race")
+	}
+	m, _ := setup()
+	orig := buildAt(m, 6, map[uint64]uint64{3: 9, 70: 5, 900: 2, 2000: 4})
+	mod := modify(m, orig, map[uint64]uint64{70: 50, 100: 7})
+	cur := modify(m, orig, map[uint64]uint64{900: 60, 1500: 8})
+	// Keep one merged result alive so re-merges revalidate against live
+	// lines instead of re-allocating freed ones in the store.
+	warm, err := Merge(m, orig, mod, cur, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segment.ReleaseSeg(m, warm)
+	doMerge := func() {
+		out, err := Merge(m, orig, mod, cur, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segment.ReleaseSeg(m, out)
+	}
+	for i := 0; i < 5; i++ {
+		doMerge()
+	}
+	if avg := testing.AllocsPerRun(20, doMerge); avg != 0 {
+		t.Errorf("steady-state Merge allocates %.1f times per run, want 0", avg)
+	}
+	if g, _ := segment.ReadWord(m, warm, 70); g != 50 {
+		t.Fatalf("merged[70] = %d, want 50", g)
+	}
+}

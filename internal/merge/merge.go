@@ -37,6 +37,7 @@ package merge
 import (
 	"errors"
 
+	"repro/internal/pool"
 	"repro/internal/segmap"
 	"repro/internal/segment"
 	"repro/internal/word"
@@ -139,34 +140,117 @@ func Merge(m word.Mem, orig, mod, cur segment.Seg, st *Stats) (segment.Seg, erro
 		return padSeg(m, sm, height), nil
 	}
 
-	root := &mnode{level: height, orig: so, mod: sm, cur: sc}
-	if err := coWalk(m, root, height, st); err != nil {
+	out, err := coWalk(m, so, sm, sc, height, st)
+	if err != nil {
 		if st != nil {
 			st.Failures++
 		}
 		return segment.Seg{}, err
 	}
-	return segment.SegFromEdge(m, root.out, height), nil
+	return segment.SegFromEdge(m, out, height), nil
 }
 
-// coWalk runs the two wave sweeps over the merge tree rooted at root:
-// the top-down batched descent (which also applies the §3.4 word-merge
-// rules at the leaves, detecting true conflicts before anything is
-// allocated) and the bottom-up batched canonicalization. On success
-// root.out holds the owned merged edge.
-func coWalk(m word.Mem, root *mnode, height int, st *Stats) error {
+// merger is the reusable state of one wave merge: the per-level node
+// lists and every descent-side scratch buffer, all retaining their
+// capacity between merges so a steady-state merge allocates nothing.
+type merger struct {
+	levels     [][]*mnode
+	plids      []word.PLID
+	contents   []word.Content
+	readAt     map[word.PLID]int
+	eo, em, ec []segment.Edge
+}
+
+// mergerPool recycles merge walk state; resetMerger drops the parked
+// *mnode pointers (the nodes themselves return to mnodePool in coWalk's
+// teardown) while keeping every buffer's capacity and the dedup map's
+// buckets.
+var mergerPool = pool.NewItems[merger]("merge.merger", resetMerger)
+
+func resetMerger(w *merger) {
+	for i := range w.levels {
+		lv := w.levels[i][:cap(w.levels[i])]
+		clear(lv)
+		w.levels[i] = lv[:0]
+	}
+	w.plids = w.plids[:0]
+	w.contents = w.contents[:0]
+	clear(w.readAt)
+	w.eo, w.em, w.ec = w.eo[:0], w.em[:0], w.ec[:0]
+}
+
+// mnodePool recycles merge wave nodes; the reset drops the *mnode links
+// and zeroes the triple while keeping the per-node slice capacities.
+var mnodePool = pool.NewItems[mnode]("merge.mnode", func(n *mnode) {
+	clear(n.kids)
+	*n = mnode{
+		edges: n.edges[:0],
+		owned: n.owned[:0],
+		slots: n.slots[:0],
+		kids:  n.kids[:0],
+	}
+})
+
+// getMnode borrows a wave node with its child arrays sized and zeroed
+// for arity children.
+func getMnode(level, arity int) *mnode {
+	n := mnodePool.Get()
+	n.level = level
+	if cap(n.edges) < arity {
+		n.edges = make([]segment.Edge, arity)
+		n.owned = make([]bool, arity)
+	} else {
+		n.edges = n.edges[:arity]
+		n.owned = n.owned[:arity]
+		clear(n.edges)
+		clear(n.owned)
+	}
+	return n
+}
+
+// coWalk runs the two wave sweeps over the merge tree rooted at the
+// (vo, vm, vc) triple: the top-down batched descent (which also applies
+// the §3.4 word-merge rules at the leaves, detecting true conflicts
+// before anything is allocated) and the bottom-up batched
+// canonicalization. On success the returned edge is the owned merged
+// root. All wave state is borrowed from the package pools and parked
+// again before returning, error or not.
+func coWalk(m word.Mem, vo, vm, vc side, height int, st *Stats) (segment.Edge, error) {
 	arity := m.LineWords()
 	caps := word.Caps(m)
-	levels := make([][]*mnode, height+1)
-	levels[root.level] = append(levels[root.level], root)
+	w := mergerPool.Get()
+	defer mergerPool.Put(w)
+	for len(w.levels) < height+1 {
+		w.levels = append(w.levels, nil)
+	}
+	levels := w.levels[:height+1]
+	// Park every wave node before the merger itself goes back (defers run
+	// last-in first-out); the caller sees only the copied-out root edge.
+	defer func() {
+		for _, nodes := range levels {
+			for _, n := range nodes {
+				mnodePool.Put(n)
+			}
+		}
+	}()
+	if w.readAt == nil {
+		w.readAt = make(map[word.PLID]int)
+	}
+	if cap(w.eo) < arity {
+		w.eo = make([]segment.Edge, arity)
+		w.em = make([]segment.Edge, arity)
+		w.ec = make([]segment.Edge, arity)
+	}
+	root := getMnode(height, arity)
+	root.orig, root.mod, root.cur = vo, vm, vc
+	levels[height] = append(levels[height], root)
 
 	// Top-down descent: one deduped batch read per level across all
 	// three versions, then per-node triple expansion and child skipping.
-	var plids []word.PLID
-	readAt := make(map[word.PLID]int)
-	eo := make([]segment.Edge, arity)
-	em := make([]segment.Edge, arity)
-	ec := make([]segment.Edge, arity)
+	plids := w.plids
+	defer func() { w.plids = plids[:0] }()
+	readAt := w.readAt
+	eo, em, ec := w.eo[:arity], w.em[:arity], w.ec[:arity]
 	for lvl := height; lvl >= 0; lvl-- {
 		nodes := levels[lvl]
 		if len(nodes) == 0 {
@@ -193,7 +277,11 @@ func coWalk(m word.Mem, root *mnode, height int, st *Stats) error {
 		}
 		var contents []word.Content
 		if len(plids) > 0 {
-			contents = caps.ReadBatch(plids)
+			if cap(w.contents) < len(plids) {
+				w.contents = make([]word.Content, len(plids))
+			}
+			contents = w.contents[:len(plids)]
+			caps.ReadBatchInto(plids, contents)
 			if st != nil {
 				st.LineReads += uint64(len(plids))
 			}
@@ -211,18 +299,15 @@ func coWalk(m word.Mem, root *mnode, height int, st *Stats) error {
 			if lvl == 0 {
 				// Leaf word merge (§3.4). Pure logic: a conflict aborts
 				// the whole merge before any line is allocated.
-				n.edges = make([]segment.Edge, arity)
 				for i := 0; i < arity; i++ {
 					me, err := mergeWord(eo[i], em[i], ec[i])
 					if err != nil {
-						return err
+						return segment.Edge{}, err
 					}
 					n.edges[i] = me
 				}
 				continue
 			}
-			n.edges = make([]segment.Edge, arity)
-			n.owned = make([]bool, arity)
 			dO, dM, dC := childDeficit(n.orig), childDeficit(n.mod), childDeficit(n.cur)
 			for i := 0; i < arity; i++ {
 				co := mkSide(eo[i], deficitAt(dO, i))
@@ -236,7 +321,8 @@ func coWalk(m word.Mem, root *mnode, height int, st *Stats) error {
 				case cc == co || cc == cm:
 					skip = cm
 				default:
-					kid := &mnode{level: lvl - 1, orig: co, mod: cm, cur: cc}
+					kid := getMnode(lvl-1, arity)
+					kid.orig, kid.mod, kid.cur = co, cm, cc
 					n.slots = append(n.slots, i)
 					n.kids = append(n.kids, kid)
 					levels[lvl-1] = append(levels[lvl-1], kid)
@@ -254,7 +340,8 @@ func coWalk(m word.Mem, root *mnode, height int, st *Stats) error {
 				// The winning side is shorter here: its zero-padded
 				// re-rooting materializes at canonicalization time (so an
 				// aborted merge still allocates nothing).
-				kid := &mnode{level: lvl - 1, pad: true, padE: skip.e, padD: skip.d}
+				kid := getMnode(lvl-1, arity)
+				kid.pad, kid.padE, kid.padD = true, skip.e, skip.d
 				n.slots = append(n.slots, i)
 				n.kids = append(n.kids, kid)
 				levels[lvl-1] = append(levels[lvl-1], kid)
@@ -266,7 +353,8 @@ func coWalk(m word.Mem, root *mnode, height int, st *Stats) error {
 	// Fresh child references release only after their parent level
 	// resolves (the parent lines take their own references during the
 	// lookup, which needs the children still live).
-	cb := segment.NewCanonBatchCaps(m, caps)
+	cb := segment.AcquireCanonBatch(m, caps)
+	defer cb.Close()
 	for lvl := 0; lvl <= height; lvl++ {
 		nodes := levels[lvl]
 		if len(nodes) == 0 {
@@ -296,7 +384,7 @@ func coWalk(m word.Mem, root *mnode, height int, st *Stats) error {
 			cb.Resolve()
 		}
 		for _, n := range nodes {
-			if n.owned == nil { // leaf and pad nodes hold no fresh children
+			if n.pad { // pad nodes hold no fresh children
 				continue
 			}
 			for i := range n.edges {
@@ -307,7 +395,7 @@ func coWalk(m word.Mem, root *mnode, height int, st *Stats) error {
 			}
 		}
 	}
-	return nil
+	return root.out, nil
 }
 
 // expandSide fills buf with the arity child edges of s at the walk
@@ -380,7 +468,8 @@ func padEdge(m word.Mem, e segment.Edge, d int) segment.Edge {
 	if d == 0 || e.IsZero() {
 		return e
 	}
-	kids := make([]segment.Edge, m.LineWords())
+	var kbuf [word.MaxWords]segment.Edge
+	kids := kbuf[:m.LineWords()]
 	for i := 0; i < d; i++ {
 		for j := range kids {
 			kids[j] = segment.Edge{}

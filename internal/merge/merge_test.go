@@ -189,8 +189,8 @@ func TestMergeHeightMismatchAllShapes(t *testing.T) {
 	short := buildAt(m, 3, map[uint64]uint64{1: 1})
 	tall := modify(m, short, map[uint64]uint64{1 << 12: 5})
 	cases := []struct {
-		name            string
-		orig, mod, cur  segment.Seg
+		name             string
+		orig, mod, cur   segment.Seg
 		wantIdx, wantVal uint64
 	}{
 		{"mod grew", short, tall, modify(m, short, map[uint64]uint64{2: 2}), 1 << 12, 5},

@@ -1,0 +1,9 @@
+//go:build !race
+
+package pool
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-pinning tests consult it: the race runtime
+// instruments allocations and defeats AllocsPerRun's accounting, so
+// the pins only assert in non-race builds.
+const RaceEnabled = false

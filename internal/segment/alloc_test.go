@@ -1,0 +1,99 @@
+package segment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/word"
+)
+
+// Allocation pins for the wave engines (the zero-allocation contract of
+// the scratch-pooling work): after a warmup that populates the package
+// pools and the machine's LLC, a steady-state wave pays zero amortized
+// heap allocations. The pins run only without the race detector (its
+// instrumentation allocates) and never in parallel (AllocsPerRun
+// measures the whole process).
+
+// allocSeg builds the shared test fixture: a three-level segment with a
+// mix of dense and sparse regions so scans, gathers and writes all cross
+// real interior lines.
+func allocSeg(m word.Mem) (Seg, []uint64) {
+	ws := make([]uint64, 512)
+	for i := range ws {
+		if i%3 != 2 { // leave some zero words so elision paths run too
+			ws[i] = uint64(i)*2654435761 + 1
+		}
+	}
+	return BuildWords(m, ws, nil), ws
+}
+
+func TestAllocScanWords(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("allocation pins are meaningless under -race")
+	}
+	m := core.NewMachine(core.TestConfig())
+	seg, _ := allocSeg(m)
+	var sink uint64
+	scan := func() {
+		ScanWords(m, seg, 0, func(idx uint64, w uint64, tg word.Tag) bool {
+			sink += w
+			return true
+		})
+	}
+	for i := 0; i < 5; i++ { // populate scanner pool, wave buffers, LLC
+		scan()
+	}
+	if avg := testing.AllocsPerRun(20, scan); avg != 0 {
+		t.Errorf("steady-state ScanWords allocates %.1f times per run, want 0", avg)
+	}
+	_ = sink
+}
+
+func TestAllocGatherWords(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("allocation pins are meaningless under -race")
+	}
+	m := core.NewMachine(core.TestConfig())
+	seg, _ := allocSeg(m)
+	idxs := make([]uint64, 64)
+	for i := range idxs {
+		idxs[i] = uint64(i * 7 % 512)
+	}
+	vals := make([]uint64, len(idxs))
+	tags := make([]word.Tag, len(idxs))
+	gather := func() { GatherWordsInto(m, seg, idxs, vals, tags) }
+	for i := 0; i < 5; i++ {
+		gather()
+	}
+	if avg := testing.AllocsPerRun(20, gather); avg != 0 {
+		t.Errorf("steady-state GatherWordsInto allocates %.1f times per run, want 0", avg)
+	}
+}
+
+func TestAllocWriteBatch(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("allocation pins are meaningless under -race")
+	}
+	m := core.NewMachine(core.TestConfig())
+	seg, ws := allocSeg(m)
+	// Steady state: write the words the segment already holds. The result
+	// root equals the input root, so the store neither allocates nor frees
+	// lines and every run exercises the full wave (descent, batch reads,
+	// canonicalization, batch lookups) with stable line population.
+	ups := make([]Update, 48)
+	for i := range ups {
+		idx := uint64(i * 11 % 512)
+		ups[i] = Update{Idx: idx, W: ws[idx], T: word.TagRaw}
+	}
+	write := func() {
+		out, _ := WriteBatch(m, seg, ups)
+		ReleaseSeg(m, out)
+	}
+	for i := 0; i < 5; i++ {
+		write()
+	}
+	if avg := testing.AllocsPerRun(20, write); avg != 0 {
+		t.Errorf("steady-state WriteBatch allocates %.1f times per run, want 0", avg)
+	}
+}

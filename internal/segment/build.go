@@ -134,15 +134,15 @@ func materializeRoot(m word.Mem, e Edge) word.PLID {
 		return word.PLID(e.W)
 	case word.TagInline:
 		// Expand the inlined leaf back into a real leaf line.
-		vals := word.UnpackInline(e.W, m.LineWords())
 		c := word.NewContent(m.LineWords())
-		copy(c.W[:], vals)
+		word.UnpackInlineInto(e.W, m.LineWords(), c.W[:m.LineWords()])
 		return m.LookupLine(c)
 	case word.TagCompact:
 		// Materialize the top node of the compacted chain: a line with a
 		// single non-zero entry holding the rest of the chain.
 		arity := m.LineWords()
-		p, path := word.DecodeCompact(e.W, arity, m.PLIDBits())
+		var pbuf [word.MaxCompactPath]int
+		p, path := word.DecodeCompactInto(e.W, arity, m.PLIDBits(), pbuf[:])
 		var inner Edge
 		if len(path) == 1 {
 			inner = PLIDEdge(p) // owns the ref e owned

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/pool"
 	"repro/internal/word"
 )
 
@@ -70,7 +71,13 @@ type Builder struct {
 	uniqs    []word.Content
 	uniqAt   []int32
 	firstOf  map[uint64]int32
+	dups     []builderDup
+	plids    []word.PLID
 }
+
+// builderDup records one within-level duplicate: the edge slot it fills
+// and the unique content (by position in uniqAt) it repeats.
+type builderDup struct{ edge, uniq int32 }
 
 // BuilderStats describes one Builder's memo behaviour, including the
 // adaptive-insert decision.
@@ -163,6 +170,7 @@ func NewBuilder(m word.Mem, workers int) *Builder {
 func (b *Builder) Close() {
 	b.memo = nil
 	b.scratchC, b.scratchP, b.uniqs, b.uniqAt, b.firstOf = nil, nil, nil, nil, nil
+	b.dups, b.plids = nil, nil
 }
 
 // MemoSize returns the number of memoized lines (for tests and telemetry).
@@ -183,11 +191,16 @@ func (b *Builder) BuildWords(ws []uint64, ts []word.Tag) Seg {
 	}
 	height := HeightFor(arity, n)
 	leaves := (len(ws) + arity - 1) / arity
-	edges := make([]Edge, leaves)
+	// The per-level edge buffers are wave scratch: every slot is written
+	// before it is read (leafLevel/nodeLevel assign all of [0, n)), and
+	// the only value that outlives the loop is the materialized root.
+	var sc pool.Scratch
+	defer sc.Release()
+	edges := poolEdges.Get(&sc, leaves)
 	b.leafLevel(ws, ts, edges)
 	for level := 1; level <= height; level++ {
 		parents := (len(edges) + arity - 1) / arity
-		next := make([]Edge, parents)
+		next := poolEdges.Get(&sc, parents)
 		b.nodeLevel(edges, next)
 		// Children are released only now: fresh parent lines took their
 		// own references on them during the batch lookup, which requires
@@ -326,8 +339,12 @@ func (b *Builder) nodeLevel(children []Edge, parents []Edge) {
 						continue
 					}
 				case word.TagCompact:
-					cp, path := word.DecodeCompact(child.W, arity, plidBits)
-					if w, ok := word.EncodeCompact(cp, append([]int{idx}, path...), arity, plidBits); ok {
+					// Prepend idx to the child's path on the stack: the
+					// decode lands in sbuf[1:], leaving slot 0 free.
+					var sbuf [word.MaxCompactPath + 1]int
+					cp, path := word.DecodeCompactInto(child.W, arity, plidBits, sbuf[1:])
+					sbuf[0] = idx
+					if w, ok := word.EncodeCompact(cp, sbuf[:1+len(path)], arity, plidBits); ok {
 						b.m.Retain(cp)
 						parents[p] = Edge{W: w, T: word.TagCompact}
 						continue
@@ -361,9 +378,9 @@ func (b *Builder) resolvePending(contents []word.Content, pending []bool, edges 
 	if nPending == 0 {
 		return
 	}
-	type dup struct{ edge, uniq int32 }
 	uniqAt := b.uniqAt[:0] // edge index of each unique's first use
-	var dups []dup
+	dups := b.dups[:0]
+	defer func() { b.dups = dups[:0] }()
 	if b.firstOf == nil {
 		b.firstOf = make(map[uint64]int32, nPending)
 	} else {
@@ -390,7 +407,7 @@ func (b *Builder) resolvePending(contents []word.Content, pending []bool, edges 
 		}
 		h := c.Hash()
 		if j, ok := firstOf[h]; ok && contents[uniqAt[j]] == c {
-			dups = append(dups, dup{int32(i), j})
+			dups = append(dups, builderDup{int32(i), j})
 			continue
 		} else if !ok {
 			firstOf[h] = int32(len(uniqAt))
@@ -492,14 +509,19 @@ func (b *Builder) memoAdd(c word.Content, p word.PLID) {
 // batches across the worker pool: shards hold disjoint contents, so their
 // stripe groups lock independently.
 func (b *Builder) lookupAll(cs []word.Content) []word.PLID {
+	if cap(b.plids) < len(cs) {
+		b.plids = make([]word.PLID, len(cs))
+	}
+	out := b.plids[:len(cs)]
 	w := b.workerCount(len(cs))
 	if !b.caps.HasBatchLookup() || w <= 1 {
 		// Serial memories take no per-batch locks, so sharding a fallback
-		// loop across workers buys nothing; one LookupBatch call covers
-		// both the native single-shard case and the serial fallback.
-		return b.caps.LookupBatch(cs)
+		// loop across workers buys nothing; one LookupBatchInto call
+		// covers both the native single-shard case and the serial
+		// fallback, writing into the Builder's reused result buffer.
+		b.caps.LookupBatchInto(cs, out)
+		return out
 	}
-	out := make([]word.PLID, len(cs))
 	chunk := (len(cs) + w - 1) / w
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(cs); lo += chunk {
@@ -507,7 +529,7 @@ func (b *Builder) lookupAll(cs []word.Content) []word.PLID {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			copy(out[lo:hi], b.caps.LookupBatch(cs[lo:hi]))
+			b.caps.LookupBatchInto(cs[lo:hi], out[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package segment
 
 import (
+	"repro/internal/pool"
 	"repro/internal/word"
 )
 
@@ -23,7 +24,55 @@ type CanonBatch struct {
 	arity int
 	pendC []word.Content
 	pendO []*Edge
+
+	// Resolve's scratch, reused across levels (and, for pooled
+	// instances, across engine calls): the within-level dedup map is
+	// cleared rather than reallocated, the duplicate list and the PLID
+	// result buffer keep their capacity.
+	firstAt map[word.Content]int
+	dups    []canonDup
+	plids   []word.PLID
 }
+
+// canonDup records one deduplicated pending node: its output edge and
+// the index of the identical content in the unique lookup set.
+type canonDup struct {
+	out  *Edge
+	uniq int
+}
+
+// canonBatchPool recycles CanonBatch instances across wave-engine calls
+// so a steady-state WriteBatch or Merge allocates neither the batch nor
+// its dedup map. The reset drops the borrowed memory system and zeroes
+// the *Edge output pointers (they point into pooled wnodes) while
+// keeping every buffer's capacity and the dedup map's buckets.
+var canonBatchPool = pool.NewItems[CanonBatch]("segment.canonbatch", func(b *CanonBatch) {
+	b.pendO = b.pendO[:cap(b.pendO)]
+	clear(b.pendO)
+	b.dups = b.dups[:cap(b.dups)]
+	clear(b.dups)
+	b.m, b.caps, b.arity = nil, word.MemCaps{}, 0
+	b.pendC = b.pendC[:0]
+	b.pendO = b.pendO[:0]
+	b.dups = b.dups[:0]
+	b.plids = b.plids[:0]
+	clear(b.firstAt)
+})
+
+// AcquireCanonBatch borrows a canonicalizer from the pool: the wave
+// engines' alternative to NewCanonBatchCaps, allocation-free at steady
+// state. The caller must return it with Close before its engine call
+// returns, after which the instance must not be used.
+func AcquireCanonBatch(m word.Mem, caps word.MemCaps) *CanonBatch {
+	b := canonBatchPool.Get()
+	b.m, b.caps, b.arity = m, caps, m.LineWords()
+	return b
+}
+
+// Close parks a canonicalizer obtained from AcquireCanonBatch back in
+// the pool. Instances from NewCanonBatch/NewCanonBatchCaps need no Close
+// (they are ordinary garbage-collected values).
+func (b *CanonBatch) Close() { canonBatchPool.Put(b) }
 
 // NewCanonBatch probes m's capabilities once and returns a reusable
 // batch canonicalizer.
@@ -91,14 +140,19 @@ func (b *CanonBatch) Node(edges []Edge, out *Edge) {
 		child := edges[idx]
 		switch child.T {
 		case word.TagPLID:
-			if w, ok := word.EncodeCompact(word.PLID(child.W), []int{idx}, b.arity, plidBits); ok {
+			steps := [1]int{idx}
+			if w, ok := word.EncodeCompact(word.PLID(child.W), steps[:], b.arity, plidBits); ok {
 				b.m.Retain(word.PLID(child.W))
 				*out = Edge{W: w, T: word.TagCompact}
 				return
 			}
 		case word.TagCompact:
-			p, path := word.DecodeCompact(child.W, b.arity, plidBits)
-			if w, ok := word.EncodeCompact(p, append([]int{idx}, path...), b.arity, plidBits); ok {
+			// Prepend idx to the child's decoded path on the stack: the
+			// decode lands in sbuf[1:], leaving slot 0 for the new step.
+			var sbuf [word.MaxCompactPath + 1]int
+			p, path := word.DecodeCompactInto(child.W, b.arity, plidBits, sbuf[1:])
+			sbuf[0] = idx
+			if w, ok := word.EncodeCompact(p, sbuf[:1+len(path)], b.arity, plidBits); ok {
 				b.m.Retain(p)
 				*out = Edge{W: w, T: word.TagCompact}
 				return
@@ -116,24 +170,26 @@ func (b *CanonBatch) Resolve() uint64 {
 	if len(b.pendC) == 0 {
 		return 0
 	}
-	firstAt := make(map[word.Content]int, len(b.pendC))
+	if b.firstAt == nil {
+		b.firstAt = make(map[word.Content]int, len(b.pendC))
+	}
 	uniqC := b.pendC[:0] // compacts in place; position i is read before any write can reach it
 	uniqO := b.pendO[:0]
-	type dup struct {
-		out  *Edge
-		uniq int
-	}
-	var dups []dup
+	dups := b.dups[:0]
 	for i, c := range b.pendC {
-		if j, ok := firstAt[c]; ok {
-			dups = append(dups, dup{b.pendO[i], j})
+		if j, ok := b.firstAt[c]; ok {
+			dups = append(dups, canonDup{b.pendO[i], j})
 			continue
 		}
-		firstAt[c] = len(uniqC)
+		b.firstAt[c] = len(uniqC)
 		uniqC = append(uniqC, c)
 		uniqO = append(uniqO, b.pendO[i])
 	}
-	plids := b.caps.LookupBatch(uniqC)
+	if cap(b.plids) < len(uniqC) {
+		b.plids = make([]word.PLID, len(uniqC))
+	}
+	plids := b.plids[:len(uniqC)]
+	b.caps.LookupBatchInto(uniqC, plids)
 	for j, out := range uniqO {
 		*out = PLIDEdge(plids[j]) // consumes the lookup's reference
 	}
@@ -145,5 +201,7 @@ func (b *CanonBatch) Resolve() uint64 {
 	n := uint64(len(uniqC))
 	b.pendC = b.pendC[:0]
 	b.pendO = b.pendO[:0]
+	b.dups = dups[:0]
+	clear(b.firstAt)
 	return n
 }

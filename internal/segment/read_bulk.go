@@ -3,6 +3,7 @@ package segment
 import (
 	"fmt"
 
+	"repro/internal/pool"
 	"repro/internal/word"
 )
 
@@ -44,8 +45,26 @@ type bulkNode struct {
 func gather(m word.Mem, nodes []bulkNode, vals []uint64, tags []word.Tag) {
 	arity := m.LineWords()
 	caps := word.Caps(m)
-	var plids []word.PLID
-	at := make(map[word.PLID]int)
+	// Everything below is borrowed scratch: requests are only ever
+	// partitioned (never duplicated), so one wave's request total bounds
+	// every later wave's. Two request arenas and two node buffers
+	// ping-pong between "current wave" and "next wave" roles — wave k's
+	// buffers are dead once wave k+1 is built, so wave k+2 reuses them.
+	total := 0
+	for _, nd := range nodes {
+		total += len(nd.reqs)
+	}
+	if total == 0 {
+		return
+	}
+	var sc pool.Scratch
+	defer sc.Release()
+	at := poolPlidAt.Get(&sc)
+	plids := poolPLIDs.GetCap(&sc, total)
+	contentsBuf := poolContents.Get(&sc, total)
+	nodeBufs := [2][]bulkNode{poolBulkNodes.Get(&sc, total), poolBulkNodes.Get(&sc, total)}
+	arenas := [2][]bulkReq{poolReqs.Get(&sc, total), poolReqs.Get(&sc, total)}
+	flip := 0
 	for len(nodes) > 0 {
 		// Resolve every edge that needs no memory access — zero subtrees,
 		// inlined leaves, compacted paths — leaving only PLID nodes to
@@ -59,12 +78,14 @@ func gather(m word.Mem, nodes []bulkNode, vals []uint64, tags []word.Tag) {
 				if nd.lvl != 0 {
 					panic("segment: inline edge above leaf level")
 				}
-				ws := word.UnpackInline(nd.e.W, arity)
+				var ws [word.MaxWords]uint64
+				word.UnpackInlineInto(nd.e.W, arity, ws[:arity])
 				for _, r := range nd.reqs {
 					vals[r.out] = ws[r.idx]
 				}
 			case nd.e.T == word.TagCompact:
-				p, path := word.DecodeCompact(nd.e.W, arity, m.PLIDBits())
+				var pbuf [word.MaxCompactPath]int
+				p, path := word.DecodeCompactInto(nd.e.W, arity, m.PLIDBits(), pbuf[:])
 				lvl, rs := nd.lvl, nd.reqs
 				for _, step := range path {
 					sub := capacity(arity, lvl-1)
@@ -101,10 +122,14 @@ func gather(m word.Mem, nodes []bulkNode, vals []uint64, tags []word.Tag) {
 				plids = append(plids, p)
 			}
 		}
-		contents := caps.ReadBatch(plids)
+		contents := contentsBuf[:len(plids)]
+		caps.ReadBatchInto(plids, contents)
 		// Expand into the next wave: leaf nodes resolve their requests,
 		// interior nodes partition requests over their children.
-		var next []bulkNode
+		next := nodeBufs[flip][:0]
+		arena := arenas[flip]
+		arenaUsed := 0
+		flip ^= 1
 		for _, nd := range fetch {
 			c := contents[at[word.PLID(nd.e.W)]]
 			if nd.lvl == 0 {
@@ -117,7 +142,7 @@ func gather(m word.Mem, nodes []bulkNode, vals []uint64, tags []word.Tag) {
 				continue
 			}
 			// Counting partition of the requests over the children: one
-			// backing allocation per node, sliced per child.
+			// arena carve per node, sliced per child.
 			sub := capacity(arity, nd.lvl-1)
 			var cnt [word.MaxWords + 1]int32
 			for _, r := range nd.reqs {
@@ -126,7 +151,8 @@ func gather(m word.Mem, nodes []bulkNode, vals []uint64, tags []word.Tag) {
 			for ch := 0; ch < arity; ch++ {
 				cnt[ch+1] += cnt[ch]
 			}
-			buf := make([]bulkReq, len(nd.reqs))
+			buf := arena[arenaUsed : arenaUsed+len(nd.reqs)]
+			arenaUsed += len(nd.reqs)
 			pos := cnt
 			for _, r := range nd.reqs {
 				ch := r.idx / sub
@@ -157,40 +183,70 @@ func gather(m word.Mem, nodes []bulkNode, vals []uint64, tags []word.Tag) {
 func GatherWords(m word.Mem, s Seg, idxs []uint64) ([]uint64, []word.Tag) {
 	vals := make([]uint64, len(idxs))
 	tags := make([]word.Tag, len(idxs))
+	GatherWordsInto(m, s, idxs, vals, tags)
+	return vals, tags
+}
+
+// GatherWordsInto is GatherWords writing into caller-supplied result
+// buffers of length len(idxs) (tags may be nil to skip tag capture) —
+// the allocation-free gather: all wave scratch is pooled, so a
+// steady-state call allocates nothing.
+func GatherWordsInto(m word.Mem, s Seg, idxs []uint64, vals []uint64, tags []word.Tag) {
+	if len(vals) != len(idxs) || (tags != nil && len(tags) != len(idxs)) {
+		panic("segment: GatherWordsInto buffer length mismatch")
+	}
+	clear(vals)
+	clear(tags)
 	if s.Root == word.Zero || len(idxs) == 0 {
-		return vals, tags
+		return
 	}
 	capRoot := s.Capacity(m.LineWords())
-	reqs := make([]bulkReq, 0, len(idxs))
+	var sc pool.Scratch
+	defer sc.Release()
+	reqs := poolReqs.GetCap(&sc, len(idxs))
 	for i, idx := range idxs {
 		if idx < capRoot {
 			reqs = append(reqs, bulkReq{out: uint64(i), idx: idx})
 		}
 	}
 	if len(reqs) > 0 {
-		gather(m, []bulkNode{{e: PLIDEdge(s.Root), lvl: s.Height, reqs: reqs}}, vals, tags)
+		root := poolBulkNodes.Get(&sc, 1)
+		root[0] = bulkNode{e: PLIDEdge(s.Root), lvl: s.Height, reqs: reqs}
+		gather(m, root, vals, tags)
 	}
-	return vals, tags
 }
 
 // ReadWordsBulk reads n words starting at off, the bulk counterpart of
 // ReadWords: one wave walk reading each distinct line once.
 func ReadWordsBulk(m word.Mem, s Seg, off, n uint64) []uint64 {
 	vals := make([]uint64, n)
+	ReadWordsBulkInto(m, s, off, vals)
+	return vals
+}
+
+// ReadWordsBulkInto is ReadWordsBulk reading len(vals) words into the
+// caller's buffer — the allocation-free bulk read backing ScanBytes
+// chunking and ReadBytesBulk.
+func ReadWordsBulkInto(m word.Mem, s Seg, off uint64, vals []uint64) {
+	clear(vals)
+	n := uint64(len(vals))
 	if s.Root == word.Zero || n == 0 {
-		return vals
+		return
 	}
 	capRoot := s.Capacity(m.LineWords())
-	reqs := make([]bulkReq, 0, n)
+	var sc pool.Scratch
+	defer sc.Release()
+	reqs := poolReqs.GetCap(&sc, int(n))
 	for i := uint64(0); i < n; i++ {
 		if off+i < capRoot {
 			reqs = append(reqs, bulkReq{out: i, idx: off + i})
 		}
 	}
 	if len(reqs) > 0 {
-		gather(m, []bulkNode{{e: PLIDEdge(s.Root), lvl: s.Height, reqs: reqs}}, vals, nil)
+		root := poolBulkNodes.Get(&sc, 1)
+		root[0] = bulkNode{e: PLIDEdge(s.Root), lvl: s.Height, reqs: reqs}
+		gather(m, root, vals, nil)
 	}
-	return vals
 }
 
 // ReadBytesBulk reads n bytes starting at byte offset off, the bulk
@@ -201,7 +257,10 @@ func ReadBytesBulk(m word.Mem, s Seg, off, n uint64) []byte {
 		return out
 	}
 	w0 := off / 8
-	ws := ReadWordsBulk(m, s, w0, (off+n+7)/8-w0)
+	var sc pool.Scratch
+	defer sc.Release()
+	ws := poolU64.Get(&sc, int((off+n+7)/8-w0))
+	ReadWordsBulkInto(m, s, w0, ws)
 	for i := uint64(0); i < n; i++ {
 		b := off + i
 		out[i] = byte(ws[b/8-w0] >> (8 * (b % 8)))
@@ -229,19 +288,25 @@ func GatherRanges(m word.Mem, rs []Range) [][]uint64 {
 	}
 	flat := make([]uint64, total)
 	out := make([][]uint64, len(rs))
-	nodes := make([]bulkNode, 0, len(rs))
+	var sc pool.Scratch
+	defer sc.Release()
+	nodes := poolBulkNodes.GetCap(&sc, len(rs))
+	// One request arena carved per range instead of one allocation each.
+	arena := poolReqs.Get(&sc, int(total))
+	used := 0
 	arity := m.LineWords()
 	base := uint64(0)
 	for i, r := range rs {
 		out[i] = flat[base : base+r.N : base+r.N]
 		if r.Seg.Root != word.Zero && r.N > 0 {
 			capRoot := r.Seg.Capacity(arity)
-			reqs := make([]bulkReq, 0, r.N)
+			reqs := arena[used:used]
 			for j := uint64(0); j < r.N; j++ {
 				if r.Off+j < capRoot {
 					reqs = append(reqs, bulkReq{out: base + j, idx: r.Off + j})
 				}
 			}
+			used += len(reqs)
 			if len(reqs) > 0 {
 				nodes = append(nodes, bulkNode{e: PLIDEdge(r.Seg.Root), lvl: r.Seg.Height, reqs: reqs})
 			}
@@ -261,8 +326,10 @@ func GatherRanges(m word.Mem, rs []Range) [][]uint64 {
 func ChildrenBulk(m word.Mem, es []Edge, level int) [][]Edge {
 	arity := m.LineWords()
 	out := make([][]Edge, len(es))
-	var plids []word.PLID
-	at := make(map[word.PLID]int)
+	var sc pool.Scratch
+	defer sc.Release()
+	plids := poolPLIDs.GetCap(&sc, len(es))
+	at := poolPlidAt.Get(&sc)
 	for i, e := range es {
 		if e.T == word.TagPLID && e.W != 0 {
 			p := word.PLID(e.W)
@@ -278,7 +345,8 @@ func ChildrenBulk(m word.Mem, es []Edge, level int) [][]Edge {
 	if len(plids) == 0 {
 		return out
 	}
-	contents := word.Caps(m).ReadBatch(plids)
+	contents := poolContents.Get(&sc, len(plids))
+	word.Caps(m).ReadBatchInto(plids, contents)
 	for i, e := range es {
 		if e.T != word.TagPLID || e.W == 0 {
 			continue

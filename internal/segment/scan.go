@@ -3,6 +3,7 @@ package segment
 import (
 	"fmt"
 
+	"repro/internal/pool"
 	"repro/internal/word"
 )
 
@@ -55,6 +56,7 @@ func ScanWords(m word.Mem, s Seg, from uint64, fn func(idx uint64, w uint64, t w
 // logical words (clamped below to two lines' worth).
 func ScanWordsWindow(m word.Mem, s Seg, from uint64, window int, fn func(idx uint64, w uint64, t word.Tag) bool) ScanStats {
 	sc := newScanner(m, from, window)
+	defer sc.release()
 	if s.Root != word.Zero && from < s.Capacity(sc.arity) {
 		sc.pending = append(sc.pending, scanNode{e: PLIDEdge(s.Root), lvl: s.Height})
 	}
@@ -74,33 +76,61 @@ type scanNode struct {
 }
 
 // scanner drains a frontier of scanNodes in window-bounded chunks.
+// Scanners are pooled: every member buffer grows to its scan's
+// high-water mark once and is retained across borrows, so a
+// steady-state scan allocates nothing. newScanner borrows one,
+// release returns it.
 type scanner struct {
-	m       word.Mem
-	caps    word.MemCaps // optional fast paths, probed once
-	arity   int
-	from    uint64
-	window  uint64
-	pending []scanNode // unexpanded frontier, ascending disjoint bases
-	chunk   []scanNode // scratch for the chunk being expanded
-	plids   []word.PLID
-	at      map[word.PLID]int
-	stats   ScanStats
+	m        word.Mem
+	caps     word.MemCaps // optional fast paths, probed once
+	arity    int
+	from     uint64
+	window   uint64
+	pending  []scanNode     // unexpanded frontier, ascending disjoint bases
+	chunk    []scanNode     // scratch for the chunk being expanded
+	wave     [2][]scanNode  // ping-pong next-wave buffers for expand
+	plids    []word.PLID    // current wave's deduplicated fetch set
+	contents []word.Content // fetch results, parallel to plids
+	at       map[word.PLID]int
+	stats    ScanStats
 }
+
+// resetScanner restores a scanner to pooled-dormant state: slices keep
+// their grown capacity, the dedup map keeps its buckets, and references
+// into the caller's world (the Mem) are dropped.
+func resetScanner(sc *scanner) {
+	sc.m = nil
+	sc.caps = word.MemCaps{}
+	sc.pending = sc.pending[:0]
+	sc.chunk = sc.chunk[:0]
+	sc.wave[0] = sc.wave[0][:0]
+	sc.wave[1] = sc.wave[1][:0]
+	sc.plids = sc.plids[:0]
+	sc.contents = sc.contents[:0]
+	clear(sc.at)
+	sc.stats = ScanStats{}
+}
+
+var scannerPool = pool.NewItems[scanner]("segment.scanner", resetScanner)
 
 func newScanner(m word.Mem, from uint64, window int) *scanner {
 	arity := m.LineWords()
 	if window < 2*arity {
 		window = 2 * arity
 	}
-	return &scanner{
-		m:      m,
-		caps:   word.Caps(m),
-		arity:  arity,
-		from:   from,
-		window: uint64(window),
-		at:     make(map[word.PLID]int),
+	sc := scannerPool.Get()
+	sc.m = m
+	sc.caps = word.Caps(m)
+	sc.arity = arity
+	sc.from = from
+	sc.window = uint64(window)
+	if sc.at == nil {
+		sc.at = make(map[word.PLID]int)
 	}
+	return sc
 }
+
+func (sc *scanner) release() { scannerPool.Put(sc) }
 
 // cover returns how many logical words a node at lvl spans.
 func (sc *scanner) cover(lvl int) uint64 { return capacity(sc.arity, lvl) }
@@ -156,7 +186,8 @@ func (sc *scanner) splitHead() {
 	case nd.e.T == word.TagCompact:
 		// Path compaction peels without a fetch; the off-spine siblings
 		// are zero subtrees.
-		p, path := word.DecodeCompact(nd.e.W, sc.arity, sc.m.PLIDBits())
+		var pbuf [word.MaxCompactPath]int
+		p, path := word.DecodeCompactInto(nd.e.W, sc.arity, sc.m.PLIDBits(), pbuf[:])
 		for _, step := range path {
 			nd.base += uint64(step) * capacity(sc.arity, nd.lvl-1)
 			nd.lvl--
@@ -171,16 +202,23 @@ func (sc *scanner) splitHead() {
 		c := sc.m.ReadLine(word.PLID(nd.e.W))
 		sc.stats.LineReads++
 		sub := capacity(sc.arity, nd.lvl-1)
-		kids := make([]scanNode, 0, sc.arity)
+		var kids [word.MaxWords]scanNode
+		nk := 0
 		for i := 0; i < sc.arity; i++ {
 			e := Edge{W: c.W[i], T: c.T[i]}
 			base := nd.base + uint64(i)*sub
 			if e.IsZero() || base+sub <= sc.from {
 				continue
 			}
-			kids = append(kids, scanNode{e: e, lvl: nd.lvl - 1, base: base})
+			kids[nk] = scanNode{e: e, lvl: nd.lvl - 1, base: base}
+			nk++
 		}
-		sc.pending = append(kids, sc.pending[1:]...)
+		// Replace the head with its kids, staging through the chunk
+		// buffer (dead between takeChunk calls) and swapping, so the
+		// prepend reuses pooled capacity instead of allocating.
+		staged := append(sc.chunk[:0], kids[:nk]...)
+		staged = append(staged, sc.pending[1:]...)
+		sc.pending, sc.chunk = staged, sc.pending[:0]
 	default:
 		// Zero or already-resolved heads cover nothing left to split.
 		sc.pending = sc.pending[1:]
@@ -191,6 +229,7 @@ func (sc *scanner) splitHead() {
 // per-wave batched reads, then emits the covered non-zero words in index
 // order. Returns false when fn stopped the scan.
 func (sc *scanner) expand(nodes []scanNode, fn func(idx uint64, w uint64, t word.Tag) bool) bool {
+	flip := 0
 	for {
 		// Resolve everything that needs no memory access — zero subtrees,
 		// compacted paths, inlined leaves — leaving only PLID nodes to
@@ -202,7 +241,8 @@ func (sc *scanner) expand(nodes []scanNode, fn func(idx uint64, w uint64, t word
 				continue
 			}
 			for nd.e.T == word.TagCompact {
-				p, path := word.DecodeCompact(nd.e.W, sc.arity, sc.m.PLIDBits())
+				var pbuf [word.MaxCompactPath]int
+				p, path := word.DecodeCompactInto(nd.e.W, sc.arity, sc.m.PLIDBits(), pbuf[:])
 				for _, step := range path {
 					nd.base += uint64(step) * capacity(sc.arity, nd.lvl-1)
 					nd.lvl--
@@ -217,7 +257,7 @@ func (sc *scanner) expand(nodes []scanNode, fn func(idx uint64, w uint64, t word
 					panic("segment: inline edge above leaf level")
 				}
 				c := word.NewContent(sc.arity)
-				copy(c.W[:sc.arity], word.UnpackInline(nd.e.W, sc.arity))
+				word.UnpackInlineInto(nd.e.W, sc.arity, c.W[:sc.arity])
 				nd.c, nd.done = c, true
 			case nd.e.T != word.TagPLID:
 				panic(fmt.Sprintf("segment: unexpected edge tag %v", nd.e.T))
@@ -245,13 +285,20 @@ func (sc *scanner) expand(nodes []scanNode, fn func(idx uint64, w uint64, t word
 		if len(sc.plids) == 0 {
 			break
 		}
-		contents := sc.caps.ReadBatch(sc.plids)
+		if cap(sc.contents) < len(sc.plids) {
+			sc.contents = make([]word.Content, len(sc.plids))
+		}
+		contents := sc.contents[:len(sc.plids)]
+		sc.caps.ReadBatchInto(sc.plids, contents)
 		sc.stats.Waves++
 		sc.stats.LineReads += uint64(len(sc.plids))
 
 		// Expand into the next wave: leaves keep their content, interior
 		// nodes fan out in child order (which preserves ascending bases).
-		var next []scanNode
+		// The two wave buffers ping-pong: the buffer a wave reads from is
+		// dead once the next wave is built, so the wave after that reuses
+		// it in place.
+		next := sc.wave[flip][:0]
 		for _, nd := range nodes {
 			if nd.done {
 				next = append(next, nd)
@@ -276,6 +323,8 @@ func (sc *scanner) expand(nodes []scanNode, fn func(idx uint64, w uint64, t word
 				next = append(next, scanNode{e: e, lvl: nd.lvl - 1, base: base})
 			}
 		}
+		sc.wave[flip] = next // retain growth for later waves and borrows
+		flip ^= 1
 		nodes = next
 	}
 
@@ -302,19 +351,29 @@ func (sc *scanner) expand(nodes []scanNode, fn func(idx uint64, w uint64, t word
 // window-sized chunks, each materialized through the level-order bulk
 // reader — the streaming counterpart of ReadBytesBulk for consumers that
 // may stop early. fn receives the starting byte offset of each chunk.
-// Emitted counts bytes delivered; line accounting is charged to the
-// machine as usual.
+// The chunk is borrowed pooled scratch, valid only for the duration of
+// the callback (like bufio.Scanner's token): consumers that keep bytes
+// past the callback must copy them. Emitted counts bytes delivered;
+// line accounting is charged to the machine as usual.
 func ScanBytes(m word.Mem, s Seg, off, n uint64, fn func(off uint64, chunk []byte) bool) ScanStats {
 	var st ScanStats
 	const windowBytes = DefaultScanWindow * 8
+	var sc pool.Scratch
+	defer sc.Release()
+	// One chunk buffer and one word buffer serve every window: the word
+	// span of a window is at most windowBytes/8 + 1 lines' worth of
+	// straddle.
+	bufAll := poolBytes.Get(&sc, windowBytes)
+	wsAll := poolU64.Get(&sc, DefaultScanWindow+1)
 	for n > 0 {
 		take := n
 		if take > windowBytes {
 			take = windowBytes
 		}
 		w0 := off / 8
-		ws := ReadWordsBulk(m, s, w0, (off+take+7)/8-w0)
-		buf := make([]byte, take)
+		ws := wsAll[:(off+take+7)/8-w0]
+		ReadWordsBulkInto(m, s, w0, ws)
+		buf := bufAll[:take]
 		for i := uint64(0); i < take; i++ {
 			b := off + i
 			buf[i] = byte(ws[b/8-w0] >> (8 * (b % 8)))

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/pool"
 	"repro/internal/word"
 )
 
@@ -57,7 +58,7 @@ func ScanWordsParallel(m word.Mem, s Seg, from uint64, workers int, fn func(idx 
 	sub := capacity(arity, s.Height-1)
 	type shard struct {
 		node scanNode
-		ch   chan []scanItem
+		ch   chan *pool.Buf[scanItem]
 	}
 	var shards []*shard
 	for i, e := range kids {
@@ -67,7 +68,7 @@ func ScanWordsParallel(m word.Mem, s Seg, from uint64, workers int, fn func(idx 
 		}
 		shards = append(shards, &shard{
 			node: scanNode{e: e, lvl: s.Height - 1, base: base},
-			ch:   make(chan []scanItem, 2),
+			ch:   make(chan *pool.Buf[scanItem], 2),
 		})
 	}
 	if len(shards) == 0 {
@@ -118,17 +119,30 @@ func ScanWordsParallel(m word.Mem, s Seg, from uint64, workers int, fn func(idx 
 merge:
 	for _, sh := range shards {
 		for items := range sh.ch {
-			for _, it := range items {
+			stopped := false
+			for _, it := range items.S {
 				emitted++
 				if !fn(it.idx, it.w, it.t) {
 					halt()
-					break merge
+					stopped = true
+					break
 				}
+			}
+			items.Release() // chunk ownership ends with the merger
+			if stopped {
+				break merge
 			}
 		}
 	}
 	halt()
 	wg.Wait()
+	// Release any chunks still buffered in abandoned channels; the
+	// workers have exited, so every channel is closed.
+	for _, sh := range shards {
+		for items := range sh.ch {
+			items.Release()
+		}
+	}
 	stats.Emitted = emitted
 	return stats
 }
@@ -136,22 +150,28 @@ merge:
 // scanShard streams one shard's subtree, batching emissions into chunks
 // on ch. The channel is always closed on return; a closed stop channel
 // abandons the shard.
-func scanShard(m word.Mem, nd scanNode, ch chan<- []scanItem, from uint64, stop <-chan struct{}) ScanStats {
+func scanShard(m word.Mem, nd scanNode, ch chan<- *pool.Buf[scanItem], from uint64, stop <-chan struct{}) ScanStats {
 	defer close(ch)
 	sc := newScanner(m, from, DefaultScanWindow)
+	defer sc.release()
 	sc.pending = append(sc.pending, nd)
-	buf := make([]scanItem, 0, scanFlushItems)
+	var scratch pool.Scratch
+	defer scratch.Release()
+	buf := poolScanItems.GetCap(&scratch, scanFlushItems)
 	flush := func() bool {
 		if len(buf) == 0 {
 			return true
 		}
-		out := make([]scanItem, len(buf))
-		copy(out, buf)
+		// Ownership of the chunk transfers over the channel: the merger
+		// (or the abandoned-channel drain) releases it.
+		out := poolScanItems.GetBuf(len(buf))
+		copy(out.S, buf)
 		buf = buf[:0]
 		select {
 		case ch <- out:
 			return true
 		case <-stop:
+			out.Release()
 			return false
 		}
 	}

@@ -1,8 +1,10 @@
 package segment
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
+	"repro/internal/pool"
 	"repro/internal/word"
 )
 
@@ -73,6 +75,37 @@ type wnode struct {
 	out   Edge // canonical replacement edge (owns its PLID reference)
 }
 
+// wnodePool recycles wave nodes across WriteBatch calls, keeping the
+// edges/owned/slots/kids capacities a node accumulated. The reset drops
+// the *wnode links and the borrowed ups subslice so a parked node
+// retains nothing from the wave it served.
+var wnodePool = pool.NewItems[wnode]("segment.wnode", func(n *wnode) {
+	clear(n.kids)
+	*n = wnode{
+		edges: n.edges[:0],
+		owned: n.owned[:0],
+		slots: n.slots[:0],
+		kids:  n.kids[:0],
+	}
+})
+
+// getWnode borrows a wave node with its child-edge arrays sized and
+// zeroed for arity children.
+func getWnode(level, arity int) *wnode {
+	n := wnodePool.Get()
+	n.level = level
+	if cap(n.edges) < arity {
+		n.edges = make([]Edge, arity)
+		n.owned = make([]bool, arity)
+	} else {
+		n.edges = n.edges[:arity]
+		n.owned = n.owned[:arity]
+		clear(n.edges)
+		clear(n.owned)
+	}
+	return n
+}
+
 // WriteBatch applies ups to s as one wave-ordered bulk commit and returns
 // the new segment; the caller owns one reference on its root and keeps
 // ownership of s (exactly the Txn.Commit contract). The segment grows to
@@ -87,10 +120,12 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 	}
 	arity := m.LineWords()
 	caps := word.Caps(m)
+	var sc pool.Scratch
+	defer sc.Release()
 
 	// Last-wins collapse to one update per index, then index order.
-	at := make(map[uint64]int, len(ups))
-	uniq := make([]Update, 0, len(ups))
+	at := poolIdxAt.Get(&sc)
+	uniq := poolUpdates.GetCap(&sc, len(ups))
 	for _, u := range ups {
 		if j, ok := at[u.Idx]; ok {
 			uniq[j] = u
@@ -99,7 +134,7 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 			uniq = append(uniq, u)
 		}
 	}
-	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Idx < uniq[j].Idx })
+	slices.SortFunc(uniq, func(a, b Update) int { return cmp.Compare(a.Idx, b.Idx) })
 	// Exact-index duplicates coalesced by the collapse above; the leaf
 	// overlay adds the sibling-sharing remainder, so the invariant
 	// PathsRebuilt + SiblingCoalesced == Updates always holds.
@@ -111,24 +146,32 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 		height++
 	}
 
-	levels := make([][]*wnode, height+1)
+	// A level can hold at most one node per distinct updated index, plus
+	// one synthetic growth-spine node — so every level's node buffer (and
+	// the per-level fetch buffers below) is sized once, up front.
+	maxNodes := len(uniq) + 1
+	levels := poolWLevels.Get(&sc, height+1)
+	for i := range levels {
+		levels[i] = poolWNodes.GetCap(&sc, maxNodes)
+	}
 	add := func(n *wnode) { levels[n.level] = append(levels[n.level], n) }
 
 	var root *wnode
 	if height == s.Height {
-		root = &wnode{level: height, e: PLIDEdge(s.Root), ups: uniq}
+		root = getWnode(height, arity)
+		root.e, root.ups = PLIDEdge(s.Root), uniq
 		add(root)
 	} else {
 		// Growth re-rooting: a spine of synthetic nodes whose child 0
 		// carries the zero-extended original segment, mirroring the
 		// transient parents Txn.grow stacks above the old root.
-		root = &wnode{level: height, pre: true, ups: uniq,
-			edges: make([]Edge, arity), owned: make([]bool, arity)}
+		root = getWnode(height, arity)
+		root.pre, root.ups = true, uniq
 		add(root)
 		cur := root
 		for lvl := height - 1; lvl > s.Height; lvl-- {
-			kid := &wnode{level: lvl, pre: true,
-				edges: make([]Edge, arity), owned: make([]bool, arity)}
+			kid := getWnode(lvl, arity)
+			kid.pre = true
 			cur.slots = append(cur.slots, 0)
 			cur.kids = append(cur.kids, kid)
 			add(kid)
@@ -139,8 +182,9 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 
 	// Top-down descent: expand each level's touched nodes (one deduped
 	// batch read per level), then partition their updates over children.
-	var plids []word.PLID
-	readAt := make(map[word.PLID]int)
+	plids := poolPLIDs.GetCap(&sc, maxNodes)
+	contentsBuf := poolContents.Get(&sc, maxNodes)
+	readAt := poolPlidAt.Get(&sc)
 	for lvl := height; lvl >= 0; lvl-- {
 		nodes := levels[lvl]
 		if len(nodes) == 0 {
@@ -160,13 +204,12 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 		}
 		var contents []word.Content
 		if len(plids) > 0 {
-			contents = caps.ReadBatch(plids)
+			contents = contentsBuf[:len(plids)]
+			caps.ReadBatchInto(plids, contents)
 			st.LineReads += uint64(len(plids))
 		}
 		for _, n := range nodes {
 			if !n.pre {
-				n.edges = make([]Edge, arity)
-				n.owned = make([]bool, arity)
 				switch {
 				case n.e.IsZero():
 				case n.e.T == word.TagPLID:
@@ -205,7 +248,8 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 				if kid := n.kidAt(slot); kid != nil {
 					kid.ups = childUps // pre-linked growth spine child
 				} else {
-					kid := &wnode{level: lvl - 1, e: n.edges[slot], ups: childUps}
+					kid := getWnode(lvl-1, arity)
+					kid.e, kid.ups = n.edges[slot], childUps
 					n.slots = append(n.slots, slot)
 					n.kids = append(n.kids, kid)
 					add(kid)
@@ -224,7 +268,7 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 	// Fresh child references release only after their parent level
 	// resolves — the parent lines take their own references during the
 	// lookup, which needs the children still live (Builder rule).
-	cb := NewCanonBatchCaps(m, caps)
+	cb := AcquireCanonBatch(m, caps)
 	for lvl := 0; lvl <= height; lvl++ {
 		nodes := levels[lvl]
 		if len(nodes) == 0 {
@@ -252,7 +296,16 @@ func WriteBatch(m word.Mem, s Seg, ups []Update) (Seg, WriteStats) {
 			}
 		}
 	}
-	return Seg{Root: materializeRoot(m, root.out), Height: height}, st
+	cb.Close()
+	result := Seg{Root: materializeRoot(m, root.out), Height: height}
+	// Park the wave: every node returns to the pool before the level
+	// buffers go back to theirs.
+	for _, nodes := range levels {
+		for _, n := range nodes {
+			wnodePool.Put(n)
+		}
+	}
+	return result, st
 }
 
 // kidAt returns the rebuilt child at slot, if any.
@@ -264,4 +317,3 @@ func (n *wnode) kidAt(slot int) *wnode {
 	}
 	return nil
 }
-

@@ -3,7 +3,18 @@ package store
 import (
 	"fmt"
 
+	"repro/internal/pool"
 	"repro/internal/word"
+)
+
+// Pooled scratch for the batch paths: grouping scratch is borrowed per
+// call so a steady-state batch read or lookup allocates nothing.
+var (
+	poolGroup  = pool.NewSlice[int16]("store.group")
+	poolOrder  = pool.NewSlice[int32]("store.order")
+	poolEvents = pool.NewSlice[rcEvent]("store.rcevent")
+	poolU64    = pool.NewSlice[uint64]("store.u64")
+	poolSigs   = pool.NewSlice[uint8]("store.sig")
 )
 
 // ReadBatch returns the content of every line in ps, the bulk read-path
@@ -24,14 +35,27 @@ import (
 // PLIDs within one batch are safe: both land in the same group and read
 // the same line under one shared lock.
 func (s *Store) ReadBatch(ps []word.PLID) []word.Content {
+	out := make([]word.Content, len(ps))
+	s.ReadBatchInto(ps, out)
+	return out
+}
+
+// ReadBatchInto is ReadBatch writing into a caller-supplied buffer of
+// length len(ps) — the allocation-free batch read: the internal grouping
+// scratch is pooled, so a steady-state call allocates nothing.
+func (s *Store) ReadBatchInto(ps []word.PLID, out []word.Content) {
 	n := len(ps)
-	out := make([]word.Content, n)
-	if n == 0 {
-		return out
+	if len(out) != n {
+		panic("store: ReadBatchInto buffer length mismatch")
 	}
+	if n == 0 {
+		return
+	}
+	var sc pool.Scratch
+	defer sc.Release()
 	// Group element indices by lock domain with a counting sort: stripes
 	// 0..numStripes-1 for bucket lines, ovShard for the overflow area.
-	gidx := make([]int16, n) // lock group per element; -1 for the zero PLID
+	gidx := poolGroup.Get(&sc, n) // lock group per element; -1 for the zero PLID
 	var counts [numStripes + 1]int32
 	for i, p := range ps {
 		if p == word.Zero {
@@ -50,7 +74,7 @@ func (s *Store) ReadBatch(ps []word.PLID) []word.Content {
 	for g := 0; g <= numStripes; g++ {
 		start[g+1] = start[g] + counts[g]
 	}
-	order := make([]int32, start[numStripes+1])
+	order := poolOrder.Get(&sc, int(start[numStripes+1]))
 	next := start
 	for i := range ps {
 		if gidx[i] < 0 {
@@ -94,5 +118,4 @@ func (s *Store) ReadBatch(ps []word.PLID) []word.Content {
 			s.rows.touch(s.rowOf(p))
 		}
 	}
-	return out
 }

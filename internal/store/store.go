@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/pool"
 	"repro/internal/word"
 )
 
@@ -473,15 +474,29 @@ func (s *Store) Lookup(c word.Content) (word.PLID, bool) {
 // events fire, and children of fresh lines are retained, only after every
 // stripe lock has been released.
 func (s *Store) LookupBatch(cs []word.Content) (plids []word.PLID, existed []bool) {
+	plids = make([]word.PLID, len(cs))
+	existed = make([]bool, len(cs))
+	s.LookupBatchInto(cs, plids, existed)
+	return plids, existed
+}
+
+// LookupBatchInto is LookupBatch writing into caller-supplied buffers of
+// length len(cs) — the allocation-free batch lookup: the grouping and
+// event scratch is pooled, so a steady-state call (every content already
+// resident) allocates nothing.
+func (s *Store) LookupBatchInto(cs []word.Content, plids []word.PLID, existed []bool) {
 	n := len(cs)
-	plids = make([]word.PLID, n)
-	existed = make([]bool, n)
-	if n == 0 {
-		return plids, existed
+	if len(plids) != n || len(existed) != n {
+		panic("store: LookupBatchInto buffer length mismatch")
 	}
-	events := make([]rcEvent, n)
-	bkts := make([]uint64, n)
-	sigs := make([]uint8, n)
+	if n == 0 {
+		return
+	}
+	var sc pool.Scratch
+	defer sc.Release()
+	events := poolEvents.Get(&sc, n)
+	bkts := poolU64.Get(&sc, n)
+	sigs := poolSigs.Get(&sc, n)
 	var counts [numStripes]int32
 	for i := range cs {
 		if cs[i].IsZero() {
@@ -501,7 +516,7 @@ func (s *Store) LookupBatch(cs []word.Content) (plids []word.PLID, existed []boo
 	for st := 0; st < numStripes; st++ {
 		start[st+1] = start[st] + counts[st]
 	}
-	order := make([]int32, n)
+	order := poolOrder.Get(&sc, n)
 	next := start
 	for i := range cs {
 		st := stripeOf(bkts[i])
@@ -529,7 +544,6 @@ func (s *Store) LookupBatch(cs []word.Content) (plids []word.PLID, existed []boo
 			s.retainChildren(cs[i])
 		}
 	}
-	return plids, existed
 }
 
 // flush adds a local counter accumulator into a stats shard, one atomic

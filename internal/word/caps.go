@@ -20,6 +20,16 @@ type BulkMem interface {
 	RetainIfContent(p PLID, c Content) bool
 }
 
+// BatchIntoMem is the allocation-free flavor of the batch capabilities:
+// the caller supplies the result buffer (typically pooled scratch), so a
+// steady-state wave pays zero allocations for its fetch. A memory system
+// implementing BatchIntoMem must write out[i] for every i with the exact
+// semantics of the returning variants. core.Machine implements it.
+type BatchIntoMem interface {
+	LookupLineBatchInto(cs []Content, out []PLID)
+	ReadLineBatchInto(ps []PLID, out []Content)
+}
+
 // MemCaps bundles a Mem with its optional fast paths, probed once. The
 // zero value is not meaningful; construct with Caps. MemCaps is a small
 // value type — copy it freely.
@@ -31,6 +41,7 @@ type MemCaps struct {
 	batch    BatchMem
 	reader   BatchReadMem
 	retainer ContentRetainer
+	into     BatchIntoMem
 }
 
 // Caps probes m for its optional capabilities. Call it once when a bulk
@@ -41,7 +52,8 @@ func Caps(m Mem) MemCaps {
 	bm, _ := m.(BatchMem)
 	br, _ := m.(BatchReadMem)
 	cr, _ := m.(ContentRetainer)
-	return MemCaps{M: m, batch: bm, reader: br, retainer: cr}
+	bi, _ := m.(BatchIntoMem)
+	return MemCaps{M: m, batch: bm, reader: br, retainer: cr, into: bi}
 }
 
 // HasBatchLookup reports whether LookupBatch routes to a native batched
@@ -87,6 +99,49 @@ func (c MemCaps) ReadBatch(ps []PLID) []Content {
 		out[i] = c.M.ReadLine(p)
 	}
 	return out
+}
+
+// LookupBatchInto is LookupBatch writing into a caller-supplied buffer
+// (len(out) must equal len(cs)): the allocation-free path the wave
+// engines pair with pooled scratch. Falls back through the returning
+// batch capability (one allocation, custom batch-only memories) or the
+// serial loop (allocation-free) when the memory system lacks the native
+// into-variant.
+func (c MemCaps) LookupBatchInto(cs []Content, out []PLID) {
+	if len(out) != len(cs) {
+		panic("word: LookupBatchInto buffer length mismatch")
+	}
+	if c.into != nil {
+		c.into.LookupLineBatchInto(cs, out)
+		return
+	}
+	if c.batch != nil {
+		copy(out, c.batch.LookupLineBatch(cs))
+		return
+	}
+	for i := range cs {
+		out[i] = c.M.LookupLine(cs[i])
+	}
+}
+
+// ReadBatchInto is ReadBatch writing into a caller-supplied buffer
+// (len(out) must equal len(ps)), with the same fallback ladder as
+// LookupBatchInto.
+func (c MemCaps) ReadBatchInto(ps []PLID, out []Content) {
+	if len(out) != len(ps) {
+		panic("word: ReadBatchInto buffer length mismatch")
+	}
+	if c.into != nil {
+		c.into.ReadLineBatchInto(ps, out)
+		return
+	}
+	if c.reader != nil {
+		copy(out, c.reader.ReadLineBatch(ps))
+		return
+	}
+	for i, p := range ps {
+		out[i] = c.M.ReadLine(p)
+	}
 }
 
 // RetainIfContent acquires one reference on p only if the line is still

@@ -74,6 +74,26 @@ func DecodeCompact(w uint64, arity, plidBits int) (PLID, []int) {
 	return p, path
 }
 
+// DecodeCompactInto is DecodeCompact appending the path into buf's
+// storage (buf is overwritten from the start; pass a stack array's
+// prefix), so the hot wave walks decode without allocating. Any buf with
+// capacity >= MaxCompactPath suffices.
+func DecodeCompactInto(w uint64, arity, plidBits int, buf []int) (PLID, []int) {
+	ib := idxBits(arity)
+	n := int(w >> pathLenShift)
+	path := buf[:0]
+	mask := uint64(arity - 1)
+	for i := 0; i < n; i++ {
+		path = append(path, int((w>>(plidBits+i*ib))&mask))
+	}
+	return PLID(w & (1<<plidBits - 1)), path
+}
+
+// MaxCompactPath bounds the path length of any compact word: the 4-bit
+// length field above pathLenShift caps paths at 15 steps, so a stack
+// array of this size always holds a decoded path.
+const MaxCompactPath = 16
+
 // CompactPLID extracts just the target PLID of a compact word, for
 // callers (reference-count walks) that do not need the path. Unlike
 // DecodeCompact it allocates nothing.
@@ -126,16 +146,22 @@ func PackInline(vals []uint64, arity int) (uint64, bool) {
 
 // UnpackInline expands an inline word into its arity packed values.
 func UnpackInline(w uint64, arity int) []uint64 {
-	fb := 64 / arity
 	vals := make([]uint64, arity)
+	UnpackInlineInto(w, arity, vals)
+	return vals
+}
+
+// UnpackInlineInto is UnpackInline writing into vals[:arity] (typically
+// a stack array or a Content's word array), allocating nothing.
+func UnpackInlineInto(w uint64, arity int, vals []uint64) {
+	fb := 64 / arity
 	var mask uint64
 	if fb >= 64 {
 		mask = ^uint64(0)
 	} else {
 		mask = 1<<fb - 1
 	}
-	for i := range vals {
+	for i := 0; i < arity; i++ {
 		vals[i] = (w >> (i * fb)) & mask
 	}
-	return vals
 }

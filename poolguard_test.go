@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The wave engines' scratch discipline (DESIGN.md "Scratch pooling"):
+// recurring wave buffers come from internal/pool, never from ad-hoc
+// caches, and the known hidden allocators stay off the hot paths. Two
+// greppable invariants lock that in:
+//
+//   - sync.Pool appears nowhere outside internal/pool: a private pool
+//     would bypass the bucketed stats (hits/misses/oversize) the bench
+//     and server surfaces report, and sync.Pool's GC draining breaks
+//     the deterministic accounting the pinning tests rely on. (The
+//     internal/pool freelists deliberately do not use sync.Pool.)
+//   - the wave-engine files use only the allocation-free forms of the
+//     compact/inline decoders (DecodeCompactInto / UnpackInlineInto)
+//     and of slice sorting (slices.SortFunc; sort.Slice's reflection
+//     header allocates per call).
+var waveEngineFiles = []string{
+	filepath.Join("internal", "segment", "builder.go"),
+	filepath.Join("internal", "segment", "read_bulk.go"),
+	filepath.Join("internal", "segment", "scan.go"),
+	filepath.Join("internal", "segment", "scan_parallel.go"),
+	filepath.Join("internal", "segment", "write_batch.go"),
+	filepath.Join("internal", "segment", "canon_batch.go"),
+	filepath.Join("internal", "merge", "merge.go"),
+	filepath.Join("internal", "iterreg", "iterreg.go"),
+}
+
+func TestNoAdHocScratchInWaveEngines(t *testing.T) {
+	allocRE := regexp.MustCompile(`word\.(DecodeCompact|UnpackInline)\(|sort\.Slice\(|sync\.Pool`)
+	for _, path := range waveEngineFiles {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if allocRE.MatchString(line) {
+				t.Errorf("%s:%d: allocating form in wave engine %q — use the Into variant / slices.SortFunc / internal/pool",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+	}
+}
+
+func TestNoSyncPoolOutsidePoolPackage(t *testing.T) {
+	poolDir := filepath.Join("internal", "pool")
+	re := regexp.MustCompile(`sync\.Pool`)
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || path == poolDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || path == "poolguard_test.go" {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if re.MatchString(line) {
+				t.Errorf("%s:%d: sync.Pool outside internal/pool %q — use the bucketed pools so stats stay observable",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+}
