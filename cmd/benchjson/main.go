@@ -1,10 +1,11 @@
 // Command benchjson measures the bulk segment pipelines — construction
 // (PR 2), the read/gather path (PR 3), the streaming scan/diff path
-// (PR 4), the wave-ordered bulk write path (PR 5), and the
-// wave-structured merge rebase engine (PR 6), all running over the
-// bucketed scratch pools (PR 7) — against their line-at-a-time baselines
-// and writes the comparison as machine-readable JSON (BENCH_PR7.json in
-// the repo root).
+// (PR 4), the wave-ordered bulk write path (PR 5), the wave-structured
+// merge rebase engine (PR 6), all running over the bucketed scratch
+// pools (PR 7), and the memcached network front end's cross-connection
+// batch aggregation (PR 8) — against their line-at-a-time or
+// per-request baselines and writes the comparison as machine-readable
+// JSON (BENCH_PR8.json in the repo root).
 // Each pair is run at GOMAXPROCS 1 and 4 and reports three axes:
 //
 //   - wall-clock (minimum over interleaved repetitions, fresh machine per
@@ -22,7 +23,7 @@
 // (DRAM) at the price of bookkeeping the host must execute, and pooling
 // removes the bookkeeping's allocation cost.
 //
-//	go run ./cmd/benchjson -o BENCH_PR7.json
+//	go run ./cmd/benchjson -o BENCH_PR8.json
 package main
 
 import (
@@ -110,10 +111,15 @@ type pair struct {
 	// extra, when non-nil, is filled by the closures with pair-specific
 	// counters and copied onto the Result.
 	extra map[string]float64
+	// concurrent marks pairs whose workload is many concurrent
+	// goroutines (the network pairs): on a host without real parallelism
+	// every run oversubscribes, so the degraded_parallel tag applies at
+	// any GOMAXPROCS.
+	concurrent bool
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output file")
+	out := flag.String("o", "BENCH_PR8.json", "output file")
 	only := flag.String("only", "", "run only the pair with this name")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs")
 	flag.Parse()
@@ -133,6 +139,8 @@ func main() {
 		bulkUpdate(),
 		mergeRebase(),
 		mapContention(),
+		netPipelinedMultiget(),
+		netMixedRW(),
 	}
 
 	if *only != "" {
@@ -166,7 +174,11 @@ func main() {
 			"three-way merge, and stale-snapshot contention where plain-CAS " +
 			"replay is the baseline and MCAS merge rebase the candidate; " +
 			"its extras pin DRAM/commit flat across a 16x segment-size " +
-			"ratio). " +
+			"ratio), plus the loopback memcached front end where naive " +
+			"per-request dispatch is the baseline and cross-connection " +
+			"batch aggregation the candidate (extras carry the measured-" +
+			"window rps and p99 per side and the rps ratio at 64 " +
+			"connections). " +
 			"Wall-clock is min over interleaved reps " +
 			"with a fresh machine per rep; DRAM accesses are the simulated " +
 			"store totals (deterministic per workload); allocs/bytes per op " +
@@ -217,8 +229,13 @@ func measure(p pair, procs int) Result {
 		Name: p.name, GOMAXPROCS: procs,
 		Baseline: p.baseline, Candidate: p.candidate, Reps: p.reps,
 		BaselineNs: 1<<63 - 1, CandidateNs: 1<<63 - 1,
-		DegradedParallel: procs > runtime.NumCPU(),
+		DegradedParallel: procs > runtime.NumCPU() ||
+			(p.concurrent && runtime.NumCPU() < 2),
 	}
+	// Pairs accumulate extras (max-rps tracking and the like) into one
+	// shared map across repetitions; start each GOMAXPROCS setting from
+	// a clean slate so a row never reports another setting's maxima.
+	clear(p.extra)
 	for i := 0; i < p.reps; i++ {
 		last := i == p.reps-1
 		runtime.GC()
@@ -1004,6 +1021,77 @@ func mergeRebase() pair {
 			return dramTotal(m)
 		},
 	}
+}
+
+// netPair builds one loopback network pair: the same workload driven
+// through the memcached front end with per-request dispatch (baseline)
+// versus cross-connection batch aggregation (candidate). The wall-clock
+// columns include each run's protocol preload, so the acceptance metric
+// is the measured-window rps in the extras: rps_naive, rps_pipelined
+// (best over the repetitions, each paired with its p99), and rps_ratio.
+// 64 connections is the acceptance scale; on a host without real
+// parallelism the rows carry degraded_parallel.
+func netPair(name string, cfg experiments.NetloadConfig) pair {
+	ex := map[string]float64{}
+	run := func(aggregate bool) experiments.NetloadRow {
+		c := cfg
+		c.Aggregate = aggregate
+		row, err := experiments.RunNetloadWorkload(c)
+		if err != nil {
+			panic(err)
+		}
+		return row
+	}
+	return pair{
+		name:       name,
+		baseline:   "per-request dispatch (Aggregate=false)",
+		candidate:  "cross-connection batch aggregation (flush windows)",
+		reps:       2,
+		extra:      ex,
+		concurrent: true,
+		base: func() uint64 {
+			row := run(false)
+			if row.RPS > ex["rps_naive"] {
+				ex["rps_naive"] = row.RPS
+				ex["p99_us_naive"] = row.P99us
+			}
+			return row.DRAM
+		},
+		cand: func() uint64 {
+			row := run(true)
+			if row.RPS > ex["rps_pipelined"] {
+				ex["rps_pipelined"] = row.RPS
+				ex["p99_us_pipelined"] = row.P99us
+			}
+			ex["rps_ratio"] = ex["rps_pipelined"] / ex["rps_naive"]
+			ex["batch_windows"] = float64(row.Batches)
+			ex["avg_batch_ops"] = row.AvgBatch
+			ex["conns"] = float64(row.Conns)
+			return row.DRAM
+		},
+	}
+}
+
+// netPipelinedMultiget is the PR 8 tentpole's read shape: 64 pipelined
+// connections issuing 4-key gets. Aggregation resolves every in-flight
+// get of a flush window through one pinned snapshot and one gather wave,
+// so the map's root path and shared interior lines are fetched once per
+// window instead of once per request.
+func netPipelinedMultiget() pair {
+	return netPair("net_pipelined_multiget", experiments.NetloadConfig{
+		Conns: 64, Depth: 4, Rounds: 30, KeysPerGet: 4,
+		Preload: 2048, ValueBytes: 64,
+	})
+}
+
+// netMixedRW adds the write side: every fourth request is a set, so
+// each flush window also coalesces its writes into one Apply wave
+// commit — one version published per window instead of per set.
+func netMixedRW() pair {
+	return netPair("net_mixed_rw", experiments.NetloadConfig{
+		Conns: 64, Depth: 4, Rounds: 30, KeysPerGet: 1, SetEvery: 4,
+		Preload: 2048, ValueBytes: 64,
+	})
 }
 
 // mapContention pins the Sec 2.4/3.4 contention claim as a benchmark

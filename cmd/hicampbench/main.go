@@ -21,7 +21,7 @@ import (
 )
 
 var experimentOrder = []string{
-	"fig6", "table1", "conflict", "contention", "fig7", "fig8", "table2", "fig9", "fig10",
+	"fig6", "table1", "conflict", "contention", "netload", "fig7", "fig8", "table2", "fig9", "fig10",
 }
 
 var descriptions = map[string]string{
@@ -29,6 +29,7 @@ var descriptions = map[string]string{
 	"table1":     "memcached data compaction per dataset and line size",
 	"conflict":   "sec 5.1.1 concurrent-update analysis + live mCAS contention",
 	"contention": "multi-writer merge-update: DRAM flat over size, throughput vs overlap",
+	"netload":    "loopback memcached front end: batch aggregation vs per-request dispatch",
 	"fig7":       "SpMV off-chip access ratio over the matrix suite",
 	"fig8":       "per-matrix footprint, best HICAMP format vs CSR",
 	"table2":     "footprint savings grouped by matrix category",
@@ -37,7 +38,7 @@ var descriptions = map[string]string{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig6, table1, conflict, contention, fig7, fig8, table2, fig9, fig10, all)")
+	exp := flag.String("exp", "all", "experiment id (fig6, table1, conflict, contention, netload, fig7, fig8, table2, fig9, fig10, all)")
 	paper := flag.Bool("paper", false, "run at paper-approaching scale (slower)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -152,6 +153,12 @@ func run(id string, sc experiments.Scale) error {
 		tbl = t
 	case "contention":
 		t, _, err := experiments.RunContention(sc)
+		if err != nil {
+			return err
+		}
+		tbl = t
+	case "netload":
+		t, _, err := experiments.RunNetload(sc)
 		if err != nil {
 			return err
 		}

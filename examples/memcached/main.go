@@ -1,8 +1,15 @@
-// The §4.4 scenario: memcached without processes. Concurrent client
-// goroutines read a shared key-value map under snapshot isolation while
-// writers commit with merge-update — no locks, no sockets, no lost
-// updates, and hardware-enforced isolation (a reader holds a read-only
-// capability and physically cannot corrupt the map).
+// The §4.4 scenario in its purest form: memcached as direct shared
+// memory. Concurrent client goroutines read a shared key-value map
+// under snapshot isolation while writers commit with merge-update — no
+// locks, no lost updates, and hardware-enforced isolation (a reader
+// holds a read-only capability and physically cannot corrupt the map).
+//
+// This is the in-process baseline: clients touch the store through
+// plain function calls, so what it measures is the data structure
+// itself. The real server — the memcached text protocol over TCP, with
+// every connection's in-flight requests aggregated into shared gather
+// and commit waves — is cmd/hicampd on internal/netfront; run
+// `hicampd -addr :11211` and point any memcached client (or nc) at it.
 package main
 
 import (

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/netfront"
+)
+
+// The network front end's load claim, measured end to end: many
+// concurrent memcached connections driving one HICAMP store through
+// loopback TCP. The baseline dispatches each request as its own store
+// operation the moment it parses (Aggregate=false); the candidate
+// coalesces the in-flight requests of ALL connections into bounded
+// flush windows — one snapshot + one gather wave per namespace for the
+// window's reads, one Apply wave commit for its writes — so the map
+// root path, interior lines shared between the window's keys, and the
+// per-commit publish cost amortize across connections instead of being
+// paid per request.
+//
+// Each connection pipelines Depth requests per burst (send all, flush,
+// read all), the standard memcached client discipline; per-request
+// latency is the burst round-trip divided by its depth, so the p99
+// column reports what a pipelined client observes, batching delay
+// included.
+
+// NetloadConfig sizes one loopback run.
+type NetloadConfig struct {
+	Conns      int  // concurrent client connections
+	Depth      int  // pipelined requests per burst
+	Rounds     int  // bursts per connection
+	KeysPerGet int  // keys per get request
+	SetEvery   int  // every Nth request of a burst is a set; 0 = read-only
+	Preload    int  // keys loaded before the measured window
+	ValueBytes int  // approximate stored value size
+	Aggregate  bool // cross-connection batch aggregation on/off
+}
+
+// NetloadRow is one measured run.
+type NetloadRow struct {
+	Mode       string // "pipelined" or "naive"
+	Conns      int
+	Requests   uint64  // protocol requests completed in the window
+	RPS        float64 // requests per second
+	P50us      float64 // median per-request latency, microseconds
+	P99us      float64
+	Batches    uint64  // flush windows executed (0 in naive mode)
+	AvgBatch   float64 // ops per window
+	DRAM       uint64  // simulated DRAM accesses in the window
+	DRAMPerReq float64
+}
+
+// NetloadResult carries the sweep rows for benchjson and tests.
+type NetloadResult struct {
+	MultiGet []NetloadRow // read-only pipelined multiget, naive then pipelined
+	MixedRW  []NetloadRow // mixed get/set, naive then pipelined
+}
+
+// RunNetload produces the network front-end table: the pipelined
+// multiget and mixed read/write workloads, each in naive per-request
+// dispatch and cross-connection aggregation modes.
+func RunNetload(sc Scale) (Table, NetloadResult, error) {
+	t := Table{
+		Title: "Network front end: pipelined batch aggregation vs per-request dispatch",
+		Note:  "loopback memcached protocol; aggregation coalesces all connections' in-flight ops into one gather/apply wave per flush window",
+		Headers: []string{"workload", "mode", "conns", "requests", "rps",
+			"p99", "windows", "dram/req"},
+	}
+	var res NetloadResult
+
+	conns, rounds := 16, 8
+	if sc == ScalePaper {
+		conns, rounds = 64, 30
+	}
+	mget := NetloadConfig{
+		Conns: conns, Depth: 4, Rounds: rounds, KeysPerGet: 4,
+		Preload: 2048, ValueBytes: 64,
+	}
+	mixed := mget
+	mixed.KeysPerGet = 1
+	mixed.SetEvery = 4
+
+	for _, w := range []struct {
+		name string
+		cfg  NetloadConfig
+		dst  *[]NetloadRow
+	}{{"multiget", mget, &res.MultiGet}, {"mixed_rw", mixed, &res.MixedRW}} {
+		for _, agg := range []bool{false, true} {
+			cfg := w.cfg
+			cfg.Aggregate = agg
+			row, err := RunNetloadWorkload(cfg)
+			if err != nil {
+				return t, res, err
+			}
+			*w.dst = append(*w.dst, row)
+			t.AddRow(w.name, row.Mode, u(uint64(row.Conns)), u(row.Requests),
+				fmt.Sprintf("%.0f", row.RPS),
+				fmt.Sprintf("%.0fus", row.P99us),
+				fmt.Sprintf("%d (%.1f ops)", row.Batches, row.AvgBatch),
+				fmt.Sprintf("%.1f", row.DRAMPerReq))
+		}
+	}
+	return t, res, nil
+}
+
+// RunNetloadWorkload runs one loopback workload against a fresh server
+// and store: preload through the protocol, then Conns concurrent
+// pipelined clients for Rounds bursts each, measuring requests/s,
+// latency percentiles, window telemetry and simulated DRAM traffic.
+func RunNetloadWorkload(c NetloadConfig) (NetloadRow, error) {
+	store := kvstore.NewHicampServer(core.Config{
+		LineBytes: 16, BucketBits: 18, DataWays: 12,
+		CacheLines: (256 << 10) / 16, CacheWays: 16,
+	})
+	opts := netfront.DefaultOptions()
+	opts.Aggregate = c.Aggregate
+	srv := netfront.NewServer(store, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return NetloadRow{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	keys := make([]string, c.Preload)
+	val := make([]byte, c.ValueBytes)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("net:key:%05d", i)
+	}
+	if err := netloadPreload(addr, keys, val); err != nil {
+		return NetloadRow{}, err
+	}
+	store.Heap.M.FlushCache()
+	store.Heap.M.ResetStats()
+	base := srv.Counters()
+
+	lats := make([][]time.Duration, c.Conns)
+	errs := make([]error, c.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < c.Conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lats[g], errs[g] = netloadConn(addr, c, keys, val, g)
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return NetloadRow{}, err
+		}
+	}
+
+	store.Heap.M.FlushCache()
+	dram := store.Heap.M.Stats().Store.Total()
+	cnt := srv.Counters()
+	if err := srv.Close(); err != nil {
+		return NetloadRow{}, err
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pctl := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	requests := uint64(c.Conns * c.Rounds * c.Depth)
+	row := NetloadRow{
+		Mode:       "naive",
+		Conns:      c.Conns,
+		Requests:   requests,
+		RPS:        float64(requests) / elapsed.Seconds(),
+		P50us:      pctl(0.50),
+		P99us:      pctl(0.99),
+		Batches:    cnt.Batches - base.Batches,
+		DRAM:       dram,
+		DRAMPerReq: float64(dram) / float64(requests),
+	}
+	if c.Aggregate {
+		row.Mode = "pipelined"
+		if row.Batches > 0 {
+			row.AvgBatch = float64(cnt.BatchedOps-base.BatchedOps) / float64(row.Batches)
+		}
+	}
+	return row, nil
+}
+
+// netloadPreload loads the key set through the protocol (so values
+// carry the server's flags framing) with noreply sets, then reads one
+// key back — the read passes the connection's class barrier only after
+// every preceding write has committed.
+func netloadPreload(addr string, keys []string, val []byte) error {
+	cl, err := netfront.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for _, k := range keys {
+		if err := cl.SendSet(k, 0, val, true); err != nil {
+			return err
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		return err
+	}
+	if _, ok, err := cl.Get(keys[0]); err != nil || !ok {
+		return fmt.Errorf("preload readback: ok=%v err=%v", ok, err)
+	}
+	return nil
+}
+
+// netloadConn drives one connection: Rounds bursts of Depth pipelined
+// requests. Gets draw keys from a per-connection xorshift stream over
+// the preloaded set (all hits); when SetEvery > 0, every SetEvery-th
+// request of a burst rewrites one key instead.
+func netloadConn(addr string, c NetloadConfig, keys []string, val []byte, seed int) ([]time.Duration, error) {
+	cl, err := netfront.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	x := uint64(seed)*2654435761 + 12345
+	next := func() int {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int(x % uint64(len(keys)))
+	}
+	lats := make([]time.Duration, 0, c.Rounds)
+	kbuf := make([]string, c.KeysPerGet)
+	isSet := make([]bool, c.Depth)
+	for r := 0; r < c.Rounds; r++ {
+		t0 := time.Now()
+		for d := 0; d < c.Depth; d++ {
+			isSet[d] = c.SetEvery > 0 && d%c.SetEvery == c.SetEvery-1
+			if isSet[d] {
+				if err := cl.SendSet(keys[next()], 0, val, false); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			for i := range kbuf {
+				kbuf[i] = keys[next()]
+			}
+			if err := cl.SendGet(false, kbuf...); err != nil {
+				return nil, err
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			return nil, err
+		}
+		for d := 0; d < c.Depth; d++ {
+			if isSet[d] {
+				if rep, err := cl.ReadReply(); err != nil {
+					return nil, err
+				} else if rep != "STORED" {
+					return nil, fmt.Errorf("set: %q", rep)
+				}
+				continue
+			}
+			vs, err := cl.ReadValues()
+			if err != nil {
+				return nil, err
+			}
+			if len(vs) != c.KeysPerGet {
+				return nil, fmt.Errorf("get: %d/%d values", len(vs), c.KeysPerGet)
+			}
+		}
+		// Per-request latency: the burst round-trip over its depth — what
+		// a pipelined client observes, batching delay included.
+		lats = append(lats, time.Since(t0)/time.Duration(c.Depth))
+	}
+	return lats, nil
+}

@@ -180,6 +180,17 @@ func (mp *Map) Snapshot() (segment.Seg, error) {
 	return e.Seg, nil
 }
 
+// SnapshotEntry is Snapshot plus the version's registered logical size —
+// the pair CompareApply needs to publish against the pinned version. The
+// caller owns the returned root.
+func (mp *Map) SnapshotEntry() (segment.Seg, uint64, error) {
+	e, err := mp.h.SM.Load(segmap.ReadOnlyRef(mp.vsid))
+	if err != nil {
+		return segment.Seg{}, 0, err
+	}
+	return e.Seg, e.Size, nil
+}
+
 // MapDelta describes one changed binding between two map snapshots.
 type MapDelta struct {
 	Key       String // from the after side when present there, else before

@@ -19,10 +19,13 @@ import (
 	"repro/internal/segmap"
 )
 
-// HicampServer is memcached on HICAMP (§4.4).
+// HicampServer is memcached on HICAMP (§4.4). Keys with a "tenant/"
+// prefix route to per-tenant maps on their own VSIDs (see namespace.go);
+// bare keys live on the root map.
 type HicampServer struct {
 	Heap *hds.Heap
 	kvp  *hds.Map
+	ns   namespaces
 }
 
 // NewHicampServer creates a server over a fresh machine.
@@ -37,7 +40,7 @@ func NewHicampServer(cfg core.Config) *HicampServer {
 func (s *HicampServer) Set(key, value []byte) error {
 	k := hds.NewString(s.Heap, key)
 	v := hds.NewString(s.Heap, value)
-	err := s.kvp.Set(k, v)
+	err := s.NamespaceFor(key).Set(k, v)
 	// The map's DAG now owns the value (and the key is findable by
 	// content); drop the request-local references.
 	k.Release(s.Heap)
@@ -50,11 +53,27 @@ func (s *HicampServer) Set(key, value []byte) error {
 // map slot commits in a single wave — the warmup/preload counterpart of
 // per-request Set. It is a thin caller of hds.Map.Apply.
 func (s *HicampServer) SetMany(keys []string, values [][]byte) error {
-	pairs := make([]hds.Pair, len(keys))
-	for i := range keys {
-		pairs[i] = hds.Pair{Key: []byte(keys[i]), Value: values[i]}
+	if len(keys) == 0 {
+		return nil
 	}
-	return s.kvp.Apply(pairs, hds.ApplyOptions{})
+	bs := make([][]byte, len(keys))
+	for i := range keys {
+		bs[i] = []byte(keys[i])
+	}
+	for _, g := range s.groupByNamespace(bs) {
+		pairs := make([]hds.Pair, len(g.keys))
+		for i, k := range g.keys {
+			j := i
+			if g.pos != nil {
+				j = g.pos[i]
+			}
+			pairs[i] = hds.Pair{Key: k, Value: values[j]}
+		}
+		if err := g.mp.Apply(pairs, hds.ApplyOptions{}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Get returns the value for key. The read runs against a private
@@ -62,7 +81,7 @@ func (s *HicampServer) SetMany(keys []string, values [][]byte) error {
 func (s *HicampServer) Get(key []byte) ([]byte, bool) {
 	k := hds.NewString(s.Heap, key)
 	defer k.Release(s.Heap)
-	v, ok := s.kvp.Get(k)
+	v, ok := s.NamespaceFor(key).Get(k)
 	if !ok {
 		return nil, false
 	}
@@ -79,16 +98,27 @@ func (s *HicampServer) Get(key []byte) ([]byte, bool) {
 // fetched once per wave instead of once per key. Results are positional;
 // out[i] is nil iff found[i] is false.
 func (s *HicampServer) GetMany(keys [][]byte) ([][]byte, []bool) {
-	ks := hds.NewStrings(s.Heap, keys)
-	vals, found := s.kvp.GetMany(ks)
-	for i := range ks {
-		ks[i].Release(s.Heap)
+	if len(keys) == 0 {
+		return nil, nil
 	}
-	bss := hds.BytesMany(s.Heap, vals)
 	out := make([][]byte, len(keys))
-	for i, ok := range found {
-		if ok {
-			out[i] = bss[i]
+	found := make([]bool, len(keys))
+	for _, g := range s.groupByNamespace(keys) {
+		ks := hds.NewStrings(s.Heap, g.keys)
+		vals, oks := g.mp.GetMany(ks)
+		for i := range ks {
+			ks[i].Release(s.Heap)
+		}
+		bss := hds.BytesMany(s.Heap, vals)
+		for i, ok := range oks {
+			if !ok {
+				continue
+			}
+			j := i
+			if g.pos != nil {
+				j = g.pos[i]
+			}
+			out[j], found[j] = bss[i], true
 			vals[i].Release(s.Heap)
 		}
 	}
@@ -97,7 +127,8 @@ func (s *HicampServer) GetMany(keys [][]byte) ([][]byte, []bool) {
 
 // GetVia is Get through a caller-owned read-only iterator, the §4.4
 // client-thread pattern: the register is reloaded once per request and
-// the map is accessed directly, with zero IPC.
+// the map is accessed directly, with zero IPC. The register is bound to
+// the root map; tenant-prefixed keys read through Get instead.
 func (s *HicampServer) GetVia(it *iterreg.Iterator, key []byte) ([]byte, bool) {
 	if err := it.Reload(); err != nil {
 		return nil, false
@@ -117,7 +148,28 @@ func (s *HicampServer) GetVia(it *iterreg.Iterator, key []byte) ([]byte, bool) {
 func (s *HicampServer) Delete(key []byte) error {
 	k := hds.NewString(s.Heap, key)
 	defer k.Release(s.Heap)
-	return s.kvp.Delete(k)
+	return s.NamespaceFor(key).Delete(k)
+}
+
+// DeleteMany unbinds every key in one wave commit per namespace through
+// the Apply path — the batched counterpart of Delete, and what the
+// network front end's flush window uses for coalesced deletes (a
+// window's sets and deletes publish as a single version). Absent keys
+// are no-ops.
+func (s *HicampServer) DeleteMany(keys [][]byte) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	for _, g := range s.groupByNamespace(keys) {
+		pairs := make([]hds.Pair, len(g.keys))
+		for i, k := range g.keys {
+			pairs[i] = hds.Pair{Key: k, Delete: true}
+		}
+		if err := g.mp.Apply(pairs, hds.ApplyOptions{}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // OpenReader returns a read-only iterator register bound to the map, for
@@ -127,12 +179,28 @@ func (s *HicampServer) OpenReader() (*iterreg.Iterator, error) {
 }
 
 // Scan streams every key-value pair in the store, materialized as bytes,
-// from one snapshot taken at the start — a full-store dump (the memcached
-// `lru_crawler metadump`/cachedump shape) served by one streamed walk
-// instead of one map descent per key. Pairs arrive in ascending key-PLID
-// order; fn returning false stops the scan.
+// from one snapshot per namespace taken as each walk starts — a
+// full-store dump (the memcached `lru_crawler metadump`/cachedump shape)
+// served by one streamed walk per map instead of one map descent per
+// key. The root map streams first, then tenants in name order, each in
+// ascending key-PLID order; fn returning false stops the scan.
 func (s *HicampServer) Scan(fn func(key, value []byte) bool) error {
-	return s.kvp.BytesScan(fn)
+	stopped := false
+	for _, mp := range s.allMaps() {
+		if err := mp.BytesScan(func(key, value []byte) bool {
+			if !fn(key, value) {
+				stopped = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
 }
 
 // ScanParallel is Scan with the map walk sharded across a bounded worker
@@ -156,32 +224,46 @@ func (s *HicampServer) ScanParallel(workers int, fn func(key, value []byte) bool
 		}
 		return true
 	}
-	err := s.kvp.ForEachParallel(workers, func(key, val hds.String) bool {
-		// Retain past the callback: materialization is deferred to the
-		// batch gather below.
-		key.Retain(s.Heap)
-		val.Retain(s.Heap)
-		batch = append(batch, key, val)
-		if len(batch) >= 256 {
-			return flush()
+	for _, mp := range s.allMaps() {
+		stopped := false
+		err := mp.ForEachParallel(workers, func(key, val hds.String) bool {
+			// Retain past the callback: materialization is deferred to the
+			// batch gather below.
+			key.Retain(s.Heap)
+			val.Retain(s.Heap)
+			batch = append(batch, key, val)
+			if len(batch) >= 256 {
+				if !flush() {
+					stopped = true
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
 		}
-		return true
-	})
-	flush()
-	return err
+		if stopped || !flush() {
+			return nil
+		}
+	}
+	return nil
 }
 
-// Keys returns every key in the store from one snapshot, in ascending
-// key-PLID order, via one streamed walk plus one bulk materialization.
+// Keys returns every key in the store — root map first, then tenants in
+// name order, each from one snapshot in ascending key-PLID order — via
+// one streamed walk per map plus one bulk materialization.
 func (s *HicampServer) Keys() ([][]byte, error) {
 	var keys []hds.String
-	err := s.kvp.ForEach(func(key, val hds.String) bool {
-		key.Retain(s.Heap)
-		keys = append(keys, key)
-		return true
-	})
-	if err != nil {
-		return nil, err
+	for _, mp := range s.allMaps() {
+		err := mp.ForEach(func(key, val hds.String) bool {
+			key.Retain(s.Heap)
+			keys = append(keys, key)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := hds.BytesMany(s.Heap, keys)
 	for i := range keys {

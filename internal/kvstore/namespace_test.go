@@ -1,0 +1,191 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestDeleteManyWavePath(t *testing.T) {
+	s := NewHicampServer(testCfg())
+	keys := make([]string, 8)
+	vals := make([][]byte, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dm-key-%d", i)
+		vals[i] = []byte(fmt.Sprintf("dm-val-%d", i))
+	}
+	if err := s.SetMany(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	// One batch mixing present keys and absent keys: present ones unbind,
+	// absent ones are no-ops.
+	if err := s.DeleteMany([][]byte{
+		[]byte("dm-key-1"), []byte("dm-key-3"), []byte("never-set"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		_, ok := s.Get([]byte(keys[i]))
+		want := i != 1 && i != 3
+		if ok != want {
+			t.Fatalf("after DeleteMany, Get(%s) = %v, want %v", keys[i], ok, want)
+		}
+	}
+	if err := s.DeleteMany(nil); err != nil {
+		t.Fatalf("empty DeleteMany: %v", err)
+	}
+}
+
+func TestNamespaceRoutingAndIsolation(t *testing.T) {
+	s := NewHicampServer(testCfg())
+
+	// Same suffix under two tenants and bare: three independent bindings.
+	if err := s.Set([]byte("acme/k"), []byte("va")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]byte("beta/k"), []byte("vb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]byte("k"), []byte("vr")); err != nil {
+		t.Fatal(err)
+	}
+
+	for key, want := range map[string]string{"acme/k": "va", "beta/k": "vb", "k": "vr"} {
+		got, ok := s.Get([]byte(key))
+		if !ok || string(got) != want {
+			t.Fatalf("Get(%s) = %q,%v want %q", key, got, ok, want)
+		}
+	}
+
+	// Tenants are distinct maps on distinct VSIDs; bare keys are the root.
+	acme, beta := s.Namespace("acme"), s.Namespace("beta")
+	if acme == beta || acme == s.Map() || beta == s.Map() {
+		t.Fatal("tenant maps must be distinct from each other and the root")
+	}
+	if acme.VSID() == beta.VSID() {
+		t.Fatal("tenant maps share a VSID")
+	}
+	if s.NamespaceFor([]byte("acme/k")) != acme {
+		t.Fatal("NamespaceFor did not route to the tenant map")
+	}
+	if s.NamespaceFor([]byte("k")) != s.Map() {
+		t.Fatal("bare key did not route to the root map")
+	}
+	// A leading separator is not a tenant prefix.
+	if s.NamespaceFor([]byte("/odd")) != s.Map() {
+		t.Fatal("leading-separator key did not route to the root map")
+	}
+
+	// Deleting a tenant's key leaves the other tenants' bindings alone.
+	if err := s.Delete([]byte("acme/k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get([]byte("acme/k")); ok {
+		t.Fatal("acme/k survived delete")
+	}
+	if _, ok := s.Get([]byte("beta/k")); !ok {
+		t.Fatal("beta/k lost to acme delete")
+	}
+	if _, ok := s.Get([]byte("k")); !ok {
+		t.Fatal("bare k lost to acme delete")
+	}
+}
+
+func TestNamespaceBatchesSpanTenants(t *testing.T) {
+	s := NewHicampServer(testCfg())
+	keys := []string{"acme/a", "k0", "beta/b", "acme/c", "k1"}
+	vals := make([][]byte, len(keys))
+	for i := range keys {
+		vals[i] = []byte("v-" + keys[i])
+	}
+	if err := s.SetMany(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	// Positional multi-get across three namespaces, with a miss mixed in.
+	bk := [][]byte{[]byte("beta/b"), []byte("k1"), []byte("acme/missing"), []byte("acme/a")}
+	got, found := s.GetMany(bk)
+	wantFound := []bool{true, true, false, true}
+	for i := range bk {
+		if found[i] != wantFound[i] {
+			t.Fatalf("found[%d] = %v, want %v", i, found[i], wantFound[i])
+		}
+		if found[i] && string(got[i]) != "v-"+string(bk[i]) {
+			t.Fatalf("GetMany[%d] = %q, want %q", i, got[i], "v-"+string(bk[i]))
+		}
+	}
+
+	// Cross-tenant delete batch.
+	if err := s.DeleteMany([][]byte{[]byte("acme/a"), []byte("k0")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get([]byte("acme/a")); ok {
+		t.Fatal("acme/a survived cross-tenant DeleteMany")
+	}
+	if _, ok := s.Get([]byte("k0")); ok {
+		t.Fatal("k0 survived cross-tenant DeleteMany")
+	}
+	if _, ok := s.Get([]byte("acme/c")); !ok {
+		t.Fatal("acme/c lost")
+	}
+
+	// Full-store walks cover every namespace.
+	want := []string{"acme/c", "beta/b", "k1"}
+	keysOut, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, k := range keysOut {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("Keys = %v, want %v", names, want)
+	}
+	var scanned []string
+	if err := s.Scan(func(k, v []byte) bool {
+		scanned = append(scanned, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(scanned)
+	if fmt.Sprint(scanned) != fmt.Sprint(want) {
+		t.Fatalf("Scan = %v, want %v", scanned, want)
+	}
+}
+
+func TestNamespaceBoundFallsBackToRoot(t *testing.T) {
+	s := NewHicampServer(testCfg())
+	s.SetMaxNamespaces(2)
+	a := s.Namespace("t1")
+	b := s.Namespace("t2")
+	over := s.Namespace("t3") // beyond the bound: shares the root map
+	if a == s.Map() || b == s.Map() {
+		t.Fatal("in-bound tenants must get their own maps")
+	}
+	if over != s.Map() {
+		t.Fatal("over-bound tenant must fall back to the root map")
+	}
+	// Still correct through the fallback: full key stored, so no aliasing.
+	if err := s.Set([]byte("t3/k"), []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get([]byte("t3/k")); !ok || string(got) != "v3" {
+		t.Fatalf("fallback Get = %q,%v", got, ok)
+	}
+
+	// Telemetry lists root plus the two real tenants, name-ordered.
+	infos := s.NamespaceStats()
+	if len(infos) != 3 {
+		t.Fatalf("NamespaceStats len = %d, want 3", len(infos))
+	}
+	if infos[0].Name != "" || infos[1].Name != "t1" || infos[2].Name != "t2" {
+		t.Fatalf("NamespaceStats order = %q,%q,%q", infos[0].Name, infos[1].Name, infos[2].Name)
+	}
+	if infos[1].VSID == infos[2].VSID || infos[1].VSID == infos[0].VSID {
+		t.Fatal("NamespaceStats VSIDs must be distinct")
+	}
+}

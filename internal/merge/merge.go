@@ -175,7 +175,11 @@ func resetMerger(w *merger) {
 	}
 	w.plids = w.plids[:0]
 	w.contents = w.contents[:0]
-	clear(w.readAt)
+	// The descent's last wave is its widest (levels grow toward the
+	// leaves), so readAt is at peak entry count here: drop it past the
+	// keep bound rather than pinning its O(capacity) clear cost on
+	// every later borrower.
+	w.readAt = pool.ResetMap(w.readAt, 0)
 	w.eo, w.em, w.ec = w.eo[:0], w.em[:0], w.ec[:0]
 }
 

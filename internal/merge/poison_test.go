@@ -1,0 +1,31 @@
+package merge
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/word"
+)
+
+// White-box pin for the merger's map retention bound, mirroring the
+// segment package's poison tests: the descent's read-dedup map is at
+// its widest when the walk ends, and an oversized one must be dropped
+// by the pooled reset rather than pinning its O(grown capacity) clear
+// cost on every later merge.
+func TestMergerResetDropsOversizedReadMap(t *testing.T) {
+	w := mergerPool.Get()
+	w.readAt = make(map[word.PLID]int, pool.KeepMapEntries+1)
+	for i := 0; i < pool.KeepMapEntries+1; i++ {
+		w.readAt[word.PLID(i+1)] = i
+	}
+	resetMerger(w)
+	if w.readAt != nil {
+		t.Fatal("oversized read-dedup map survived reset")
+	}
+	w.readAt = map[word.PLID]int{1: 1}
+	resetMerger(w)
+	if w.readAt == nil || len(w.readAt) != 0 {
+		t.Fatalf("steady-state map not cleared in place: %v", w.readAt)
+	}
+	mergerPool.Put(w)
+}

@@ -1,0 +1,332 @@
+package netfront
+
+import (
+	"time"
+
+	"repro/internal/hds"
+	"repro/internal/segment"
+)
+
+// The aggregation loop. Every connection reader feeds parsed ops into
+// one shared channel; the dispatcher collects them into bounded flush
+// windows (up to MaxBatch ops, waiting at most FlushWindow for
+// stragglers) and executes each window as a handful of wave operations
+// instead of one store operation per request:
+//
+//   - all reads in the window, across every connection, resolve per
+//     namespace through ONE pinned snapshot + ONE level-order gather
+//     (Map.GetManyAt) + ONE bulk materialization — the map's root path
+//     and interior lines shared between the window's keys are fetched
+//     once per wave, not once per request;
+//   - all sets and deletes in the window coalesce per namespace into ONE
+//     Apply batch — one bottom-up wave commit publishing one version for
+//     the whole window, with tombstones riding the same commit;
+//   - cas ops run individually through the merge-rebase publish
+//     (execCas), after the window's writes.
+//
+// Execution order within a window is reads, then writes, then cas: the
+// window's reads see the pre-window version (they pinned it), its writes
+// publish after. Per-connection ordering across classes is enforced
+// upstream by the submit barrier, and cross-connection ordering is
+// unspecified by the protocol — so this reordering is invisible to any
+// single connection.
+type dispatcher struct {
+	s    *Server
+	ch   chan *op
+	done chan struct{}
+
+	// Reused window scratch (the dispatcher is a single goroutine).
+	batch  []*op
+	reads  []*op
+	writes []*op
+	cass   []*op
+	groups map[*hds.Map]*windowGroup
+	order  []*windowGroup
+	free   []*windowGroup
+}
+
+func newDispatcher(s *Server) *dispatcher {
+	return &dispatcher{
+		s:      s,
+		ch:     make(chan *op, 4*s.opts.MaxBatch),
+		done:   make(chan struct{}),
+		groups: make(map[*hds.Map]*windowGroup),
+	}
+}
+
+// windowGroup is one namespace's share of a flush window: the read keys
+// and write pairs routed to one hds.Map, with cursors for scattering
+// results back to ops in arrival order.
+type windowGroup struct {
+	mp *hds.Map
+
+	// Read side. vals aliases valflat; both are retained across windows
+	// so steady-state materialization reuses their storage.
+	rkeys   [][]byte
+	ks      []hds.String
+	vstrs   []hds.String
+	vals    [][]byte
+	valflat []byte
+	found   []bool
+	tok     uint64
+	rcur    int
+
+	// Write side.
+	pairs   []hds.Pair
+	delKeys [][]byte
+	dfound  []bool
+	werr    error
+	dcur    int
+}
+
+func (g *windowGroup) reset() {
+	g.mp = nil
+	g.rkeys, g.ks, g.vstrs, g.vals = g.rkeys[:0], g.ks[:0], g.vstrs[:0], g.vals[:0]
+	g.found = g.found[:0]
+	g.tok, g.rcur = 0, 0
+	g.pairs, g.delKeys = g.pairs[:0], g.delKeys[:0]
+	g.dfound, g.werr, g.dcur = g.dfound[:0], nil, 0
+}
+
+func (d *dispatcher) run() {
+	defer close(d.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		o, ok := <-d.ch
+		if !ok {
+			return
+		}
+		d.batch = append(d.batch[:0], o)
+		timer.Reset(d.s.opts.FlushWindow)
+		fired := false
+	collect:
+		for len(d.batch) < d.s.opts.MaxBatch {
+			select {
+			case o2, ok2 := <-d.ch:
+				if !ok2 {
+					break collect
+				}
+				d.batch = append(d.batch, o2)
+			case <-timer.C:
+				fired = true
+				break collect
+			}
+		}
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
+		d.execBatch(d.batch)
+	}
+}
+
+// groupFor returns the window group of mp, creating it from the
+// dispatcher's freelist.
+func (d *dispatcher) groupFor(mp *hds.Map) *windowGroup {
+	if g, ok := d.groups[mp]; ok {
+		return g
+	}
+	var g *windowGroup
+	if n := len(d.free); n > 0 {
+		g, d.free = d.free[n-1], d.free[:n-1]
+	} else {
+		g = &windowGroup{}
+	}
+	g.mp = mp
+	d.groups[mp] = g
+	d.order = append(d.order, g)
+	return g
+}
+
+func (d *dispatcher) releaseGroups() {
+	for _, g := range d.order {
+		delete(d.groups, g.mp)
+		g.reset()
+		d.free = append(d.free, g)
+	}
+	d.order = d.order[:0]
+}
+
+func (d *dispatcher) execBatch(batch []*op) {
+	s := d.s
+	s.c.batches.Add(1)
+	s.c.batchedOps.Add(uint64(len(batch)))
+	d.reads, d.writes, d.cass = d.reads[:0], d.writes[:0], d.cass[:0]
+	for _, o := range batch {
+		switch o.class {
+		case classRead:
+			d.reads = append(d.reads, o)
+		case classWrite:
+			d.writes = append(d.writes, o)
+		default:
+			d.cass = append(d.cass, o)
+		}
+	}
+	if len(d.reads) > 0 {
+		d.execReadWindow(d.reads)
+	}
+	if len(d.writes) > 0 {
+		d.execWriteWindow(d.writes)
+	}
+	for _, o := range d.cass {
+		s.execCas(o)
+		o.finish()
+	}
+}
+
+// execReadWindow serves every read op of the window: one snapshot pin,
+// one gather, one bulk materialization per namespace, then a positional
+// scatter back to each op's response in arrival order. If any op in the
+// window is a gets/mget, the namespace's pinned snapshot is registered
+// as a cas token shared by the whole window (one pin names the version
+// every one of those reads saw).
+func (d *dispatcher) execReadWindow(reads []*op) {
+	s := d.s
+	withCas := false
+	for _, o := range reads {
+		s.c.cmdGet.Add(uint64(len(o.keys)))
+		withCas = withCas || o.withCas
+		for _, key := range o.keys {
+			g := d.groupFor(s.store.NamespaceFor(key))
+			g.rkeys = append(g.rkeys, key)
+		}
+	}
+	for _, g := range d.order {
+		seg, size, err := g.mp.SnapshotEntry()
+		if err != nil {
+			g.vals = append(g.vals[:0], make([][]byte, len(g.rkeys))...)
+			g.found = append(g.found[:0], make([]bool, len(g.rkeys))...)
+			continue
+		}
+		g.ks = hds.NewStringsInto(s.store.Heap, g.rkeys, g.ks)
+		var vals []hds.String
+		vals, g.found = g.mp.GetManyAtInto(seg, g.ks, g.vstrs[:0], g.found[:0])
+		g.vstrs = vals
+		for i := range g.ks {
+			g.ks[i].Release(s.store.Heap)
+		}
+		g.vals, g.valflat = hds.BytesManyInto(s.store.Heap, vals, g.valflat, g.vals)
+		for i, ok := range g.found {
+			if ok {
+				vals[i].Release(s.store.Heap)
+			}
+		}
+		if withCas {
+			g.tok = s.toks.Register(g.mp, seg, size) // owns seg now
+		} else {
+			segment.ReleaseSeg(s.store.Heap.M, seg)
+		}
+	}
+	// Scatter: same iteration order as the grouping pass, so each group's
+	// cursor walks its results positionally.
+	for _, o := range reads {
+		hint := 32
+		for _, key := range o.keys {
+			hint += len(key) + 48
+		}
+		dst := o.grab(hint)
+		for _, key := range o.keys {
+			g := d.groups[s.store.NamespaceFor(key)]
+			v, ok := g.vals[g.rcur], g.found[g.rcur]
+			g.rcur++
+			if !ok {
+				s.c.getMisses.Add(1)
+				continue
+			}
+			s.c.getHits.Add(1)
+			flags, payload := unframe(v)
+			dst = AppendValue(dst, key, flags, payload, g.tok, o.withCas)
+		}
+		o.out = append(dst, respEnd...)
+		o.finish()
+	}
+	d.releaseGroups()
+}
+
+// execWriteWindow coalesces the window's sets and deletes into one Apply
+// wave commit per namespace — sets bind, tombstones unbind, the whole
+// window publishes as a single version. DELETED/NOT_FOUND answers come
+// from a pre-commit existence gather, corrected by in-window bindings so
+// a delete following a same-window set still answers DELETED.
+func (d *dispatcher) execWriteWindow(writes []*op) {
+	s := d.s
+	anyDelete := false
+	for _, o := range writes {
+		key := o.keys[0]
+		g := d.groupFor(s.store.NamespaceFor(key))
+		if o.verb == OpDelete {
+			s.c.cmdDelete.Add(1)
+			anyDelete = true
+			g.pairs = append(g.pairs, hds.Pair{Key: key, Delete: true})
+			g.delKeys = append(g.delKeys, key)
+		} else {
+			s.c.cmdSet.Add(1)
+			g.pairs = append(g.pairs, hds.Pair{Key: key, Value: o.val.S})
+		}
+	}
+	for _, g := range d.order {
+		if len(g.delKeys) > 0 {
+			g.dfound = g.dfound[:0]
+			seg, _, err := g.mp.SnapshotEntry()
+			if err != nil {
+				g.dfound = append(g.dfound, make([]bool, len(g.delKeys))...)
+			} else {
+				g.ks = hds.NewStringsInto(s.store.Heap, g.delKeys, g.ks)
+				var vals []hds.String
+				vals, g.dfound = g.mp.GetManyAtInto(seg, g.ks, g.vstrs[:0], g.dfound)
+				g.vstrs = vals
+				for i := range g.ks {
+					g.ks[i].Release(s.store.Heap)
+				}
+				for i, ok := range g.dfound {
+					if ok {
+						vals[i].Release(s.store.Heap)
+					}
+				}
+				segment.ReleaseSeg(s.store.Heap.M, seg)
+			}
+		}
+		g.werr = g.mp.Apply(g.pairs, hds.ApplyOptions{})
+	}
+	// In-window binding state, for delete answers after same-window sets.
+	var bound map[string]bool
+	if anyDelete {
+		bound = make(map[string]bool)
+	}
+	for _, o := range writes {
+		key := o.keys[0]
+		g := d.groups[s.store.NamespaceFor(key)]
+		if o.verb != OpDelete {
+			if g.werr != nil {
+				o.out = appendErrorResponse(o.grab(64), g.werr)
+			} else {
+				o.out = respStored
+			}
+			if bound != nil {
+				bound[string(key)] = true
+			}
+			o.finish()
+			continue
+		}
+		existed := g.dfound[g.dcur]
+		g.dcur++
+		if b, ok := bound[string(key)]; ok {
+			existed = b
+		}
+		bound[string(key)] = false
+		switch {
+		case g.werr != nil:
+			o.out = appendErrorResponse(o.grab(64), g.werr)
+		case existed:
+			s.c.deleteHits.Add(1)
+			o.out = respDeleted
+		default:
+			s.c.deleteMisses.Add(1)
+			o.out = respNotFound
+		}
+		o.finish()
+	}
+	d.releaseGroups()
+}

@@ -1,0 +1,338 @@
+// Package netfront is the memcached-text-protocol TCP front end over
+// kvstore.HicampServer — the socket tier the paper's §4.4 application
+// study abstracts away, reinstated so the wave engines serve real
+// pipelined connections. Its distinguishing mechanism is cross-connection
+// batch aggregation: commands in flight on many connections coalesce
+// into single wave operations (one snapshot + one gather per read
+// window, one wave commit per write window) instead of dispatching one
+// map descent per request. See server.go for the aggregation loop and
+// batch.go for window execution.
+package netfront
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is a parsed command verb.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpGet        // get k1 k2 ...          -> VALUE*/END
+	OpGets       // gets k1 k2 ...         -> VALUE* (with cas token)/END
+	OpMGet       // mget k1 k2 ...         -> alias of gets; one snapshot
+	OpSet        // set k flags exp n      -> STORED
+	OpCas        // cas k flags exp n tok  -> STORED/EXISTS/NOT_FOUND
+	OpDelete     // delete k               -> DELETED/NOT_FOUND
+	OpStats      // stats                  -> STAT*/END
+	OpVersion    // version                -> VERSION ...
+	OpQuit       // quit                   -> close
+)
+
+// Protocol limits, per the memcached text protocol (and a defensive
+// bound on multi-get width so one line cannot queue unbounded work).
+const (
+	MaxKeyLen  = 250
+	MaxGetKeys = 1024
+	// MaxValueLen bounds one value payload (memcached's classic 1MB).
+	MaxValueLen = 1 << 20
+	// MaxLineLen bounds one command line: verb + keys + numbers.
+	MaxLineLen = 8192
+)
+
+// ErrUnknownCommand maps to the bare "ERROR" response.
+var ErrUnknownCommand = errors.New("netfront: unknown command")
+
+// ClientError is a malformed-but-recognized command; it maps to a
+// "CLIENT_ERROR <text>" response and the connection survives.
+type ClientError string
+
+func (e ClientError) Error() string { return "netfront: client error: " + string(e) }
+
+const (
+	errBadFormat = ClientError("bad command line format")
+	errBadKey    = ClientError("bad key")
+	errTooMany   = ClientError("too many keys")
+)
+
+// Command is one parsed request line. All byte slices alias the input
+// line — the caller owns copying them if the line buffer will be reused
+// — and Keys is recycled across Reset/Parse cycles, so a Command is
+// zero-allocation in steady state.
+type Command struct {
+	Op      Op
+	Keys    [][]byte
+	Flags   uint32
+	Exptime int64
+	Bytes   int    // value payload length (set/cas)
+	Cas     uint64 // compare token (cas)
+	Noreply bool
+}
+
+// Reset clears the command for reuse, keeping the Keys backing array.
+func (c *Command) Reset() {
+	c.Keys = c.Keys[:0]
+	c.Op = OpInvalid
+	c.Flags, c.Exptime, c.Bytes, c.Cas = 0, 0, 0, 0
+	c.Noreply = false
+}
+
+// nextToken scans the next space-delimited token of line starting at i.
+// Returns a nil token at end of line.
+func nextToken(line []byte, i int) ([]byte, int) {
+	for i < len(line) && line[i] == ' ' {
+		i++
+	}
+	if i >= len(line) {
+		return nil, i
+	}
+	start := i
+	for i < len(line) && line[i] != ' ' {
+		i++
+	}
+	return line[start:i], i
+}
+
+// parseUint is a zero-allocation strconv.ParseUint(tok, 10, 64).
+func parseUint(tok []byte) (uint64, bool) {
+	if len(tok) == 0 || len(tok) > 20 {
+		return 0, false
+	}
+	var n uint64
+	for _, ch := range tok {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		d := uint64(ch - '0')
+		if n > (1<<64-1-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// parseInt allows one leading '-' (memcached exptime can be negative).
+func parseInt(tok []byte) (int64, bool) {
+	neg := false
+	if len(tok) > 0 && tok[0] == '-' {
+		neg, tok = true, tok[1:]
+	}
+	n, ok := parseUint(tok)
+	if !ok || n > 1<<62 {
+		return 0, false
+	}
+	if neg {
+		return -int64(n), true
+	}
+	return int64(n), true
+}
+
+// validKey enforces memcached key rules: 1..MaxKeyLen bytes, no
+// whitespace or control characters. (Spaces cannot appear — the
+// tokenizer split on them — but control bytes can.)
+func validKey(k []byte) bool {
+	if len(k) == 0 || len(k) > MaxKeyLen {
+		return false
+	}
+	for _, ch := range k {
+		if ch <= ' ' || ch == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// verbOp decodes the command verb without allocating.
+func verbOp(v []byte) Op {
+	switch string(v) { // compiler-recognized: no allocation
+	case "get":
+		return OpGet
+	case "gets":
+		return OpGets
+	case "mget":
+		return OpMGet
+	case "set":
+		return OpSet
+	case "cas":
+		return OpCas
+	case "delete":
+		return OpDelete
+	case "stats":
+		return OpStats
+	case "version":
+		return OpVersion
+	case "quit":
+		return OpQuit
+	}
+	return OpInvalid
+}
+
+// ParseCommand parses one command line (CRLF already stripped) into cmd.
+// cmd's slices alias line. A non-nil error is either ErrUnknownCommand
+// ("ERROR" response) or a ClientError ("CLIENT_ERROR ..." response);
+// both leave the connection usable.
+func ParseCommand(line []byte, cmd *Command) error {
+	cmd.Reset()
+	if len(line) > MaxLineLen {
+		return errBadFormat
+	}
+	verb, i := nextToken(line, 0)
+	if verb == nil {
+		return ErrUnknownCommand
+	}
+	op := verbOp(verb)
+	cmd.Op = op
+	switch op {
+	case OpGet, OpGets, OpMGet:
+		for {
+			var k []byte
+			k, i = nextToken(line, i)
+			if k == nil {
+				break
+			}
+			if !validKey(k) {
+				return errBadKey
+			}
+			if len(cmd.Keys) >= MaxGetKeys {
+				return errTooMany
+			}
+			cmd.Keys = append(cmd.Keys, k)
+		}
+		if len(cmd.Keys) == 0 {
+			return errBadFormat
+		}
+		return nil
+
+	case OpSet, OpCas:
+		k, j := nextToken(line, i)
+		flags, j2 := nextToken(line, j)
+		exp, j3 := nextToken(line, j2)
+		n, j4 := nextToken(line, j3)
+		i = j4
+		if !validKey(k) {
+			return errBadKey
+		}
+		f, ok1 := parseUint(flags)
+		e, ok2 := parseInt(exp)
+		b, ok3 := parseUint(n)
+		if !ok1 || !ok2 || !ok3 || f > 1<<32-1 || b > MaxValueLen {
+			return errBadFormat
+		}
+		cmd.Keys = append(cmd.Keys, k)
+		cmd.Flags, cmd.Exptime, cmd.Bytes = uint32(f), e, int(b)
+		if op == OpCas {
+			tok, j5 := nextToken(line, i)
+			i = j5
+			c, ok := parseUint(tok)
+			if !ok {
+				return errBadFormat
+			}
+			cmd.Cas = c
+		}
+		return parseTrailer(line, i, cmd)
+
+	case OpDelete:
+		k, j := nextToken(line, i)
+		i = j
+		if !validKey(k) {
+			return errBadKey
+		}
+		cmd.Keys = append(cmd.Keys, k)
+		return parseTrailer(line, i, cmd)
+
+	case OpStats, OpVersion, OpQuit:
+		if tok, _ := nextToken(line, i); tok != nil {
+			return errBadFormat
+		}
+		return nil
+	}
+	return ErrUnknownCommand
+}
+
+// parseTrailer consumes an optional "noreply" and requires end of line.
+func parseTrailer(line []byte, i int, cmd *Command) error {
+	tok, i := nextToken(line, i)
+	if tok == nil {
+		return nil
+	}
+	if string(tok) == "noreply" {
+		cmd.Noreply = true
+		if tok, _ = nextToken(line, i); tok == nil {
+			return nil
+		}
+	}
+	return errBadFormat
+}
+
+// Response fragments (text protocol).
+var (
+	respStored      = []byte("STORED\r\n")
+	respExists      = []byte("EXISTS\r\n")
+	respNotFound    = []byte("NOT_FOUND\r\n")
+	respDeleted     = []byte("DELETED\r\n")
+	respEnd         = []byte("END\r\n")
+	respError       = []byte("ERROR\r\n")
+	respCRLF        = []byte("\r\n")
+	respClientError = []byte("CLIENT_ERROR ")
+	respServerError = []byte("SERVER_ERROR ")
+)
+
+// appendUint is a zero-allocation strconv.AppendUint base 10.
+func appendUint(dst []byte, n uint64) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// AppendValue appends one "VALUE <key> <flags> <bytes> [<cas>]\r\n<data>\r\n"
+// block. withCas selects the gets/mget form.
+func AppendValue(dst, key []byte, flags uint32, data []byte, cas uint64, withCas bool) []byte {
+	dst = append(dst, "VALUE "...)
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = appendUint(dst, uint64(flags))
+	dst = append(dst, ' ')
+	dst = appendUint(dst, uint64(len(data)))
+	if withCas {
+		dst = append(dst, ' ')
+		dst = appendUint(dst, cas)
+	}
+	dst = append(dst, respCRLF...)
+	dst = append(dst, data...)
+	return append(dst, respCRLF...)
+}
+
+// appendErrorResponse renders a parse/exec error as its protocol line.
+func appendErrorResponse(dst []byte, err error) []byte {
+	var ce ClientError
+	if errors.As(err, &ce) {
+		dst = append(dst, respClientError...)
+		dst = append(dst, string(ce)...)
+		return append(dst, respCRLF...)
+	}
+	if errors.Is(err, ErrUnknownCommand) {
+		return append(dst, respError...)
+	}
+	dst = append(dst, respServerError...)
+	dst = append(dst, fmt.Sprintf("%v", err)...)
+	return append(dst, respCRLF...)
+}
+
+// appendStat appends one "STAT <name> <value>\r\n" line.
+func appendStat(dst []byte, name string, v uint64) []byte {
+	dst = append(dst, "STAT "...)
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = appendUint(dst, v)
+	return append(dst, respCRLF...)
+}

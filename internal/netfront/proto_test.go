@@ -1,0 +1,194 @@
+package netfront
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestParseCommandTable(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Command
+		err  error
+	}{
+		{
+			name: "get single",
+			line: "get foo",
+			want: Command{Op: OpGet, Keys: [][]byte{[]byte("foo")}},
+		},
+		{
+			name: "get multi",
+			line: "get a b  c",
+			want: Command{Op: OpGet, Keys: [][]byte{[]byte("a"), []byte("b"), []byte("c")}},
+		},
+		{
+			name: "gets",
+			line: "gets k1 k2",
+			want: Command{Op: OpGets, Keys: [][]byte{[]byte("k1"), []byte("k2")}},
+		},
+		{
+			name: "mget",
+			line: "mget t/a t/b",
+			want: Command{Op: OpMGet, Keys: [][]byte{[]byte("t/a"), []byte("t/b")}},
+		},
+		{
+			name: "set",
+			line: "set foo 42 0 5",
+			want: Command{Op: OpSet, Keys: [][]byte{[]byte("foo")}, Flags: 42, Bytes: 5},
+		},
+		{
+			name: "set noreply",
+			line: "set foo 0 0 3 noreply",
+			want: Command{Op: OpSet, Keys: [][]byte{[]byte("foo")}, Bytes: 3, Noreply: true},
+		},
+		{
+			name: "set negative exptime",
+			line: "set foo 0 -1 3",
+			want: Command{Op: OpSet, Keys: [][]byte{[]byte("foo")}, Exptime: -1, Bytes: 3},
+		},
+		{
+			name: "cas",
+			line: "cas foo 7 0 4 99",
+			want: Command{Op: OpCas, Keys: [][]byte{[]byte("foo")}, Flags: 7, Bytes: 4, Cas: 99},
+		},
+		{
+			name: "cas noreply",
+			line: "cas foo 0 0 1 12 noreply",
+			want: Command{Op: OpCas, Keys: [][]byte{[]byte("foo")}, Bytes: 1, Cas: 12, Noreply: true},
+		},
+		{
+			name: "delete",
+			line: "delete foo",
+			want: Command{Op: OpDelete, Keys: [][]byte{[]byte("foo")}},
+		},
+		{
+			name: "delete noreply",
+			line: "delete foo noreply",
+			want: Command{Op: OpDelete, Keys: [][]byte{[]byte("foo")}, Noreply: true},
+		},
+		{name: "stats", line: "stats", want: Command{Op: OpStats}},
+		{name: "version", line: "version", want: Command{Op: OpVersion}},
+		{name: "quit", line: "quit", want: Command{Op: OpQuit}},
+
+		{name: "empty", line: "", err: ErrUnknownCommand},
+		{name: "unknown verb", line: "frobnicate x", err: ErrUnknownCommand},
+		{name: "get no keys", line: "get", err: errBadFormat},
+		{name: "get key too long", line: "get " + string(bytes.Repeat([]byte("k"), 251)), err: errBadKey},
+		{name: "get control byte key", line: "get a\x01b", err: errBadKey},
+		{name: "set missing bytes", line: "set foo 0 0", err: errBadFormat},
+		{name: "set bad flags", line: "set foo x 0 3", err: errBadFormat},
+		{name: "set bad bytes", line: "set foo 0 0 x", err: errBadFormat},
+		{name: "set oversize bytes", line: "set foo 0 0 1048577", err: errBadFormat},
+		{name: "set trailing junk", line: "set foo 0 0 3 zzz", err: errBadFormat},
+		{name: "set junk after noreply", line: "set foo 0 0 3 noreply zzz", err: errBadFormat},
+		{name: "cas missing token", line: "cas foo 0 0 3", err: errBadFormat},
+		{name: "cas bad token", line: "cas foo 0 0 3 x", err: errBadFormat},
+		{name: "delete missing key", line: "delete", err: errBadKey},
+		{name: "delete trailing junk", line: "delete foo bar", err: errBadFormat},
+		{name: "stats with args", line: "stats items", err: errBadFormat},
+		{name: "flags overflow", line: "set foo 4294967296 0 3", err: errBadFormat},
+		{name: "uint overflow", line: "set foo 99999999999999999999999 0 3", err: errBadFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var cmd Command
+			err := ParseCommand([]byte(tc.line), &cmd)
+			if tc.err != nil {
+				if !errors.Is(err, tc.err) {
+					t.Fatalf("ParseCommand(%q) err = %v, want %v", tc.line, err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseCommand(%q): %v", tc.line, err)
+			}
+			if cmd.Op != tc.want.Op || cmd.Flags != tc.want.Flags ||
+				cmd.Exptime != tc.want.Exptime || cmd.Bytes != tc.want.Bytes ||
+				cmd.Cas != tc.want.Cas || cmd.Noreply != tc.want.Noreply {
+				t.Fatalf("ParseCommand(%q) = %+v, want %+v", tc.line, cmd, tc.want)
+			}
+			if len(cmd.Keys) != len(tc.want.Keys) {
+				t.Fatalf("ParseCommand(%q) keys = %q, want %q", tc.line, cmd.Keys, tc.want.Keys)
+			}
+			for i := range cmd.Keys {
+				if !bytes.Equal(cmd.Keys[i], tc.want.Keys[i]) {
+					t.Fatalf("ParseCommand(%q) key[%d] = %q, want %q", tc.line, i, cmd.Keys[i], tc.want.Keys[i])
+				}
+			}
+		})
+	}
+}
+
+// The Command is reused across parses: a successful parse must fully
+// overwrite the previous command's state.
+func TestParseCommandReuse(t *testing.T) {
+	var cmd Command
+	if err := ParseCommand([]byte("cas foo 7 0 4 99 noreply"), &cmd); err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseCommand([]byte("get a b"), &cmd); err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != OpGet || len(cmd.Keys) != 2 || cmd.Flags != 0 || cmd.Cas != 0 || cmd.Noreply {
+		t.Fatalf("reused command carried stale state: %+v", cmd)
+	}
+}
+
+func TestParseTooManyKeys(t *testing.T) {
+	line := []byte("get")
+	for i := 0; i <= MaxGetKeys; i++ {
+		line = append(line, " k"...)
+	}
+	var cmd Command
+	if err := ParseCommand(line, &cmd); !errors.Is(err, errTooMany) {
+		t.Fatalf("err = %v, want %v", err, errTooMany)
+	}
+}
+
+// FuzzParseCommand pins the parser against panics and invariant
+// violations on arbitrary input.
+func FuzzParseCommand(f *testing.F) {
+	seeds := []string{
+		"get foo", "gets a b c", "mget x", "set k 1 0 5", "set k 1 0 5 noreply",
+		"cas k 0 0 3 77", "delete k", "delete k noreply", "stats", "version",
+		"quit", "", "get", "set k", "set k 0 0 99999999999999999999",
+		"get \x00", "cas k 0 0 3", "bogus", " get foo", "set k -1 0 3",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var cmd Command
+		err := ParseCommand(line, &cmd)
+		if err != nil {
+			return
+		}
+		// Invariants on every accepted command.
+		switch cmd.Op {
+		case OpGet, OpGets, OpMGet:
+			if len(cmd.Keys) == 0 || len(cmd.Keys) > MaxGetKeys {
+				t.Fatalf("accepted get with %d keys", len(cmd.Keys))
+			}
+		case OpSet, OpCas, OpDelete:
+			if len(cmd.Keys) != 1 {
+				t.Fatalf("accepted %v with %d keys", cmd.Op, len(cmd.Keys))
+			}
+		case OpStats, OpVersion, OpQuit:
+			if len(cmd.Keys) != 0 {
+				t.Fatalf("accepted %v with keys", cmd.Op)
+			}
+		default:
+			t.Fatalf("accepted invalid op %v", cmd.Op)
+		}
+		for _, k := range cmd.Keys {
+			if !validKey(k) {
+				t.Fatalf("accepted invalid key %q", k)
+			}
+		}
+		if cmd.Bytes < 0 || cmd.Bytes > MaxValueLen {
+			t.Fatalf("accepted bytes %d", cmd.Bytes)
+		}
+	})
+}

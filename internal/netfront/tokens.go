@@ -1,0 +1,100 @@
+package netfront
+
+import (
+	"sync"
+
+	"repro/internal/hds"
+	"repro/internal/segment"
+)
+
+// CAS tokens. A memcached cas token names the version of a value a
+// client read with gets; the client's later cas succeeds only against
+// that version. HICAMP's natural version name is the map snapshot root
+// the gets window was served from, so the token registry is a bounded
+// table of pinned snapshots: every gets/mget window registers its pinned
+// (map, root, size) under a fresh 64-bit token and the token rides every
+// VALUE line of the window (one pin serves the whole window, however
+// many connections it aggregated). A later cas resolves its token back
+// to the pinned root and publishes through Map.CompareApply — the
+// merge-rebase CAS — against exactly the version the client saw.
+//
+// The table is bounded: registering past the cap evicts the oldest pin
+// (its snapshot reference is released). A cas whose token was evicted is
+// indistinguishable from a stale one and is answered conservatively
+// (EXISTS), exactly like a memcached cas that lost the item.
+
+// tokenPin is one registered snapshot. The registry owns one reference
+// on seg until eviction.
+type tokenPin struct {
+	tok  uint64
+	mp   *hds.Map
+	seg  segment.Seg
+	size uint64
+}
+
+type tokenRegistry struct {
+	h    *hds.Heap
+	mu   sync.Mutex
+	m    map[uint64]tokenPin
+	fifo []uint64 // registration order, for eviction
+	next uint64   // token counter; 0 is never issued
+	cap  int
+}
+
+func newTokenRegistry(h *hds.Heap, cap int) *tokenRegistry {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &tokenRegistry{h: h, m: make(map[uint64]tokenPin, cap), cap: cap}
+}
+
+// Register takes ownership of the caller's reference on seg and returns
+// its token. The oldest pin is evicted past the cap.
+func (r *tokenRegistry) Register(mp *hds.Map, seg segment.Seg, size uint64) uint64 {
+	r.mu.Lock()
+	r.next++
+	tok := r.next
+	r.m[tok] = tokenPin{tok: tok, mp: mp, seg: seg, size: size}
+	r.fifo = append(r.fifo, tok)
+	var evict tokenPin
+	evicted := false
+	if len(r.m) > r.cap {
+		old := r.fifo[0]
+		r.fifo = r.fifo[1:]
+		evict, evicted = r.m[old], true
+		delete(r.m, old)
+	}
+	r.mu.Unlock()
+	if evicted {
+		segment.ReleaseSeg(r.h.M, evict.seg)
+	}
+	return tok
+}
+
+// Acquire resolves tok to its pin with an extra reference on the
+// snapshot for the caller (release with segment.ReleaseSeg), so a
+// concurrent eviction cannot pull the root out from under a cas in
+// flight.
+func (r *tokenRegistry) Acquire(tok uint64) (tokenPin, bool) {
+	r.mu.Lock()
+	p, ok := r.m[tok]
+	if ok {
+		segment.RetainSeg(r.h.M, p.seg)
+	}
+	r.mu.Unlock()
+	return p, ok
+}
+
+// Close releases every pinned snapshot.
+func (r *tokenRegistry) Close() {
+	r.mu.Lock()
+	pins := make([]tokenPin, 0, len(r.m))
+	for _, p := range r.m {
+		pins = append(pins, p)
+	}
+	r.m, r.fifo = map[uint64]tokenPin{}, nil
+	r.mu.Unlock()
+	for _, p := range pins {
+		segment.ReleaseSeg(r.h.M, p.seg)
+	}
+}

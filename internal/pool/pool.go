@@ -339,9 +339,40 @@ func (b *MapBuf[K, V]) reclaim() released {
 // and returns it to the pool.
 func (b *MapBuf[K, V]) Release() { b.pool.put(b) }
 
-// MapPool hands out cleared maps. Maps are cleared, never reallocated:
-// a wave-dedup map grows to its working-set size once and every later
-// borrow starts from that capacity with zero rehashing.
+// KeepMapEntries bounds the entry count past which a dormant map is
+// dropped instead of cleared. clear() on a Go map costs time
+// proportional to the map's grown bucket capacity — not its entry count
+// — and that capacity never shrinks, so a single oversized wave would
+// otherwise tax every later borrower with the historical peak's clear
+// cost forever. Dropping past the bound is the map analogue of the
+// slice bins' Oversize rule: pathological sizes are served but never
+// retained. The bound sits above every steady-state wave the
+// allocation pins exercise, so dropping never perturbs them.
+const KeepMapEntries = 1 << 10
+
+// ResetMap returns m emptied for reuse: cleared in place when small,
+// replaced by a fresh map when its entry count exceeds keep (entry
+// count at reset time is the capacity proxy — the engines reset their
+// maps at the fullest point of the wave that grew them). keep <= 0
+// selects KeepMapEntries. A nil m stays nil, for callers that
+// lazily size the map on first use.
+func ResetMap[K comparable, V any](m map[K]V, keep int) map[K]V {
+	if keep <= 0 {
+		keep = KeepMapEntries
+	}
+	if len(m) > keep {
+		return nil
+	}
+	clear(m)
+	return m
+}
+
+// MapPool hands out cleared maps. Maps are cleared, not reallocated,
+// while they stay at steady-state size — a wave-dedup map grows to its
+// working-set size once and every later borrow starts from that
+// capacity with zero rehashing — but a map grown past KeepMapEntries is
+// dropped on put so its O(capacity) clear cost cannot outlive the one
+// oversized call that paid for it.
 type MapPool[K comparable, V any] struct {
 	name                   string
 	keep                   int
@@ -385,7 +416,9 @@ func (p *MapPool[K, V]) Get(sc *Scratch) map[K]V {
 }
 
 func (p *MapPool[K, V]) put(b *MapBuf[K, V]) {
-	clear(b.M)
+	if b.M = ResetMap(b.M, KeepMapEntries); b.M == nil {
+		b.M = make(map[K]V)
+	}
 	p.mu.Lock()
 	p.returned++
 	if len(p.free) < p.keep {

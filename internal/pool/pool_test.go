@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -182,6 +183,64 @@ func TestMapClearedNotReallocated(t *testing.T) {
 	if got := p.Stats(); got != want {
 		t.Fatalf("got %+v want %+v", got, want)
 	}
+}
+
+// TestResetMapDropsOversized pins the map retention bound: a map at or
+// under the keep bound is cleared in place (same buckets, no rehash on
+// the next fill), one past it is dropped — clear() costs O(grown
+// capacity), not O(entries), so an oversized map kept in a pool would
+// tax every later borrower with the historical peak's clear cost.
+func TestResetMapDropsOversized(t *testing.T) {
+	small := map[uint64]int{1: 1, 2: 2}
+	if got := ResetMap(small, 4); got == nil || len(got) != 0 {
+		t.Fatalf("small map not cleared in place: %v", got)
+	}
+	big := map[uint64]int{}
+	for i := uint64(0); i < 8; i++ {
+		big[i] = int(i)
+	}
+	if got := ResetMap(big, 4); got != nil {
+		t.Fatalf("oversized map retained: %v", got)
+	}
+	if got := ResetMap[uint64, int](nil, 4); got != nil {
+		t.Fatal("nil map must stay nil")
+	}
+}
+
+// TestMapPoolDropsOversized pins the same bound end to end: releasing a
+// map grown past KeepMapEntries hands the next borrower a fresh map,
+// while a steady-state-sized map keeps its identity across the round
+// trip.
+func TestMapPoolDropsOversized(t *testing.T) {
+	p := NewMap[uint64, int]("test.map.drop")
+	var sc Scratch
+	m := p.Get(&sc)
+	id := reflect.ValueOf(m).Pointer()
+	for i := uint64(0); i < KeepMapEntries+1; i++ {
+		m[i] = int(i)
+	}
+	sc.Release()
+
+	var sc2 Scratch
+	m2 := p.Get(&sc2)
+	if reflect.ValueOf(m2).Pointer() == id {
+		t.Fatal("map grown past KeepMapEntries survived the pool round trip")
+	}
+	if len(m2) != 0 {
+		t.Fatalf("fresh map has %d entries", len(m2))
+	}
+	for i := uint64(0); i < 10; i++ {
+		m2[i] = int(i)
+	}
+	id2 := reflect.ValueOf(m2).Pointer()
+	sc2.Release()
+
+	var sc3 Scratch
+	m3 := p.Get(&sc3)
+	if reflect.ValueOf(m3).Pointer() != id2 {
+		t.Fatal("steady-state map was dropped instead of cleared")
+	}
+	sc3.Release()
 }
 
 // TestItemPoolResets pins the item pool: reset runs on Put, capacity of

@@ -56,7 +56,7 @@ var canonBatchPool = pool.NewItems[CanonBatch]("segment.canonbatch", func(b *Can
 	b.pendO = b.pendO[:0]
 	b.dups = b.dups[:0]
 	b.plids = b.plids[:0]
-	clear(b.firstAt)
+	b.firstAt = pool.ResetMap(b.firstAt, 0)
 })
 
 // AcquireCanonBatch borrows a canonicalizer from the pool: the wave
@@ -202,6 +202,11 @@ func (b *CanonBatch) Resolve() uint64 {
 	b.pendC = b.pendC[:0]
 	b.pendO = b.pendO[:0]
 	b.dups = dups[:0]
-	clear(b.firstAt)
+	// Reset the dedup map here, at the level's full size, not at pool
+	// return time (by then it is empty and its grown capacity — which is
+	// what clear() pays for — is invisible). An oversized level's map is
+	// dropped so its clear cost cannot leak into later levels or, for
+	// pooled instances, later engine calls.
+	b.firstAt = pool.ResetMap(b.firstAt, 0)
 	return n
 }

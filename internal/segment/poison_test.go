@@ -1,0 +1,57 @@
+package segment
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/word"
+)
+
+// White-box pins for the map retention bound in the pooled wave state:
+// a dedup map grown past pool.KeepMapEntries by one oversized call must
+// not survive into the freelist, where its O(grown capacity) clear cost
+// would tax every later (typically much smaller) engine call. This was
+// a live bug: one 65536-key bulk load made every subsequent single-key
+// WriteBatch ~30x slower, forever, through the retained map alone.
+
+func bigContentMap(n int) map[word.Content]int {
+	m := make(map[word.Content]int, n)
+	for i := 0; i < n; i++ {
+		var c word.Content
+		c.W[0] = uint64(i) + 1
+		m[c] = i
+	}
+	return m
+}
+
+func TestCanonBatchResetDropsOversizedDedupMap(t *testing.T) {
+	b := canonBatchPool.Get()
+	b.firstAt = bigContentMap(pool.KeepMapEntries + 1)
+	canonBatchPool.Put(b) // runs the pooled reset
+	b2 := canonBatchPool.Get()
+	defer canonBatchPool.Put(b2)
+	if len(b2.firstAt) != 0 {
+		t.Fatalf("reset left %d entries", len(b2.firstAt))
+	}
+	if b2 == b && b2.firstAt != nil {
+		t.Fatal("oversized dedup map survived the pool round trip")
+	}
+}
+
+func TestScannerResetDropsOversizedDedupMap(t *testing.T) {
+	sc := scannerPool.Get()
+	sc.at = make(map[word.PLID]int, pool.KeepMapEntries+1)
+	for i := 0; i < pool.KeepMapEntries+1; i++ {
+		sc.at[word.PLID(i+1)] = i
+	}
+	resetScanner(sc)
+	if sc.at != nil {
+		t.Fatal("oversized scan dedup map survived reset")
+	}
+	sc.at = map[word.PLID]int{1: 1}
+	resetScanner(sc)
+	if sc.at == nil || len(sc.at) != 0 {
+		t.Fatalf("steady-state map not cleared in place: %v", sc.at)
+	}
+	scannerPool.Put(sc)
+}

@@ -107,7 +107,7 @@ func resetScanner(sc *scanner) {
 	sc.wave[1] = sc.wave[1][:0]
 	sc.plids = sc.plids[:0]
 	sc.contents = sc.contents[:0]
-	clear(sc.at)
+	sc.at = pool.ResetMap(sc.at, 0)
 	sc.stats = ScanStats{}
 }
 
