@@ -66,6 +66,20 @@ func (mp *Map) Get(key String) (String, bool) {
 	return getFrom(mp.h, snap, key)
 }
 
+// Has reports whether key is bound in the map's current version. Unlike
+// Get it hands the caller nothing to release: the probe loads only the
+// slot's length word, so existence checks on hot paths (e.g. a cas
+// pre-check) cost no reference traffic on the value's lines.
+func (mp *Map) Has(key String) bool {
+	snap, err := iterreg.Open(mp.h.M, mp.h.SM, segmap.ReadOnlyRef(mp.vsid))
+	if err != nil {
+		return false
+	}
+	defer snap.Close()
+	lenPlus, _ := snap.Load(slotFor(key) + slotValLen)
+	return lenPlus != 0
+}
+
 // GetFrom reads through an already-open iterator (snapshot), the §4.4
 // client-thread pattern: reload once per request, then access directly.
 func GetFrom(h *Heap, it *iterreg.Iterator, key String) (String, bool) {

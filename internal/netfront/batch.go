@@ -69,6 +69,7 @@ type windowGroup struct {
 	valflat []byte
 	found   []bool
 	tok     uint64
+	rerr    error // snapshot open failed; the group's reads answer SERVER_ERROR
 	rcur    int
 
 	// Write side.
@@ -83,7 +84,7 @@ func (g *windowGroup) reset() {
 	g.mp = nil
 	g.rkeys, g.ks, g.vstrs, g.vals = g.rkeys[:0], g.ks[:0], g.vstrs[:0], g.vals[:0]
 	g.found = g.found[:0]
-	g.tok, g.rcur = 0, 0
+	g.tok, g.rerr, g.rcur = 0, nil, 0
 	g.pairs, g.delKeys = g.pairs[:0], g.delKeys[:0]
 	g.dfound, g.werr, g.dcur = g.dfound[:0], nil, 0
 }
@@ -196,6 +197,10 @@ func (d *dispatcher) execReadWindow(reads []*op) {
 	for _, g := range d.order {
 		seg, size, err := g.mp.SnapshotEntry()
 		if err != nil {
+			// Keep the positional cursors aligned, but remember the fault:
+			// the scatter pass answers SERVER_ERROR, not a silent all-miss.
+			s.c.snapshotErrors.Add(1)
+			g.rerr = err
 			g.vals = append(g.vals[:0], make([][]byte, len(g.rkeys))...)
 			g.found = append(g.found[:0], make([]bool, len(g.rkeys))...)
 			continue
@@ -227,10 +232,15 @@ func (d *dispatcher) execReadWindow(reads []*op) {
 			hint += len(key) + 48
 		}
 		dst := o.grab(hint)
+		var rerr error
 		for _, key := range o.keys {
 			g := d.groups[s.store.NamespaceFor(key)]
 			v, ok := g.vals[g.rcur], g.found[g.rcur]
 			g.rcur++
+			if g.rerr != nil {
+				rerr = g.rerr
+				continue
+			}
 			if !ok {
 				s.c.getMisses.Add(1)
 				continue
@@ -239,7 +249,13 @@ func (d *dispatcher) execReadWindow(reads []*op) {
 			flags, payload := unframe(v)
 			dst = AppendValue(dst, key, flags, payload, g.tok, o.withCas)
 		}
-		o.out = append(dst, respEnd...)
+		if rerr != nil {
+			// Any erroring namespace fails the whole op: partial VALUE lines
+			// with a silent gap would read as misses.
+			o.out = appendErrorResponse(dst[:0], rerr)
+		} else {
+			o.out = append(dst, respEnd...)
+		}
 		o.finish()
 	}
 	d.releaseGroups()
@@ -271,6 +287,9 @@ func (d *dispatcher) execWriteWindow(writes []*op) {
 			g.dfound = g.dfound[:0]
 			seg, _, err := g.mp.SnapshotEntry()
 			if err != nil {
+				// The Apply below still commits the tombstones; only the
+				// DELETED/NOT_FOUND answer degrades. Count the fault.
+				s.c.snapshotErrors.Add(1)
 				g.dfound = append(g.dfound, make([]bool, len(g.delKeys))...)
 			} else {
 				g.ks = hds.NewStringsInto(s.store.Heap, g.delKeys, g.ks)

@@ -59,6 +59,10 @@ type Counters struct {
 	Conns, CmdGet, CmdSet, CmdDelete, CmdCas       uint64
 	GetHits, GetMisses, DeleteHits, DeleteMisses   uint64
 	CasStored, CasExists, CasNotFound, BadCommands uint64
+	// SnapshotErrors counts store snapshot opens that failed while serving
+	// a read window; the affected ops answer SERVER_ERROR, never a silent
+	// all-miss END.
+	SnapshotErrors uint64
 	// Batches and BatchedOps describe the aggregation loop: BatchedOps /
 	// Batches is the achieved ops-per-wave coalescing factor.
 	Batches, BatchedOps uint64
@@ -68,6 +72,7 @@ type counters struct {
 	conns, cmdGet, cmdSet, cmdDelete, cmdCas       atomic.Uint64
 	getHits, getMisses, deleteHits, deleteMisses   atomic.Uint64
 	casStored, casExists, casNotFound, badCommands atomic.Uint64
+	snapshotErrors                                 atomic.Uint64
 	batches, batchedOps                            atomic.Uint64
 }
 
@@ -79,7 +84,8 @@ func (c *counters) snapshot() Counters {
 		DeleteHits: c.deleteHits.Load(), DeleteMisses: c.deleteMisses.Load(),
 		CasStored: c.casStored.Load(), CasExists: c.casExists.Load(),
 		CasNotFound: c.casNotFound.Load(), BadCommands: c.badCommands.Load(),
-		Batches: c.batches.Load(), BatchedOps: c.batchedOps.Load(),
+		SnapshotErrors: c.snapshotErrors.Load(),
+		Batches:        c.batches.Load(), BatchedOps: c.batchedOps.Load(),
 	}
 }
 
@@ -366,6 +372,12 @@ func (c *conn) writeLoop() {
 	}
 	c.bw.Flush()
 	c.nc.Close()
+	// The writer is the connection's last actor: deregister only once the
+	// socket is closed, so Close can still force-close a writer stuck
+	// flushing, and churning connections don't grow s.conns forever.
+	c.s.mu.Lock()
+	delete(c.s.conns, c.nc)
+	c.s.mu.Unlock()
 }
 
 var errLineTooLong = ClientError("line too long")
@@ -555,29 +567,35 @@ func (s *Server) execNaive(o *op) {
 		}
 		if uniform {
 			seg, size, err := mp.SnapshotEntry()
-			if err == nil {
-				ks := hds.NewStrings(s.store.Heap, o.keys)
-				vals, found := mp.GetManyAt(seg, ks)
-				for i := range ks {
-					ks[i].Release(s.store.Heap)
+			if err != nil {
+				// A failed snapshot open is a server fault, not an all-miss:
+				// surface it to the client and the counters.
+				s.c.snapshotErrors.Add(1)
+				o.out = appendErrorResponse(dst, err)
+				o.ready <- struct{}{}
+				return
+			}
+			ks := hds.NewStrings(s.store.Heap, o.keys)
+			vals, found := mp.GetManyAt(seg, ks)
+			for i := range ks {
+				ks[i].Release(s.store.Heap)
+			}
+			bss := hds.BytesMany(s.store.Heap, vals)
+			var tok uint64
+			if o.withCas {
+				tok = s.toks.Register(mp, seg, size)
+			} else {
+				segment.ReleaseSeg(s.store.Heap.M, seg)
+			}
+			for i, key := range o.keys {
+				if !found[i] {
+					s.c.getMisses.Add(1)
+					continue
 				}
-				bss := hds.BytesMany(s.store.Heap, vals)
-				var tok uint64
-				if o.withCas {
-					tok = s.toks.Register(mp, seg, size)
-				} else {
-					segment.ReleaseSeg(s.store.Heap.M, seg)
-				}
-				for i, key := range o.keys {
-					if !found[i] {
-						s.c.getMisses.Add(1)
-						continue
-					}
-					s.c.getHits.Add(1)
-					vals[i].Release(s.store.Heap)
-					flags, payload := unframe(bss[i])
-					dst = AppendValue(dst, key, flags, payload, tok, o.withCas)
-				}
+				s.c.getHits.Add(1)
+				vals[i].Release(s.store.Heap)
+				flags, payload := unframe(bss[i])
+				dst = AppendValue(dst, key, flags, payload, tok, o.withCas)
 			}
 		} else {
 			for _, key := range o.keys {
@@ -631,7 +649,7 @@ func (s *Server) execCas(o *op) {
 	key := o.keys[0]
 	mp := s.store.NamespaceFor(key)
 	k := hds.NewString(s.store.Heap, key)
-	_, exists := mp.Get(k)
+	exists := mp.Has(k) // non-retaining probe: Get would hand us a value reference to release
 	k.Release(s.store.Heap)
 	if !exists {
 		s.c.casNotFound.Add(1)
@@ -683,6 +701,7 @@ func (s *Server) appendStats(dst []byte) []byte {
 	dst = appendStat(dst, "cas_exists", c.CasExists)
 	dst = appendStat(dst, "cas_not_found", c.CasNotFound)
 	dst = appendStat(dst, "bad_commands", c.BadCommands)
+	dst = appendStat(dst, "snapshot_errors", c.SnapshotErrors)
 	dst = appendStat(dst, "batches", c.Batches)
 	dst = appendStat(dst, "batched_ops", c.BatchedOps)
 

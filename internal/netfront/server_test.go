@@ -369,6 +369,79 @@ func TestShutdownPoolLeakPin(t *testing.T) {
 	}
 }
 
+// The cas existence probe must not retain the value: after gets→cas
+// churn with a distinct payload per round, deleting the key and closing
+// the server (draining the token registry's snapshot pins) must reclaim
+// every value's lines. A leaked reference per cas would pin ~30 dead
+// 512-byte values — thousands of lines — forever.
+func TestCasDoesNotLeakValueRefs(t *testing.T) {
+	s, addr := startServer(t, Options{Aggregate: false})
+	heap := s.Store().Heap
+	base := heap.M.LiveLines()
+	c := dialOrFatal(t, addr)
+
+	val := make([]byte, 512)
+	for i := 0; i < 30; i++ {
+		for j := range val {
+			val[j] = byte(i + j)
+		}
+		if i == 0 {
+			if err := c.Set("leak", val); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		v, ok, err := c.Gets("leak")
+		if err != nil || !ok {
+			t.Fatalf("gets round %d: ok=%v err=%v", i, ok, err)
+		}
+		if r, err := c.Cas("leak", val, v.Cas); err != nil || r != "STORED" {
+			t.Fatalf("cas round %d: %q %v", i, r, err)
+		}
+	}
+	if _, err := c.Delete("leak"); err != nil {
+		t.Fatal(err)
+	}
+	c.Quit()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if end := heap.M.LiveLines(); end > base+256 {
+		t.Fatalf("value lines leaked: live lines %d → %d", base, end)
+	}
+}
+
+// Finished connections deregister themselves: connection churn must not
+// grow the server's conn table (or a later Close would re-close
+// thousands of dead sockets).
+func TestConnChurnPrunesRegistry(t *testing.T) {
+	s, addr := startServer(t, DefaultOptions())
+	for i := 0; i < 16; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Set("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		c.Quit()
+		c.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d dead connections still registered", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // Closing the server with connections mid-flight must not hang.
 func TestCloseWithLiveConns(t *testing.T) {
 	s, addr := startServer(t, DefaultOptions())

@@ -1,10 +1,12 @@
 package netfront
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/hds"
 	"repro/internal/segment"
+	"repro/internal/word"
 )
 
 // CAS tokens. A memcached cas token names the version of a value a
@@ -12,16 +14,25 @@ import (
 // that version. HICAMP's natural version name is the map snapshot root
 // the gets window was served from, so the token registry is a bounded
 // table of pinned snapshots: every gets/mget window registers its pinned
-// (map, root, size) under a fresh 64-bit token and the token rides every
+// (map, root, size) under a 64-bit token and the token rides every
 // VALUE line of the window (one pin serves the whole window, however
 // many connections it aggregated). A later cas resolves its token back
 // to the pinned root and publishes through Map.CompareApply — the
 // merge-rebase CAS — against exactly the version the client saw.
 //
-// The table is bounded: registering past the cap evicts the oldest pin
-// (its snapshot reference is released). A cas whose token was evicted is
-// indistinguishable from a stale one and is answered conservatively
-// (EXISTS), exactly like a memcached cas that lost the item.
+// The table is bounded and deduplicated: registering a (map, root) that
+// already has a live pin reuses that pin's token and refreshes its LRU
+// position instead of consuming a new slot, so sustained read traffic
+// against an unchanged version holds ONE entry — the table only churns
+// as fast as *distinct* snapshot roots are published. A client's
+// gets→cas round trip therefore loses its pin only if MaxTokens distinct
+// versions were registered in between (a write-heavy storm), not merely
+// MaxTokens read requests. That residual failure mode is answered
+// conservatively: a cas whose token was evicted is indistinguishable
+// from a stale one and gets EXISTS, exactly like a memcached cas that
+// lost the item. Deployments expecting heavy write churn between gets
+// and cas should raise Options.MaxTokens (each pin holds one snapshot
+// reference, i.e. the cost is deferred line reclamation, not copies).
 
 // tokenPin is one registered snapshot. The registry owns one reference
 // on seg until eviction.
@@ -32,37 +43,66 @@ type tokenPin struct {
 	size uint64
 }
 
+// rootKey identifies a pinned snapshot version for dedup: same map, same
+// root PLID (and height, so the reused pin's segment is bit-identical)
+// ⇒ same content ⇒ same version.
+type rootKey struct {
+	mp     *hds.Map
+	root   word.PLID
+	height int
+}
+
 type tokenRegistry struct {
-	h    *hds.Heap
-	mu   sync.Mutex
-	m    map[uint64]tokenPin
-	fifo []uint64 // registration order, for eviction
-	next uint64   // token counter; 0 is never issued
-	cap  int
+	h      *hds.Heap
+	mu     sync.Mutex
+	m      map[uint64]*list.Element // token → element holding tokenPin
+	byRoot map[rootKey]uint64       // live pin per snapshot version
+	lru    *list.List               // front = coldest, back = hottest
+	next   uint64                   // token counter; 0 is never issued
+	cap    int
 }
 
 func newTokenRegistry(h *hds.Heap, cap int) *tokenRegistry {
 	if cap <= 0 {
 		cap = 4096
 	}
-	return &tokenRegistry{h: h, m: make(map[uint64]tokenPin, cap), cap: cap}
+	return &tokenRegistry{
+		h:      h,
+		m:      make(map[uint64]*list.Element, cap),
+		byRoot: make(map[rootKey]uint64, cap),
+		lru:    list.New(),
+		cap:    cap,
+	}
 }
 
 // Register takes ownership of the caller's reference on seg and returns
-// its token. The oldest pin is evicted past the cap.
+// a token naming the (mp, seg) snapshot. If that snapshot is already
+// pinned, its live token is reused (the caller's duplicate reference is
+// released) and the pin moves to the hot end of the LRU; otherwise a
+// fresh pin is created and, past the cap, the coldest pin is evicted.
 func (r *tokenRegistry) Register(mp *hds.Map, seg segment.Seg, size uint64) uint64 {
+	rk := rootKey{mp: mp, root: seg.Root, height: seg.Height}
 	r.mu.Lock()
+	if tok, ok := r.byRoot[rk]; ok {
+		el := r.m[tok]
+		r.lru.MoveToBack(el)
+		r.mu.Unlock()
+		segment.ReleaseSeg(r.h.M, seg) // the pin already holds one
+		return tok
+	}
 	r.next++
 	tok := r.next
-	r.m[tok] = tokenPin{tok: tok, mp: mp, seg: seg, size: size}
-	r.fifo = append(r.fifo, tok)
+	r.m[tok] = r.lru.PushBack(tokenPin{tok: tok, mp: mp, seg: seg, size: size})
+	r.byRoot[rk] = tok
 	var evict tokenPin
 	evicted := false
-	if len(r.m) > r.cap {
-		old := r.fifo[0]
-		r.fifo = r.fifo[1:]
-		evict, evicted = r.m[old], true
-		delete(r.m, old)
+	if r.lru.Len() > r.cap {
+		front := r.lru.Front()
+		evict = front.Value.(tokenPin)
+		r.lru.Remove(front)
+		delete(r.m, evict.tok)
+		delete(r.byRoot, rootKey{mp: evict.mp, root: evict.seg.Root, height: evict.seg.Height})
+		evicted = true
 	}
 	r.mu.Unlock()
 	if evicted {
@@ -77,22 +117,26 @@ func (r *tokenRegistry) Register(mp *hds.Map, seg segment.Seg, size uint64) uint
 // flight.
 func (r *tokenRegistry) Acquire(tok uint64) (tokenPin, bool) {
 	r.mu.Lock()
-	p, ok := r.m[tok]
-	if ok {
-		segment.RetainSeg(r.h.M, p.seg)
+	el, ok := r.m[tok]
+	if !ok {
+		r.mu.Unlock()
+		return tokenPin{}, false
 	}
+	p := el.Value.(tokenPin)
+	segment.RetainSeg(r.h.M, p.seg)
 	r.mu.Unlock()
-	return p, ok
+	return p, true
 }
 
 // Close releases every pinned snapshot.
 func (r *tokenRegistry) Close() {
 	r.mu.Lock()
 	pins := make([]tokenPin, 0, len(r.m))
-	for _, p := range r.m {
-		pins = append(pins, p)
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		pins = append(pins, el.Value.(tokenPin))
 	}
-	r.m, r.fifo = map[uint64]tokenPin{}, nil
+	r.m, r.byRoot = map[uint64]*list.Element{}, map[rootKey]uint64{}
+	r.lru.Init()
 	r.mu.Unlock()
 	for _, p := range pins {
 		segment.ReleaseSeg(r.h.M, p.seg)
