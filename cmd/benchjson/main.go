@@ -2,10 +2,11 @@
 // (PR 2), the read/gather path (PR 3), the streaming scan/diff path
 // (PR 4), the wave-ordered bulk write path (PR 5), the wave-structured
 // merge rebase engine (PR 6), all running over the bucketed scratch
-// pools (PR 7), and the memcached network front end's cross-connection
-// batch aggregation (PR 8) — against their line-at-a-time or
-// per-request baselines and writes the comparison as machine-readable
-// JSON (BENCH_PR8.json in the repo root).
+// pools (PR 7), the memcached network front end's cross-connection
+// batch aggregation (PR 8), and the content-defined chunked ingest
+// path with its warm chunk→PLID memo (PR 9) — against their
+// line-at-a-time or per-request baselines and writes the comparison as
+// machine-readable JSON (BENCH_PR9.json in the repo root).
 // Each pair is run at GOMAXPROCS 1 and 4 and reports three axes:
 //
 //   - wall-clock (minimum over interleaved repetitions, fresh machine per
@@ -23,7 +24,12 @@
 // (DRAM) at the price of bookkeeping the host must execute, and pooling
 // removes the bookkeeping's allocation cost.
 //
-//	go run ./cmd/benchjson -o BENCH_PR8.json
+//	go run ./cmd/benchjson -o BENCH_PR9.json
+//
+// -skip drops named pairs (comma-separated), which is how earlier
+// BENCH_PR*.json files are regenerated without the pairs that did not
+// exist yet (e.g. -skip net_pipelined_multiget,net_mixed_rw,... for
+// the PR 7 file).
 package main
 
 import (
@@ -34,9 +40,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/chunker"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -119,8 +127,10 @@ type pair struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output file")
+	out := flag.String("o", "BENCH_PR9.json", "output file")
 	only := flag.String("only", "", "run only the pair with this name")
+	skip := flag.String("skip", "", "comma-separated pair names to drop (for regenerating earlier BENCH_PR*.json files)")
+	desc := flag.String("desc", "", "override the report description (set when regenerating an earlier file)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs")
 	flag.Parse()
 
@@ -141,12 +151,27 @@ func main() {
 		mapContention(),
 		netPipelinedMultiget(),
 		netMixedRW(),
+		chunkedIngestShifted(),
+		chunkedReingestWarm(),
 	}
 
 	if *only != "" {
 		var kept []pair
 		for _, p := range pairs {
 			if p.name == *only {
+				kept = append(kept, p)
+			}
+		}
+		pairs = kept
+	}
+	if *skip != "" {
+		drop := make(map[string]bool)
+		for _, n := range strings.Split(*skip, ",") {
+			drop[strings.TrimSpace(n)] = true
+		}
+		var kept []pair
+		for _, p := range pairs {
+			if !drop[p.name] {
 				kept = append(kept, p)
 			}
 		}
@@ -178,7 +203,13 @@ func main() {
 			"per-request dispatch is the baseline and cross-connection " +
 			"batch aggregation the candidate (extras carry the measured-" +
 			"window rps and p99 per side and the rps ratio at 64 " +
-			"connections). " +
+			"connections), and the content-defined chunked ingest path " +
+			"where aligned per-document BuildBytes is the baseline and the " +
+			"chunker's Gear-CDC ingest the candidate over a shifted near-" +
+			"duplicate corpus (extras carry the resident unique-line " +
+			"footprints and their ratio), with a second pair isolating the " +
+			"warm chunk->PLID memo (cold re-ingest of the variants as " +
+			"baseline, memo-warm re-ingest as candidate). " +
 			"Wall-clock is min over interleaved reps " +
 			"with a fresh machine per rep; DRAM accesses are the simulated " +
 			"store totals (deterministic per workload); allocs/bytes per op " +
@@ -190,6 +221,9 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if *desc != "" {
+		rep.Description = *desc
 	}
 	for _, procs := range []int{1, 4} {
 		prev := runtime.GOMAXPROCS(procs)
@@ -1206,5 +1240,111 @@ func mapContention() pair {
 			ex["dram_per_commit_4096w"] = float64(dSmall) / float64(cSmall)
 			return d
 		},
+	}
+}
+
+// shiftedCorpus is the PR 9 measurement corpus: unpadded near-duplicate
+// HTML documents (6 bases, 4 edited variants each — the revision-
+// history shape) whose byte-local edits shift everything after them off
+// line alignment.
+func shiftedCorpus() *datagen.ShiftedCorpus {
+	return datagen.NearDuplicateCorpus("benchjson-shifted", 6, 4, 4, 32<<10, 97)
+}
+
+// chunkedIngestShifted is the PR 9 tentpole's dedup claim: on shifted
+// near-duplicate documents, aligned per-document segments re-
+// canonicalize everything after each edit while content-defined chunks
+// re-resolve to their existing sub-DAGs. Both sides build every item
+// through bulk waves and keep everything resident; the extras carry the
+// resident unique-line footprints, whose ratio is the acceptance bar
+// (>= 2x lower for chunked).
+func chunkedIngestShifted() pair {
+	c := shiftedCorpus()
+	items := c.AllItems()
+	ex := map[string]float64{}
+	return pair{
+		name:      "chunked_ingest_shifted",
+		baseline:  "aligned per-doc Builder.BuildBytes",
+		candidate: "chunker.Ingestor (Gear CDC + chunk index)",
+		reps:      3,
+		extra:     ex,
+		base: func() uint64 {
+			m := core.NewMachine(core.DefaultConfig(16))
+			b := segment.NewBuilder(m, 0)
+			for _, it := range items {
+				b.BuildBytes(it)
+			}
+			b.Close()
+			ex["aligned_lines"] = float64(m.LiveLines())
+			return dramTotal(m)
+		},
+		cand: func() uint64 {
+			m := core.NewMachine(core.DefaultConfig(16))
+			g := chunker.NewIngestor(m, chunker.Config{})
+			for _, it := range items {
+				g.IngestBytes(it)
+			}
+			st := g.Stats()
+			g.Close()
+			ex["chunked_lines"] = float64(m.LiveLines())
+			if ex["chunked_lines"] > 0 {
+				ex["footprint_ratio"] = ex["aligned_lines"] / ex["chunked_lines"]
+			}
+			ex["memo_hit_rate"] = st.HitRate()
+			ex["chunks"] = float64(st.Chunks)
+			return dramTotal(m)
+		},
+	}
+}
+
+// chunkedReingestWarm isolates the warm chunk->PLID memo: both sides
+// ingest the bases (identical machine history), then ingest the edited
+// variants — the baseline with the chunk memo disabled (every chunk
+// re-canonicalizes through per-level Builder lookups), the candidate
+// with the Ingestor still warm from the bases (an unchanged chunk costs
+// one revalidating reference-count touch instead of per-line lookups).
+// Only the variant pass is in the DRAM window, and the machine has an
+// ample LLC (the merge_rebase discipline) so the DRAM axis is the
+// memo's traffic saving, not cache capacity misses.
+func chunkedReingestWarm() pair {
+	ampleCfg := core.Config{
+		LineBytes: 16, BucketBits: 16, DataWays: 12,
+		CacheLines: 1 << 17, CacheWays: 8,
+	}
+	c := shiftedCorpus()
+	ex := map[string]float64{}
+	run := func(warm bool) uint64 {
+		m := core.NewMachine(ampleCfg)
+		g := chunker.NewIngestor(m, chunker.Config{})
+		if !warm {
+			g.SetMemoLimit(0, 0)
+		}
+		for _, it := range c.Bases {
+			g.IngestBytes(it)
+		}
+		pre := g.Stats()
+		m.FlushCache()
+		m.ResetStats()
+		for _, it := range c.Variants {
+			g.IngestBytes(it)
+		}
+		if warm {
+			st := g.Stats()
+			if n := st.Chunks - pre.Chunks; n > 0 {
+				ex["variant_memo_hit_rate"] = float64(st.MemoHits-pre.MemoHits) / float64(n)
+			}
+			ex["variant_chunk_rebuilds"] = float64(st.ChunkBuilds - pre.ChunkBuilds)
+		}
+		g.Close()
+		return dramTotal(m)
+	}
+	return pair{
+		name:      "chunked_reingest_warm",
+		baseline:  "variant ingest, chunk memo disabled",
+		candidate: "variant ingest, memo warm from the bases",
+		reps:      3,
+		extra:     ex,
+		base:      func() uint64 { return run(false) },
+		cand:      func() uint64 { return run(true) },
 	}
 }

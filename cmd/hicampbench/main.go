@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -21,12 +22,13 @@ import (
 )
 
 var experimentOrder = []string{
-	"fig6", "table1", "conflict", "contention", "netload", "fig7", "fig8", "table2", "fig9", "fig10",
+	"fig6", "table1", "chunking", "conflict", "contention", "netload", "fig7", "fig8", "table2", "fig9", "fig10",
 }
 
 var descriptions = map[string]string{
 	"fig6":       "memcached DRAM accesses, conventional vs HICAMP, 16/32/64B lines",
 	"table1":     "memcached data compaction per dataset and line size",
+	"chunking":   "content-defined chunked ingest: shifted-corpus dedup, cold vs warm memo",
 	"conflict":   "sec 5.1.1 concurrent-update analysis + live mCAS contention",
 	"contention": "multi-writer merge-update: DRAM flat over size, throughput vs overlap",
 	"netload":    "loopback memcached front end: batch aggregation vs per-request dispatch",
@@ -38,7 +40,7 @@ var descriptions = map[string]string{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig6, table1, conflict, contention, netload, fig7, fig8, table2, fig9, fig10, all)")
+	exp := flag.String("exp", "all", "experiment id (see -list), or all")
 	paper := flag.Bool("paper", false, "run at paper-approaching scale (slower)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -145,6 +147,8 @@ func run(id string, sc experiments.Scale) error {
 		tbl = t
 	case "table1":
 		tbl, _ = experiments.RunTable1(sc)
+	case "chunking":
+		tbl, _ = experiments.RunChunking(sc)
 	case "conflict":
 		t, _, err := experiments.RunConflict(sc)
 		if err != nil {
@@ -175,7 +179,12 @@ func run(id string, sc experiments.Scale) error {
 	case "fig10":
 		tbl, _ = experiments.RunFig10()
 	default:
-		return fmt.Errorf("unknown experiment %q (use -list)", id)
+		var known []string
+		for _, k := range experimentOrder {
+			known = append(known, fmt.Sprintf("  %-10s %s", k, descriptions[k]))
+		}
+		return fmt.Errorf("unknown experiment %q; available experiments:\n%s",
+			id, strings.Join(known, "\n"))
 	}
 	fmt.Print(tbl.Render())
 	fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())

@@ -1,0 +1,61 @@
+package chunker
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+)
+
+// Allocation pin for the steady-state ingest hot path: once the memo
+// and the Builder/package pools are warm, re-ingesting a document pays
+// zero amortized heap allocations — chunk resolution is a map probe
+// plus a revalidating RC touch, the index build runs on the Builder's
+// pooled waves, and all ingest-local scratch is borrowed from
+// internal/pool. (Same regime as the segment wave pins: no -race, not
+// parallel.)
+func TestAllocIngestWarm(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("allocation pins are meaningless under -race")
+	}
+	m := core.NewMachine(core.TestConfig())
+	g := NewIngestor(m, Config{})
+	defer g.Close()
+	data := mkdoc(31, 64<<10)
+	ingest := func() {
+		// The blob's extra index-root reference is intentionally not
+		// released inside the measured window: ReleaseBlob would free
+		// nothing (the first ingest keeps the DAG live) and the pin is
+		// about the ingest path alone.
+		g.IngestBytes(data)
+	}
+	for i := 0; i < 5; i++ { // warm memo, Builder scratch, package pools
+		ingest()
+	}
+	if avg := testing.AllocsPerRun(20, ingest); avg != 0 {
+		t.Errorf("steady-state warm ingest allocates %.1f times per run, want 0", avg)
+	}
+	if hits := g.Stats().MemoHits; hits == 0 {
+		t.Fatal("warm ingest never hit the memo — the pin measured the wrong path")
+	}
+}
+
+// The raw chunking loop allocates nothing at any temperature.
+func TestAllocSplit(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("allocation pins are meaningless under -race")
+	}
+	var cfg Config
+	data := mkdoc(37, 64<<10)
+	var sink int
+	split := func() {
+		cfg.Split(data, func(c []byte) bool {
+			sink += len(c)
+			return true
+		})
+	}
+	if avg := testing.AllocsPerRun(20, split); avg != 0 {
+		t.Errorf("Split allocates %.1f times per run, want 0", avg)
+	}
+	_ = sink
+}

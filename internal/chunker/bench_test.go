@@ -1,0 +1,65 @@
+package chunker
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func BenchmarkChunkCut(b *testing.B) {
+	var cfg Config
+	data := mkdoc(41, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		cfg.Split(data, func(c []byte) bool { sink += len(c); return true })
+	}
+	_ = sink
+}
+
+// Cold: every chunk canonicalizes through Builder waves.
+func BenchmarkChunkedIngestCold(b *testing.B) {
+	data := mkdoc(43, 256<<10)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := core.NewMachine(core.TestConfig())
+		g := NewIngestor(m, Config{})
+		b.StartTimer()
+		g.IngestBytes(data)
+		b.StopTimer()
+		g.Close()
+		b.StartTimer()
+	}
+}
+
+// Warm: the memo resolves every chunk with one revalidating RC touch.
+func BenchmarkChunkedIngestWarm(b *testing.B) {
+	data := mkdoc(43, 256<<10)
+	m := core.NewMachine(core.TestConfig())
+	g := NewIngestor(m, Config{})
+	defer g.Close()
+	g.IngestBytes(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.IngestBytes(data)
+	}
+}
+
+func BenchmarkChunkedReadBlob(b *testing.B) {
+	data := mkdoc(47, 256<<10)
+	m := core.NewMachine(core.TestConfig())
+	g := NewIngestor(m, Config{})
+	defer g.Close()
+	blob := g.IngestBytes(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ReadBlob(m, blob); !ok {
+			b.Fatal("read failed")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package chunker
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzChunker drives the whole pipeline with adversarial geometry and
+// content: chunks must concatenate exactly to the input, respect the
+// normalized size bounds, cut deterministically, stay extent-local
+// (a boundary never depends on bytes past it), and — for inputs small
+// enough to afford a machine — survive the full ingest/read round trip.
+func FuzzChunker(f *testing.F) {
+	f.Add([]byte(""), 0, 0, 0)
+	f.Add([]byte("hello world"), 4, 16, 64)
+	f.Add(mkdoc(1, 4096), 64, 256, 1024)
+	f.Add(make([]byte, 3000), 100, 300, 500)
+	f.Add(bytes.Repeat([]byte{0xaa, 0x55}, 2000), 1, 2, 3)
+	f.Fuzz(func(t *testing.T, data []byte, minS, avgS, maxS int) {
+		if minS > 1<<16 || avgS > 1<<16 || maxS > 1<<16 || len(data) > 1<<20 {
+			t.Skip("geometry/input out of the interesting range")
+		}
+		raw := Config{MinSize: minS, AvgSize: avgS, MaxSize: maxS}
+		cfg, _, _ := raw.norm()
+
+		var cat []byte
+		nchunks := 0
+		raw.Split(data, func(c []byte) bool {
+			nchunks++
+			if len(c) == 0 {
+				t.Fatal("empty chunk")
+			}
+			if len(c) > cfg.MaxSize {
+				t.Fatalf("chunk %d bytes > MaxSize %d", len(c), cfg.MaxSize)
+			}
+			cat = append(cat, c...)
+			if len(cat) < len(data) && len(c) < cfg.MinSize {
+				t.Fatalf("non-final chunk %d bytes < MinSize %d", len(c), cfg.MinSize)
+			}
+			// Extent-locality: the cut must reproduce on the extent alone.
+			if got := raw.Cut(c); got != len(c) {
+				t.Fatalf("chunk of %d bytes re-cuts at %d", len(c), got)
+			}
+			return true
+		})
+		if !bytes.Equal(cat, data) {
+			t.Fatal("chunks do not concatenate to the input")
+		}
+
+		if len(data) <= 8192 {
+			m := core.NewMachine(core.TestConfig())
+			g := NewIngestor(m, raw)
+			b := g.IngestBytes(data)
+			if b.Chunks != nchunks || b.Len != uint64(len(data)) {
+				t.Fatalf("blob %+v, want %d chunks / %d bytes", b, nchunks, len(data))
+			}
+			got, ok := ReadBlob(m, b)
+			if !ok || !bytes.Equal(got, data) {
+				t.Fatalf("ingest round trip failed (ok=%v)", ok)
+			}
+			ReleaseBlob(m, b)
+			g.Close()
+			if live := m.LiveLines(); live != 0 {
+				t.Fatalf("%d lines leaked", live)
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Shifted/near-duplicate corpora: the workload the aligned Table-1
+// corpora deliberately avoid. HTMLCorpus pads every fragment to a
+// 64-byte boundary so shared content stays line-aligned — the regime
+// where fixed-arity dedup wins. Real edit streams (wiki revisions, CMS
+// re-renders, config pushes) instead produce near-duplicates of
+// UNPADDED documents: a few bytes inserted or deleted near the front
+// shift everything after the edit off line alignment, and aligned dedup
+// collapses. These generators produce exactly that shape — a set of
+// base documents plus edited variants with byte-local, offset-controlled
+// edits — as the measurement corpus for content-defined chunked ingest.
+
+// EditOp is the kind of one byte-local edit.
+type EditOp int
+
+const (
+	// EditInsert inserts Data at Off.
+	EditInsert EditOp = iota
+	// EditDelete removes Len bytes at Off.
+	EditDelete
+	// EditReplace overwrites len(Data) bytes at Off with Data.
+	EditReplace
+)
+
+func (op EditOp) String() string {
+	switch op {
+	case EditInsert:
+		return "insert"
+	case EditDelete:
+		return "delete"
+	case EditReplace:
+		return "replace"
+	}
+	return fmt.Sprintf("EditOp(%d)", int(op))
+}
+
+// Edit is one byte-local change at a controlled offset.
+type Edit struct {
+	Op   EditOp
+	Off  int
+	Len  int    // EditDelete: bytes removed
+	Data []byte // EditInsert/EditReplace: bytes written
+}
+
+// ApplyEdits returns doc with the edits applied. Edits are given in
+// ascending Off against the ORIGINAL document and must not overlap;
+// offsets are clamped into the document. The input is never modified.
+func ApplyEdits(doc []byte, edits []Edit) []byte {
+	out := make([]byte, 0, len(doc)+editGrowth(edits))
+	prev := 0
+	for _, e := range edits {
+		off := e.Off
+		if off < prev {
+			off = prev
+		}
+		if off > len(doc) {
+			off = len(doc)
+		}
+		out = append(out, doc[prev:off]...)
+		switch e.Op {
+		case EditInsert:
+			out = append(out, e.Data...)
+			prev = off
+		case EditDelete:
+			prev = off + e.Len
+			if prev > len(doc) {
+				prev = len(doc)
+			}
+		case EditReplace:
+			out = append(out, e.Data...)
+			prev = off + len(e.Data)
+			if prev > len(doc) {
+				prev = len(doc)
+			}
+		}
+	}
+	return append(out, doc[prev:]...)
+}
+
+func editGrowth(edits []Edit) int {
+	g := 0
+	for _, e := range edits {
+		g += len(e.Data)
+	}
+	return g
+}
+
+// ShiftedCorpus is a near-duplicate document set: Bases[i] are
+// independent documents, Variants[j] are edited copies; VariantBase[j]
+// names the base each variant was derived from and VariantEdits[j]
+// records exactly which byte-local edits were applied.
+type ShiftedCorpus struct {
+	Name         string
+	Bases        [][]byte
+	Variants     [][]byte
+	VariantBase  []int
+	VariantEdits [][]Edit
+}
+
+// AllItems returns bases then variants, the full ingest stream.
+func (c *ShiftedCorpus) AllItems() [][]byte {
+	out := make([][]byte, 0, len(c.Bases)+len(c.Variants))
+	out = append(out, c.Bases...)
+	return append(out, c.Variants...)
+}
+
+// TotalBytes sums every item.
+func (c *ShiftedCorpus) TotalBytes() uint64 {
+	var n uint64
+	for _, it := range c.AllItems() {
+		n += uint64(len(it))
+	}
+	return n
+}
+
+// unpaddedHTMLDoc is an HTMLCorpus-flavored page WITHOUT the 64-byte
+// fragment padding: same boilerplate, shared fragment pool and lorem
+// sentences, but emitted as a template engine actually concatenates
+// them — so nothing is line-aligned and only content-defined chunking
+// can recover the redundancy.
+func unpaddedHTMLDoc(rng *rand.Rand, pool []string, id, size int) []byte {
+	var b []byte
+	b = append(b, htmlBoilerplate[0]...)
+	b = append(b, fmt.Sprintf("<title>Doc %d</title></head><body>", id)...)
+	for _, frag := range htmlBoilerplate[1:] {
+		b = append(b, frag...)
+	}
+	for len(b) < size {
+		if rng.Intn(100) < 55 {
+			b = append(b, pool[rng.Intn(len(pool))]...)
+		} else {
+			b = append(b, "<p>"+sentence(rng, 18)+"</p>"...)
+		}
+	}
+	return append(b, "</body></html>"...)
+}
+
+// randomEdits draws nEdits non-overlapping byte-local edits at
+// rng-chosen offsets spread over the document: small insertions
+// (a handful of bytes — the alignment-killer), small deletions, and
+// short replacements, mimicking revision diffs.
+func randomEdits(rng *rand.Rand, docLen, nEdits int) []Edit {
+	if nEdits <= 0 {
+		return nil
+	}
+	edits := make([]Edit, 0, nEdits)
+	stride := docLen / (nEdits + 1)
+	if stride < 32 {
+		stride = 32
+	}
+	for k := 0; k < nEdits; k++ {
+		off := (k+1)*stride - rng.Intn(stride/2+1)
+		if off >= docLen {
+			break
+		}
+		switch rng.Intn(3) {
+		case 0:
+			ins := fmt.Sprintf("<ins rev=%d>%s</ins>", rng.Intn(1<<16), loremWords[rng.Intn(len(loremWords))])
+			edits = append(edits, Edit{Op: EditInsert, Off: off, Data: []byte(ins)})
+		case 1:
+			n := 1 + rng.Intn(24)
+			if off+n > docLen {
+				n = docLen - off
+			}
+			edits = append(edits, Edit{Op: EditDelete, Off: off, Len: n})
+		default:
+			rep := []byte(loremWords[rng.Intn(len(loremWords))])
+			if off+len(rep) > docLen {
+				rep = rep[:docLen-off]
+			}
+			edits = append(edits, Edit{Op: EditReplace, Off: off, Data: rep})
+		}
+	}
+	return edits
+}
+
+// NearDuplicateCorpus generates nBases unpadded HTML documents of
+// roughly meanSize bytes and variantsPer edited variants of each, every
+// variant carrying editsPer byte-local edits at controlled offsets.
+// Deterministic in seed.
+func NearDuplicateCorpus(name string, nBases, variantsPer, editsPer, meanSize int, seed int64) *ShiftedCorpus {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]string, 64)
+	for i := range pool {
+		pool[i] = "<p>" + sentence(rng, 24) + "</p>"
+	}
+	c := &ShiftedCorpus{Name: name}
+	for i := 0; i < nBases; i++ {
+		doc := unpaddedHTMLDoc(rng, pool, i, powerLawSize(rng, meanSize))
+		c.Bases = append(c.Bases, doc)
+		for v := 0; v < variantsPer; v++ {
+			edits := randomEdits(rng, len(doc), editsPer)
+			c.Variants = append(c.Variants, ApplyEdits(doc, edits))
+			c.VariantBase = append(c.VariantBase, i)
+			c.VariantEdits = append(c.VariantEdits, edits)
+		}
+	}
+	return c
+}

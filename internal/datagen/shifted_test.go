@@ -1,0 +1,117 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestApplyEdits(t *testing.T) {
+	doc := []byte("0123456789")
+	cases := []struct {
+		name  string
+		edits []Edit
+		want  string
+	}{
+		{"none", nil, "0123456789"},
+		{"insert", []Edit{{Op: EditInsert, Off: 3, Data: []byte("XY")}}, "012XY3456789"},
+		{"delete", []Edit{{Op: EditDelete, Off: 2, Len: 3}}, "0156789"},
+		{"replace", []Edit{{Op: EditReplace, Off: 4, Data: []byte("AB")}}, "0123AB6789"},
+		{"multi", []Edit{
+			{Op: EditInsert, Off: 1, Data: []byte("+")},
+			{Op: EditDelete, Off: 5, Len: 2},
+			{Op: EditReplace, Off: 9, Data: []byte("Z")},
+		}, "0+123478Z"},
+		{"insert-at-end", []Edit{{Op: EditInsert, Off: 10, Data: []byte("!")}}, "0123456789!"},
+		{"clamped-past-end", []Edit{{Op: EditInsert, Off: 99, Data: []byte("!")}}, "0123456789!"},
+		{"delete-overrun", []Edit{{Op: EditDelete, Off: 8, Len: 99}}, "01234567"},
+	}
+	for _, tc := range cases {
+		got := ApplyEdits(doc, tc.edits)
+		if string(got) != tc.want {
+			t.Errorf("%s: ApplyEdits = %q, want %q", tc.name, got, tc.want)
+		}
+		if string(doc) != "0123456789" {
+			t.Fatalf("%s: input mutated to %q", tc.name, doc)
+		}
+	}
+}
+
+// TestEditsAreByteLocal pins the property the chunking measurements
+// depend on: a variant differs from its base only inside its edit
+// regions — the prefix before the first edit and the suffix after the
+// last edit (shifted by the net size change) are byte-identical.
+func TestEditsAreByteLocal(t *testing.T) {
+	c := NearDuplicateCorpus("t", 4, 3, 5, 48<<10, 7)
+	if len(c.Variants) != 12 || len(c.VariantBase) != 12 || len(c.VariantEdits) != 12 {
+		t.Fatalf("corpus shape: %d variants, %d bases, %d edit sets",
+			len(c.Variants), len(c.VariantBase), len(c.VariantEdits))
+	}
+	for j, v := range c.Variants {
+		base := c.Bases[c.VariantBase[j]]
+		edits := c.VariantEdits[j]
+		if len(edits) == 0 {
+			t.Fatalf("variant %d has no edits", j)
+		}
+		first := edits[0].Off
+		if !bytes.Equal(v[:first], base[:first]) {
+			t.Fatalf("variant %d: prefix before first edit (off %d) differs", j, first)
+		}
+		// Net shift = inserted - deleted bytes.
+		shift := 0
+		lastEnd := 0 // end of the last edit region in base coordinates
+		for _, e := range edits {
+			switch e.Op {
+			case EditInsert:
+				shift += len(e.Data)
+				if e.Off > lastEnd {
+					lastEnd = e.Off
+				}
+			case EditDelete:
+				shift -= e.Len
+				if end := e.Off + e.Len; end > lastEnd {
+					lastEnd = end
+				}
+			case EditReplace:
+				if end := e.Off + len(e.Data); end > lastEnd {
+					lastEnd = end
+				}
+			}
+		}
+		if len(v) != len(base)+shift {
+			t.Fatalf("variant %d: length %d, want base %d %+d", j, len(v), len(base), shift)
+		}
+		tail := base[lastEnd:]
+		if !bytes.Equal(v[len(v)-len(tail):], tail) {
+			t.Fatalf("variant %d: suffix after last edit (base off %d) differs", j, lastEnd)
+		}
+		// The edits really did change something.
+		if bytes.Equal(v, base) {
+			t.Fatalf("variant %d is byte-identical to its base", j)
+		}
+	}
+}
+
+// The generator is deterministic in its seed and unpadded (no 64-byte
+// alignment runs — the property separating it from HTMLCorpus).
+func TestNearDuplicateDeterministicUnpadded(t *testing.T) {
+	a := NearDuplicateCorpus("t", 2, 2, 3, 32<<10, 11)
+	b := NearDuplicateCorpus("t", 2, 2, 3, 32<<10, 11)
+	ia, ib := a.AllItems(), b.AllItems()
+	if len(ia) != len(ib) {
+		t.Fatal("item count diverged across runs")
+	}
+	for i := range ia {
+		if !bytes.Equal(ia[i], ib[i]) {
+			t.Fatalf("item %d diverged across identical seeds", i)
+		}
+	}
+	pad := []byte("        ") // appendPadded's space runs
+	for i, it := range ia {
+		if bytes.Contains(it, pad) {
+			t.Fatalf("item %d contains alignment padding — shifted corpus must be unpadded", i)
+		}
+	}
+	if got, want := a.TotalBytes(), uint64(0); got == want {
+		t.Fatal("empty corpus")
+	}
+}

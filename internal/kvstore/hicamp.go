@@ -23,9 +23,10 @@ import (
 // prefix route to per-tenant maps on their own VSIDs (see namespace.go);
 // bare keys live on the root map.
 type HicampServer struct {
-	Heap *hds.Heap
-	kvp  *hds.Map
-	ns   namespaces
+	Heap  *hds.Heap
+	kvp   *hds.Map
+	ns    namespaces
+	blobs blobMaps
 }
 
 // NewHicampServer creates a server over a fresh machine.

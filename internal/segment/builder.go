@@ -257,105 +257,130 @@ func (b *Builder) levelScratch(n int) ([]word.Content, []bool) {
 // leafLevel canonicalizes the leaf level: edges[l] covers words
 // ws[l*arity : (l+1)*arity] (missing tail words read as zero raw data).
 func (b *Builder) leafLevel(ws []uint64, ts []word.Tag, edges []Edge) {
-	arity := b.m.LineWords()
 	contents, pending := b.levelScratch(len(edges))
-	b.parallel(len(edges), func(lo, hi int) {
-		for l := lo; l < hi; l++ {
-			base := l * arity
-			c := word.NewContent(arity)
-			allZero, allSmallRaw := true, true
-			for i := 0; i < arity; i++ {
-				var w uint64
-				t := word.TagRaw
-				if j := base + i; j < len(ws) {
-					w = ws[j]
-					if ts != nil {
-						t = ts[j]
-					}
-				}
-				c.W[i], c.T[i] = w, t
-				if w != 0 || t != word.TagRaw {
-					allZero = false
-				}
-				if t != word.TagRaw {
-					allSmallRaw = false
+	// The closure is created only on the parallel path: small levels call
+	// the range worker directly, so a steady-state small build allocates
+	// nothing (see the chunker/alloc pins).
+	if b.workerCount(len(edges)) <= 1 {
+		b.leafRange(ws, ts, edges, contents, pending, 0, len(edges))
+	} else {
+		b.parallel(len(edges), func(lo, hi int) {
+			b.leafRange(ws, ts, edges, contents, pending, lo, hi)
+		})
+	}
+	b.resolvePending(contents, pending, edges)
+}
+
+// leafRange canonicalizes leaves [lo, hi) — the body leafLevel runs
+// inline or fans out across workers.
+func (b *Builder) leafRange(ws []uint64, ts []word.Tag, edges []Edge, contents []word.Content, pending []bool, lo, hi int) {
+	arity := b.m.LineWords()
+	for l := lo; l < hi; l++ {
+		base := l * arity
+		c := word.NewContent(arity)
+		allZero, allSmallRaw := true, true
+		for i := 0; i < arity; i++ {
+			var w uint64
+			t := word.TagRaw
+			if j := base + i; j < len(ws) {
+				w = ws[j]
+				if ts != nil {
+					t = ts[j]
 				}
 			}
-			if allZero {
-				edges[l] = ZeroEdge
+			c.W[i], c.T[i] = w, t
+			if w != 0 || t != word.TagRaw {
+				allZero = false
+			}
+			if t != word.TagRaw {
+				allSmallRaw = false
+			}
+		}
+		if allZero {
+			edges[l] = ZeroEdge
+			continue
+		}
+		if allSmallRaw {
+			if iw, ok := word.PackInline(c.W[:arity], arity); ok {
+				edges[l] = Edge{W: iw, T: word.TagInline}
 				continue
 			}
-			if allSmallRaw {
-				if iw, ok := word.PackInline(c.W[:arity], arity); ok {
-					edges[l] = Edge{W: iw, T: word.TagInline}
-					continue
-				}
-			}
-			contents[l] = c
-			pending[l] = true
 		}
-	})
-	b.resolvePending(contents, pending, edges)
+		contents[l] = c
+		pending[l] = true
+	}
 }
 
 // nodeLevel canonicalizes one interior level: parents[p] covers child
 // edges children[p*arity : (p+1)*arity] (missing tail children read as
 // zero subtrees). Child edges are borrowed.
 func (b *Builder) nodeLevel(children []Edge, parents []Edge) {
+	contents, pending := b.levelScratch(len(parents))
+	// Same closure discipline as leafLevel: allocate the capture only
+	// when the level actually fans out.
+	if b.workerCount(len(parents)) <= 1 {
+		b.nodeRange(children, parents, contents, pending, 0, len(parents))
+	} else {
+		b.parallel(len(parents), func(lo, hi int) {
+			b.nodeRange(children, parents, contents, pending, lo, hi)
+		})
+	}
+	b.resolvePending(contents, pending, parents)
+}
+
+// nodeRange canonicalizes interior nodes [lo, hi) — the body nodeLevel
+// runs inline or fans out across workers.
+func (b *Builder) nodeRange(children []Edge, parents []Edge, contents []word.Content, pending []bool, lo, hi int) {
 	arity := b.m.LineWords()
 	plidBits := b.m.PLIDBits()
-	contents, pending := b.levelScratch(len(parents))
-	b.parallel(len(parents), func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			base := p * arity
-			c := word.NewContent(arity)
-			nz, idx := 0, -1
-			for i := 0; i < arity; i++ {
-				var e Edge
-				if j := base + i; j < len(children) {
-					e = children[j]
-				}
-				c.W[i], c.T[i] = e.W, e.T
-				if !e.IsZero() {
-					nz++
-					idx = i
-				}
+	for p := lo; p < hi; p++ {
+		base := p * arity
+		c := word.NewContent(arity)
+		nz, idx := 0, -1
+		for i := 0; i < arity; i++ {
+			var e Edge
+			if j := base + i; j < len(children) {
+				e = children[j]
 			}
-			if nz == 0 {
-				parents[p] = ZeroEdge
-				continue
+			c.W[i], c.T[i] = e.W, e.T
+			if !e.IsZero() {
+				nz++
+				idx = i
 			}
-			if nz == 1 {
-				// Path compaction, mirroring CanonNode exactly. The
-				// Retain runs on a worker, which is safe: the memory
-				// system is concurrency-safe and the child's reference
-				// (held by the caller) keeps the target alive.
-				child := children[base+idx]
-				switch child.T {
-				case word.TagPLID:
-					if w, ok := word.EncodeCompact(word.PLID(child.W), []int{idx}, arity, plidBits); ok {
-						b.m.Retain(word.PLID(child.W))
-						parents[p] = Edge{W: w, T: word.TagCompact}
-						continue
-					}
-				case word.TagCompact:
-					// Prepend idx to the child's path on the stack: the
-					// decode lands in sbuf[1:], leaving slot 0 free.
-					var sbuf [word.MaxCompactPath + 1]int
-					cp, path := word.DecodeCompactInto(child.W, arity, plidBits, sbuf[1:])
-					sbuf[0] = idx
-					if w, ok := word.EncodeCompact(cp, sbuf[:1+len(path)], arity, plidBits); ok {
-						b.m.Retain(cp)
-						parents[p] = Edge{W: w, T: word.TagCompact}
-						continue
-					}
-				}
-			}
-			contents[p] = c
-			pending[p] = true
 		}
-	})
-	b.resolvePending(contents, pending, parents)
+		if nz == 0 {
+			parents[p] = ZeroEdge
+			continue
+		}
+		if nz == 1 {
+			// Path compaction, mirroring CanonNode exactly. The
+			// Retain runs on a worker, which is safe: the memory
+			// system is concurrency-safe and the child's reference
+			// (held by the caller) keeps the target alive.
+			child := children[base+idx]
+			switch child.T {
+			case word.TagPLID:
+				if w, ok := word.EncodeCompact(word.PLID(child.W), []int{idx}, arity, plidBits); ok {
+					b.m.Retain(word.PLID(child.W))
+					parents[p] = Edge{W: w, T: word.TagCompact}
+					continue
+				}
+			case word.TagCompact:
+				// Prepend idx to the child's path on the stack: the
+				// decode lands in sbuf[1:], leaving slot 0 free.
+				var sbuf [word.MaxCompactPath + 1]int
+				cp, path := word.DecodeCompactInto(child.W, arity, plidBits, sbuf[1:])
+				sbuf[0] = idx
+				if w, ok := word.EncodeCompact(cp, sbuf[:1+len(path)], arity, plidBits); ok {
+					b.m.Retain(cp)
+					parents[p] = Edge{W: w, T: word.TagCompact}
+					continue
+				}
+			}
+		}
+		contents[p] = c
+		pending[p] = true
+	}
 }
 
 // resolvePending turns every pending content into an owned PLID edge:
