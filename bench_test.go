@@ -268,7 +268,7 @@ func BenchmarkSegmentBuildBulk(b *testing.B) {
 }
 
 // BenchmarkBulkLoadMap compares one-Set-per-pair map loading against
-// SetMany's single-commit bulk path.
+// Apply's single-commit bulk path.
 func BenchmarkBulkLoadMap(b *testing.B) {
 	mkPairs := func(n int) []hds.Pair {
 		pairs := make([]hds.Pair, n)
@@ -295,10 +295,10 @@ func BenchmarkBulkLoadMap(b *testing.B) {
 			}
 		}
 	})
-	b.Run("setmany", func(b *testing.B) {
+	b.Run("apply", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			h := hds.NewHeap(core.DefaultConfig(16))
-			if _, err := hds.FromPairs(h, pairs); err != nil {
+			if err := hds.NewMap(h).Apply(pairs, hds.ApplyOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -541,8 +541,17 @@ func BenchmarkExperimentSuite(b *testing.B) {
 // Benchmarks named Bulk* form the CI bench smoke stage
 // (go test -run=NONE -bench=Bulk -benchtime=1x ./...); keep them fast.
 
-// BenchmarkBulkMultiGet compares per-key GetVia against one GetMany for
-// a power-law GET batch — the benchjson kv_multiget pair at test scale.
+// kvLoadBatch builds a set-only kvstore batch from parallel slices.
+func kvLoadBatch(keys []string, values [][]byte) kvstore.Batch {
+	batch := make(kvstore.Batch, len(keys))
+	for i := range keys {
+		batch[i] = kvstore.KV{Key: []byte(keys[i]), Value: values[i]}
+	}
+	return batch
+}
+
+// BenchmarkBulkMultiGet compares per-key GetVia against one batched Read
+// for a power-law GET batch — the benchjson kv_multiget pair at test scale.
 func BenchmarkBulkMultiGet(b *testing.B) {
 	const items, batchKeys = 256, 512
 	c := datagen.HTMLCorpus("bench-bulk-mget", items, 512, 21)
@@ -558,7 +567,7 @@ func BenchmarkBulkMultiGet(b *testing.B) {
 	}
 	newSrv := func(b *testing.B) *kvstore.HicampServer {
 		srv := kvstore.NewHicampServer(core.TestConfig())
-		if err := srv.SetMany(c.Keys, c.Items); err != nil {
+		if err := srv.Write(kvLoadBatch(c.Keys, c.Items)); err != nil {
 			b.Fatal(err)
 		}
 		return srv
@@ -579,9 +588,13 @@ func BenchmarkBulkMultiGet(b *testing.B) {
 	})
 	b.Run("bulk", func(b *testing.B) {
 		srv := newSrv(b)
+		rd := make(kvstore.Batch, len(keys))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			srv.GetMany(keys)
+			for j := range keys {
+				rd[j] = kvstore.KV{Key: keys[j]}
+			}
+			srv.Read(rd)
 		}
 	})
 }
@@ -647,7 +660,7 @@ func BenchmarkBulkStoreScan(b *testing.B) {
 	}
 	newSrv := func(b *testing.B) *kvstore.HicampServer {
 		srv := kvstore.NewHicampServer(core.TestConfig())
-		if err := srv.SetMany(keys, values); err != nil {
+		if err := srv.Write(kvLoadBatch(keys, values)); err != nil {
 			b.Fatal(err)
 		}
 		return srv
@@ -701,7 +714,7 @@ func BenchmarkBulkDiffSnapshots(b *testing.B) {
 		values[i] = pool.Items[i%len(pool.Items)]
 	}
 	srv := kvstore.NewHicampServer(core.TestConfig())
-	if err := srv.SetMany(keys, values); err != nil {
+	if err := srv.Write(kvLoadBatch(keys, values)); err != nil {
 		b.Fatal(err)
 	}
 	old, err := srv.Map().Snapshot()

@@ -13,7 +13,7 @@ import (
 // type asserts of the optional interfaces scattered through call sites
 // are the failure mode this guard locks out.
 func TestNoAdHocCapabilityAsserts(t *testing.T) {
-	assertRE := regexp.MustCompile(`\.\(\s*word\.(BatchMem|BatchReadMem|ContentRetainer|BatchIntoMem)\s*\)`)
+	assertRE := regexp.MustCompile(`\.\(\s*word\.(BatchMem|BatchReadMem|ContentRetainer|BatchIntoMem|DurableMem)\s*\)`)
 	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err

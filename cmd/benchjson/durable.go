@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+// Durable pairs (PR 10). Unlike the bulk pipelines, the axis that moves
+// here is wall-clock against stable storage: group commit shares fsyncs
+// between concurrent acked writers, and checkpoints bound how much log
+// a cold start replays. DRAM columns are near-zero by design — journal
+// appends are host I/O, and recovery reinstalls lines without simulated
+// memory accounting.
+
+// durableDir creates a temp data directory; the closure's server owns
+// it for one run.
+func durableDir() string {
+	dir, err := os.MkdirTemp("", "benchjson-durable-*")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// durableGroupCommit: the same number of acked sets, per-write fsync
+// vs shared group commits. The baseline is one writer acking each set
+// before issuing the next — every ack is its own fsync, the classic
+// write-through server. The candidate spreads the ops across 8
+// concurrent writers under a bounded flush window, so one fsync
+// acknowledges every writer that landed in the window; no writer ever
+// blocks another's journal append.
+func durableGroupCommit() pair {
+	const totalOps = 192
+	extra := map[string]float64{}
+	run := func(writers int, window time.Duration, side string) func() uint64 {
+		perWriter := totalOps / writers
+		return func() uint64 {
+			dir := durableDir()
+			defer os.RemoveAll(dir)
+			srv, err := kvstore.NewHicampServerOpts(core.TestConfig(), kvstore.ServerOptions{
+				DataDir: dir, FlushWindow: window,
+			})
+			if err != nil {
+				panic(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						key := []byte(fmt.Sprintf("w%02d-k%04d", w, i))
+						val := []byte(fmt.Sprintf("durably acked value %04d of writer %02d", i, w))
+						if err := srv.Set(key, val); err != nil {
+							panic(err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			ds := srv.DurableStats()
+			extra[side+"_fsyncs"] = float64(ds.Fsyncs)
+			extra[side+"_max_group"] = float64(ds.MaxGroupSize)
+			if err := srv.Close(); err != nil {
+				panic(err)
+			}
+			return dramTotal(srv.Heap.M)
+		}
+	}
+	return pair{
+		name:       "durable_group_commit",
+		baseline:   "serial writer, one fsync per acked set",
+		candidate:  "8 writers sharing group commits (500us window)",
+		reps:       3,
+		concurrent: true,
+		extra:      extra,
+		base:       run(1, time.Nanosecond, "baseline"),
+		cand:       run(8, 500*time.Microsecond, "candidate"),
+	}
+}
+
+// durableColdRecovery: the same final state recovered cold, once from a
+// full log replay (no checkpoint) and once from a checkpoint plus a
+// short tail. Extras carry the isolated recovery time reported by the
+// durable layer; the wall-clock column includes the identical build on
+// both sides.
+func durableColdRecovery() pair {
+	const keys, tail = 1200, 100
+	extra := map[string]float64{}
+	run := func(checkpoint bool, side string) func() uint64 {
+		return func() uint64 {
+			dir := durableDir()
+			defer os.RemoveAll(dir)
+			open := func() *kvstore.HicampServer {
+				srv, err := kvstore.NewHicampServerOpts(core.TestConfig(),
+					kvstore.ServerOptions{DataDir: dir})
+				if err != nil {
+					panic(err)
+				}
+				return srv
+			}
+			srv := open()
+			write := func(lo, hi int) {
+				var b kvstore.Batch
+				for i := lo; i < hi; i++ {
+					b = b.Set([]byte(fmt.Sprintf("rk-%06d", i)),
+						[]byte(fmt.Sprintf("replayable payload %06d with a short body", i)))
+				}
+				if err := srv.Write(b); err != nil {
+					panic(err)
+				}
+			}
+			write(0, keys-tail)
+			if checkpoint {
+				if err := srv.Checkpoint(); err != nil {
+					panic(err)
+				}
+			}
+			write(keys-tail, keys)
+			if err := srv.Close(); err != nil {
+				panic(err)
+			}
+			srv = open()
+			ds := srv.DurableStats()
+			extra[side+"_recovery_ms"] = float64(ds.RecoveryTime.Microseconds()) / 1000
+			extra[side+"_replayed_records"] = float64(ds.ReplayedRecords)
+			extra[side+"_recovered_lines"] = float64(ds.RecoveredLines)
+			if err := srv.Close(); err != nil {
+				panic(err)
+			}
+			return dramTotal(srv.Heap.M)
+		}
+	}
+	return pair{
+		name:      "durable_cold_recovery",
+		baseline:  "full log replay (no checkpoint)",
+		candidate: "checkpoint + log tail",
+		reps:      3,
+		extra:     extra,
+		base:      run(false, "baseline"),
+		cand:      run(true, "candidate"),
+	}
+}

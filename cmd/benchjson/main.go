@@ -5,8 +5,10 @@
 // pools (PR 7), the memcached network front end's cross-connection
 // batch aggregation (PR 8), and the content-defined chunked ingest
 // path with its warm chunk→PLID memo (PR 9) — against their
-// line-at-a-time or per-request baselines and writes the comparison as
-// machine-readable JSON (BENCH_PR9.json in the repo root).
+// line-at-a-time or per-request baselines, plus the durable tier's
+// group-commit and checkpoint-bounded-recovery pairs (PR 10), and
+// writes the comparison as machine-readable JSON (BENCH_PR10.json in
+// the repo root).
 // Each pair is run at GOMAXPROCS 1 and 4 and reports three axes:
 //
 //   - wall-clock (minimum over interleaved repetitions, fresh machine per
@@ -24,7 +26,7 @@
 // (DRAM) at the price of bookkeeping the host must execute, and pooling
 // removes the bookkeeping's allocation cost.
 //
-//	go run ./cmd/benchjson -o BENCH_PR9.json
+//	go run ./cmd/benchjson -o BENCH_PR10.json
 //
 // -skip drops named pairs (comma-separated), which is how earlier
 // BENCH_PR*.json files are regenerated without the pairs that did not
@@ -127,7 +129,7 @@ type pair struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output file")
+	out := flag.String("o", "BENCH_PR10.json", "output file")
 	only := flag.String("only", "", "run only the pair with this name")
 	skip := flag.String("skip", "", "comma-separated pair names to drop (for regenerating earlier BENCH_PR*.json files)")
 	desc := flag.String("desc", "", "override the report description (set when regenerating an earlier file)")
@@ -153,6 +155,8 @@ func main() {
 		netMixedRW(),
 		chunkedIngestShifted(),
 		chunkedReingestWarm(),
+		durableGroupCommit(),
+		durableColdRecovery(),
 	}
 
 	if *only != "" {
@@ -209,7 +213,14 @@ func main() {
 			"duplicate corpus (extras carry the resident unique-line " +
 			"footprints and their ratio), with a second pair isolating the " +
 			"warm chunk->PLID memo (cold re-ingest of the variants as " +
-			"baseline, memo-warm re-ingest as candidate). " +
+			"baseline, memo-warm re-ingest as candidate), and the durable " +
+			"tier where per-write fsync is the baseline and the bounded " +
+			"flush window's group commit the candidate for 8 concurrent " +
+			"acked writers (extras carry fsync counts and max group " +
+			"size), with a second pair recovering the same store cold " +
+			"from a full log replay (baseline) vs checkpoint + tail " +
+			"(candidate; extras carry the isolated recovery times and " +
+			"replayed-record counts). " +
 			"Wall-clock is min over interleaved reps " +
 			"with a fresh machine per rep; DRAM accesses are the simulated " +
 			"store totals (deterministic per workload); allocs/bytes per op " +
@@ -502,7 +513,7 @@ func loadMap() pair {
 	return pair{
 		name:      "map_load_4096pairs",
 		baseline:  "per-pair Map.Set",
-		candidate: "hds.FromPairs (SetMany)",
+		candidate: "hds.Map.Apply (bulk load)",
 		reps:      5,
 		base: func() uint64 {
 			h := hds.NewHeap(core.DefaultConfig(16))
@@ -519,7 +530,7 @@ func loadMap() pair {
 		},
 		cand: func() uint64 {
 			h := hds.NewHeap(core.DefaultConfig(16))
-			if _, err := hds.FromPairs(h, pairs); err != nil {
+			if err := hds.NewMap(h).Apply(pairs, hds.ApplyOptions{}); err != nil {
 				panic(err)
 			}
 			return dramTotal(h.M)
@@ -529,7 +540,7 @@ func loadMap() pair {
 
 // multiGet measures the PR 3 tentpole on its memcached shape: a
 // 4096-key GET batch from the repo's power-law request trace, resolved
-// one GetVia at a time versus one GetMany. Popular keys repeat within
+// one GetVia at a time versus one batched Read. Popular keys repeat within
 // the batch at reuse distances far beyond a busy server's cache slice
 // (the LLC here is scaled to 256 KB against an ~8 MB corpus), so the
 // serial side re-misses every repeat while the bulk side's waves
@@ -556,13 +567,13 @@ func multiGet() pair {
 	run := func(batched bool) func() uint64 {
 		return func() uint64 {
 			srv := kvstore.NewHicampServer(cfg)
-			if err := srv.SetMany(c.Keys, c.Items); err != nil {
+			if err := srv.Write(loadBatch(c.Keys, c.Items)); err != nil {
 				panic(err)
 			}
 			srv.Heap.M.FlushCache()
 			srv.Heap.M.ResetStats()
 			if batched {
-				srv.GetMany(keys)
+				srv.Read(getBatch(keys))
 			} else {
 				reader, err := srv.OpenReader()
 				if err != nil {
@@ -579,7 +590,7 @@ func multiGet() pair {
 	return pair{
 		name:      "kv_multiget_4096keys",
 		baseline:  "per-key HicampServer.GetVia",
-		candidate: "HicampServer.GetMany (bulk gather)",
+		candidate: "HicampServer.Read (bulk gather)",
 		reps:      3,
 		base:      run(false),
 		cand:      run(true),
@@ -665,12 +676,30 @@ func scanServer(keys []string, values [][]byte) *kvstore.HicampServer {
 		CacheLines: (256 << 10) / 16, CacheWays: 16,
 	}
 	srv := kvstore.NewHicampServer(cfg)
-	if err := srv.SetMany(keys, values); err != nil {
+	if err := srv.Write(loadBatch(keys, values)); err != nil {
 		panic(err)
 	}
 	srv.Heap.M.FlushCache()
 	srv.Heap.M.ResetStats()
 	return srv
+}
+
+// loadBatch builds a set-only batch from parallel key/value slices.
+func loadBatch(keys []string, values [][]byte) kvstore.Batch {
+	b := make(kvstore.Batch, len(keys))
+	for i := range keys {
+		b[i] = kvstore.KV{Key: []byte(keys[i]), Value: values[i]}
+	}
+	return b
+}
+
+// getBatch builds a read batch over keys.
+func getBatch(keys [][]byte) kvstore.Batch {
+	b := make(kvstore.Batch, len(keys))
+	for i := range keys {
+		b[i] = kvstore.KV{Key: keys[i]}
+	}
+	return b
 }
 
 // serialStoreDump is the pre-PR 4 full-store dump: one NextNonZero

@@ -40,6 +40,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "ops per flush window (0 = default)")
 	flushWindow := flag.Duration("flush-window", 0, "max wait for window stragglers (0 = default)")
 	smoke := flag.Bool("smoke", false, "serve loopback, run the built-in workload, verify pool hygiene, exit")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = memory-only)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval with -data-dir")
 	flag.Parse()
 
 	cfg := core.Config{
@@ -54,7 +56,20 @@ func main() {
 	if *flushWindow > 0 {
 		opts.FlushWindow = *flushWindow
 	}
-	srv := netfront.NewServer(kvstore.NewHicampServer(cfg), opts)
+	store, err := kvstore.NewHicampServerOpts(cfg, kvstore.ServerOptions{
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicampd: open store: %v\n", err)
+		os.Exit(1)
+	}
+	if store.Durable() {
+		ds := store.DurableStats()
+		fmt.Printf("hicampd: recovered %d lines, %d roots in %s from %s\n",
+			ds.RecoveredLines, ds.RecoveredRoots, ds.RecoveryTime, *dataDir)
+	}
+	srv := netfront.NewServer(store, opts)
 
 	if *smoke {
 		os.Exit(runSmoke(srv))
@@ -66,6 +81,9 @@ func main() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "hicampd: shutting down")
 		srv.Close()
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hicampd: close store: %v\n", err)
+		}
 	}()
 	fmt.Printf("hicampd: serving memcached protocol on %s\n", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil && err != netfront.ErrServerClosed {

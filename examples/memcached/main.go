@@ -32,7 +32,11 @@ func main() {
 		keys[i] = fmt.Sprintf("page:%04d", i)
 		vals[i] = []byte(fmt.Sprintf("<html><body>cached page %d</body></html>", i))
 	}
-	if err := srv.SetMany(keys, vals); err != nil {
+	batch := make(kvstore.Batch, len(keys))
+	for i := range keys {
+		batch[i] = kvstore.KV{Key: []byte(keys[i]), Value: vals[i]}
+	}
+	if err := srv.Write(batch); err != nil {
 		log.Fatal(err)
 	}
 

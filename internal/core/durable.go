@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/store"
+	"repro/internal/word"
+)
+
+// Durability wiring. The machine itself stays persistence-agnostic: the
+// write-ahead layer (internal/durable) attaches a line journal to the
+// store and observes segment-map publishes directly; the machine only
+// exposes the restore surface and forwards word.DurableMem so the
+// programming-model layers can discover whether writes need a durability
+// acknowledgement without importing internal/durable.
+
+// Durability is the attachment point for a write-ahead layer. Sync
+// blocks until every mutation issued before the call is stable; Enabled
+// reports whether Sync actually waits on anything.
+type Durability interface {
+	Sync() error
+	Enabled() bool
+}
+
+// SetDurability attaches (or, with nil, detaches) the persistence layer.
+// Attach before the machine serves traffic.
+func (m *Machine) SetDurability(d Durability) { m.durability = d }
+
+// DurableEnabled implements word.DurableMem.
+func (m *Machine) DurableEnabled() bool {
+	return m.durability != nil && m.durability.Enabled()
+}
+
+// SyncDurable implements word.DurableMem.
+func (m *Machine) SyncDurable() error {
+	if m.durability == nil {
+		return nil
+	}
+	return m.durability.Sync()
+}
+
+// SetLineJournal attaches the store's line liveness journal.
+func (m *Machine) SetLineJournal(j store.Journal) { m.store.SetJournal(j) }
+
+// ForEachLiveLine iterates live lines for checkpointing; see
+// store.ForEachLive for the fuzzy-snapshot contract.
+func (m *Machine) ForEachLiveLine(fn func(p word.PLID, c word.Content, rc uint64) bool) {
+	m.store.ForEachLive(fn)
+}
+
+// InstallLine places content at an exact PLID with an exact reference
+// count — the recovery path; see store.InstallLine. No cache fill and no
+// DRAM accounting: restore is not simulated memory activity.
+func (m *Machine) InstallLine(p word.PLID, c word.Content, rc uint64) error {
+	return m.store.InstallLine(p, c, rc)
+}
+
+// FinishRestore completes a sequence of InstallLine calls.
+func (m *Machine) FinishRestore() { m.store.FinishRestore() }
+
+var _ word.DurableMem = (*Machine)(nil)

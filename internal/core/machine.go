@@ -85,6 +85,10 @@ type Machine struct {
 	setMask   uint64
 	lookupOps atomic.Uint64
 	readOps   atomic.Uint64
+
+	// durability, when non-nil, is the attached write-ahead layer (see
+	// durable.go). Set before the machine serves traffic.
+	durability Durability
 }
 
 // NewMachine builds a Machine. It panics on invalid configuration.

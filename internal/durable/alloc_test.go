@@ -1,0 +1,59 @@
+package durable
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hds"
+	"repro/internal/pool"
+	"repro/internal/segmap"
+	"repro/internal/word"
+)
+
+// Allocation pin for the journal append path: at steady state a line
+// commit or root publish costs one frame encode into the reused log
+// buffer under the mutex — zero heap allocations — so attaching
+// durability does not un-pin the wave engines' allocation-free hot
+// paths. Measured in discard mode so the flusher's I/O (which runs on
+// its own goroutine anyway) is out of the picture. (Same regime as the
+// segment wave pins: no -race, not parallel.)
+func TestAllocDurableAppend(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("allocation pins are meaningless under -race")
+	}
+	dir := t.TempDir()
+	h := hds.NewHeap(core.TestConfig())
+	db, err := Open(Options{Dir: dir, FlushWindow: 1}, h.M, h.SM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.setDiscard(true)
+
+	var c word.Content
+	c.N = 2
+	c.T[0], c.W[0] = word.TagRaw, 0x1111
+	c.T[1], c.W[1] = word.TagPLID, 0x2222
+	e := segmap.Entry{Size: 64}
+
+	if n := testing.AllocsPerRun(200, func() {
+		db.JournalAlloc(word.PLID(5), c)
+	}); n != 0 {
+		t.Fatalf("JournalAlloc allocates %.1f per op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		db.JournalFree(word.PLID(5))
+	}); n != 0 {
+		t.Fatalf("JournalFree allocates %.1f per op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		db.JournalPublish(word.VSID(3), e)
+	}); n != 0 {
+		t.Fatalf("JournalPublish allocates %.1f per op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		db.JournalDelete(word.VSID(3))
+	}); n != 0 {
+		t.Fatalf("JournalDelete allocates %.1f per op", n)
+	}
+}

@@ -1,0 +1,301 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hds"
+)
+
+// Crash-injection harness. The sweep re-execs this test binary as a
+// child running TestHelperCrashWorkload with DURABLE_FAULT_KILL=N: the
+// child dies hard (os.Exit, no cleanup) at the Nth crash-relevant I/O
+// step. The parent then recovers the directory in-process and checks the
+// three durability invariants:
+//
+//	(a) acked state readable byte-for-byte — the recovered map equals
+//	    the deterministic workload's model after s ops for some single
+//	    s >= the highest acknowledged op,
+//	(b) no unacked publish visible — that same s <= the highest op the
+//	    child had started (and per-key nothing newer than what was
+//	    attempted can appear),
+//	(c) recovered refcounts equal an independent live-walk —
+//	    store.CheckConsistency with the segment-map roots as the only
+//	    external references.
+//
+// The kill range is calibrated by one counting run (DURABLE_FAULT_COUNT)
+// that reports how many fault points a full workload crosses.
+
+const (
+	crashOps     = 120
+	crashKeys    = 7
+	crashLabel   = "crash:kv"
+	crashEnvDir  = "DURABLE_CRASH_DIR"
+	crashEnvMode = "DURABLE_CRASH_CHILD"
+)
+
+// crashOp is the shared deterministic workload: op seq (1-based) either
+// binds or deletes one of crashKeys keys.
+func crashOp(seq int) (key, val string, del bool) {
+	key = fmt.Sprintf("key-%02d", seq%crashKeys)
+	if seq%11 == 0 {
+		return key, "", true
+	}
+	val = strings.Repeat(fmt.Sprintf("v%04d.", seq), 1+seq%5)
+	return key, val, false
+}
+
+// crashModel is the expected map contents after the first s ops.
+func crashModel(s int) map[string]string {
+	m := make(map[string]string)
+	for seq := 1; seq <= s; seq++ {
+		k, v, del := crashOp(seq)
+		if del {
+			delete(m, k)
+		} else {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+// TestHelperCrashWorkload is the child process body; it only runs when
+// re-execed by the sweep with the env mode set.
+func TestHelperCrashWorkload(t *testing.T) {
+	if os.Getenv(crashEnvMode) != "workload" {
+		t.Skip("helper process body")
+	}
+	dir := os.Getenv(crashEnvDir)
+	h := hds.NewHeap(core.TestConfig())
+	db, err := Open(Options{Dir: dir, FlushWindow: 1, SegmentBytes: 8 << 10}, h.M, h.SM)
+	if err != nil {
+		t.Fatalf("child Open: %v", err)
+	}
+	mp := hds.NewMap(h)
+	if err := db.Bind(crashLabel, mp.VSID()); err != nil {
+		t.Fatalf("child Bind: %v", err)
+	}
+	for seq := 1; seq <= crashOps; seq++ {
+		k, v, dl := crashOp(seq)
+		fmt.Printf("TRY %d\n", seq)
+		ks := hds.NewString(h, []byte(k))
+		if dl {
+			if err := mp.Delete(ks); err != nil {
+				t.Fatalf("child Delete: %v", err)
+			}
+		} else {
+			vs := hds.NewString(h, []byte(v))
+			if err := mp.Set(ks, vs); err != nil {
+				t.Fatalf("child Set: %v", err)
+			}
+			vs.Release(h)
+		}
+		ks.Release(h)
+		if err := db.Sync(); err != nil {
+			t.Fatalf("child Sync: %v", err)
+		}
+		fmt.Printf("ACK %d\n", seq)
+		if seq%20 == 0 {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("child Checkpoint: %v", err)
+			}
+		}
+	}
+	db.Close()
+	fmt.Printf("POINTS %d\n", FaultPointsCrossed())
+}
+
+// TestHelperReopen is the child body for crash-during-recovery: it
+// opens an existing directory (replaying it) and exits.
+func TestHelperReopen(t *testing.T) {
+	if os.Getenv(crashEnvMode) != "reopen" {
+		t.Skip("helper process body")
+	}
+	dir := os.Getenv(crashEnvDir)
+	h := hds.NewHeap(core.TestConfig())
+	db, err := Open(Options{Dir: dir, FlushWindow: 1}, h.M, h.SM)
+	if err != nil {
+		t.Fatalf("reopen child: %v", err)
+	}
+	db.Close()
+}
+
+// runCrashChild re-execs the test binary. extraEnv arms the fault
+// registry; returns stdout and the exit code.
+func runCrashChild(t *testing.T, test, dir string, mode string, extraEnv ...string) ([]byte, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^"+test+"$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		crashEnvMode+"="+mode,
+		crashEnvDir+"="+dir,
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	out, err := cmd.Output()
+	if err == nil {
+		return out, 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return append(out, ee.Stderr...), ee.ExitCode()
+	}
+	t.Fatalf("child %s: %v", test, err)
+	return nil, -1
+}
+
+// parseChildLog extracts the highest TRY and ACK sequence numbers.
+func parseChildLog(t *testing.T, out []byte) (tried, acked int) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) != 2 {
+			continue
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil {
+			continue
+		}
+		switch f[0] {
+		case "TRY":
+			if n > tried {
+				tried = n
+			}
+		case "ACK":
+			if n > acked {
+				acked = n
+			}
+		}
+	}
+	return tried, acked
+}
+
+// verifyCrashDir recovers dir in-process and checks the invariants
+// against the child's TRY/ACK trace.
+func verifyCrashDir(t *testing.T, dir string, tried, acked int, kill int64) {
+	t.Helper()
+	h := hds.NewHeap(core.TestConfig())
+	db, err := Open(Options{Dir: dir, FlushWindow: 1}, h.M, h.SM)
+	if err != nil {
+		t.Fatalf("kill=%d: recovery failed: %v", kill, err)
+	}
+	defer db.Close()
+
+	// (c) refcounts: derived counts must equal the store's own
+	// independent audit with roots as the only external refs.
+	if err := h.M.CheckConsistency(externalRefs(h.SM)); err != nil {
+		t.Fatalf("kill=%d: consistency after recovery: %v", kill, err)
+	}
+
+	v, ok := db.Binding(crashLabel)
+	if !ok {
+		if acked > 0 {
+			t.Fatalf("kill=%d: binding lost after %d acked ops", kill, acked)
+		}
+		return
+	}
+	mp := hds.OpenMap(h, v)
+	got := make(map[string]string)
+	for i := 0; i < crashKeys; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		if val, ok := get(t, h, mp, k); ok {
+			got[k] = val
+		}
+	}
+	// (a)+(b): the recovered version must be the model after exactly s
+	// ops for some acked <= s <= tried. The child is a single writer, so
+	// tried <= acked+1 and there are at most two candidates.
+	for s := acked; s <= tried; s++ {
+		if mapsEqual(got, crashModel(s)) {
+			return
+		}
+	}
+	t.Fatalf("kill=%d: recovered state matches no prefix in [%d,%d]: got %v",
+		kill, acked, tried, got)
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDurableCrashSweep is the main harness: calibrate, then kill the
+// workload at random fault points and verify every recovery.
+func TestDurableCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep spawns ~50 child processes")
+	}
+	// Calibration: count the fault points a clean run crosses.
+	calDir := t.TempDir()
+	out, code := runCrashChild(t, "TestHelperCrashWorkload", calDir, "workload", "DURABLE_FAULT_COUNT=1")
+	if code != 0 {
+		t.Fatalf("calibration child exited %d:\n%s", code, out)
+	}
+	points := int64(0)
+	for _, line := range strings.Split(string(out), "\n") {
+		if n, ok := strings.CutPrefix(line, "POINTS "); ok {
+			p, err := strconv.ParseInt(strings.TrimSpace(n), 10, 64)
+			if err != nil {
+				t.Fatalf("bad POINTS line %q", line)
+			}
+			points = p
+		}
+	}
+	if points < 100 {
+		t.Fatalf("calibration crossed only %d fault points — registry detached?", points)
+	}
+	t.Logf("calibrated: %d fault points per clean run", points)
+
+	const sweep = 50
+	rng := rand.New(rand.NewSource(0x44425231))
+	for i := 0; i < sweep; i++ {
+		kill := 1 + rng.Int63n(points)
+		dir := t.TempDir()
+		out, code := runCrashChild(t, "TestHelperCrashWorkload", dir, "workload",
+			fmt.Sprintf("DURABLE_FAULT_KILL=%d", kill))
+		if code != FaultExitCode && code != 0 {
+			t.Fatalf("kill=%d: child exited %d (want %d or clean):\n%s", kill, code, FaultExitCode, out)
+		}
+		tried, acked := parseChildLog(t, out)
+		verifyCrashDir(t, dir, tried, acked, kill)
+	}
+}
+
+// TestDurableCrashDuringRecovery: kill a process while it is reopening
+// an existing directory — recovery is read-only until the fresh log
+// segment opens, so a second recovery must see everything.
+func TestDurableCrashDuringRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Build real state: a clean full workload run (checkpoint + tail).
+	out, code := runCrashChild(t, "TestHelperCrashWorkload", dir, "workload")
+	if code != 0 {
+		t.Fatalf("workload child exited %d:\n%s", code, out)
+	}
+
+	// The reopen child's first fault points are openSegment's (recovery
+	// itself writes nothing); kill at each of the first few.
+	for kill := int64(1); kill <= 3; kill++ {
+		out, code := runCrashChild(t, "TestHelperReopen", dir, "reopen",
+			fmt.Sprintf("DURABLE_FAULT_KILL=%d", kill))
+		if code != FaultExitCode && code != 0 {
+			t.Fatalf("reopen kill=%d: exited %d:\n%s", kill, code, out)
+		}
+	}
+
+	// After repeated interrupted recoveries the full workload state must
+	// still be there.
+	verifyCrashDir(t, dir, crashOps, crashOps, -1)
+}

@@ -1,0 +1,107 @@
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hds"
+)
+
+// TestDurableConcurrentWritersFlusherReaders drives the full concurrent
+// shape under the race detector: several map writers gating on Sync, the
+// group-commit flusher, snapshot readers, and the background checkpoint
+// loop, all against one DB. The reopened state must hold every writer's
+// final values.
+func TestDurableConcurrentWritersFlusherReaders(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Dir:             dir,
+		FlushWindow:     200 * time.Microsecond,
+		SegmentBytes:    32 << 10,
+		CheckpointEvery: 2 * time.Millisecond,
+	}
+	h, db := openHeap(t, opts)
+	mp := hds.NewMap(h)
+	if err := db.Bind("kv:test", mp.VSID()); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const rounds = 40
+	const keysPer = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ks := hds.NewString(h, []byte(fmt.Sprintf("w%d-k%d", w, r%keysPer)))
+				vs := hds.NewString(h, []byte(fmt.Sprintf("w%d-r%d", w, r)))
+				err := mp.Set(ks, vs)
+				ks.Release(h)
+				vs.Release(h)
+				if err != nil {
+					t.Errorf("writer %d: Set: %v", w, err)
+					return
+				}
+				if err := db.Sync(); err != nil {
+					t.Errorf("writer %d: Sync: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		rwg.Add(1)
+		go func(rd int) {
+			defer rwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ks := hds.NewString(h, []byte(fmt.Sprintf("w%d-k%d", i%writers, i%keysPer)))
+				if v, ok := mp.Get(ks); ok {
+					_ = v.Bytes(h)
+					v.Release(h)
+				}
+				ks.Release(h)
+			}
+		}(rd)
+	}
+
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, db2 := openHeap(t, Options{Dir: dir, FlushWindow: 1})
+	defer db2.Close()
+	checkMachine(t, h2, "after concurrent run")
+	v, ok := db2.Binding("kv:test")
+	if !ok {
+		t.Fatal("binding lost")
+	}
+	mp2 := hds.OpenMap(h2, v)
+	for w := 0; w < writers; w++ {
+		for k := 0; k < keysPer; k++ {
+			// The last round touching key k is r = rounds-keysPer+k.
+			want := fmt.Sprintf("w%d-r%d", w, rounds-keysPer+k)
+			got, ok := get(t, h2, mp2, fmt.Sprintf("w%d-k%d", w, k))
+			if !ok || got != want {
+				t.Fatalf("w%d-k%d = (%q, %v), want %q", w, k, got, ok, want)
+			}
+		}
+	}
+}

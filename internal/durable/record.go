@@ -1,0 +1,229 @@
+package durable
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/word"
+)
+
+// Log record framing. Every mutation the in-memory stack publishes is
+// one CRC-framed frame in the append-only log:
+//
+//	[len u32][crc u32][lsn u64][kind u8][payload]
+//
+// len counts the bytes after the crc field (lsn + kind + payload); crc
+// is IEEE CRC-32 over those same bytes. All integers are little-endian.
+// A reader stops at the first frame whose length or CRC does not check
+// out — the torn tail. That is not just tolerance but a correctness
+// rule: writes behind an incomplete fsync may persist out of order, so
+// an intact frame after a torn one must be dropped too (it was never
+// acknowledged — had its fsync completed, every earlier write would be
+// durable as well).
+//
+// Record kinds mirror the three mutation sources plus label bindings:
+//
+//	recAlloc   plid u64, n u8, n × (tag u8, word u64)   — line commit
+//	recFree    plid u64                                 — terminal RC delta
+//	recPublish vsid u64, root u64, height u32, flags u8, size u64
+//	recDelete  vsid u64
+//	recBind    vsid u64, len u16, label bytes
+const (
+	recAlloc byte = iota + 1
+	recFree
+	recPublish
+	recDelete
+	recBind
+)
+
+// frameOverhead is the fixed byte cost before the payload.
+const frameOverhead = 4 + 4 + 8 + 1
+
+// maxFrameLen bounds a frame's post-crc length; anything larger in a
+// length field is corruption, not a record.
+const maxFrameLen = 1 << 20
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func getU16(b []byte) uint16 {
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// beginFrame reserves the len+crc header and appends lsn+kind, returning
+// the buffer and the header offset for endFrame.
+func beginFrame(buf []byte, lsn uint64, kind byte) ([]byte, int) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = appendU64(buf, lsn)
+	buf = append(buf, kind)
+	return buf, start
+}
+
+// endFrame back-fills the length and CRC of the frame begun at start.
+func endFrame(buf []byte, start int) []byte {
+	body := buf[start+8:]
+	n := uint32(len(body))
+	buf[start] = byte(n)
+	buf[start+1] = byte(n >> 8)
+	buf[start+2] = byte(n >> 16)
+	buf[start+3] = byte(n >> 24)
+	c := crc32.ChecksumIEEE(body)
+	buf[start+4] = byte(c)
+	buf[start+5] = byte(c >> 8)
+	buf[start+6] = byte(c >> 16)
+	buf[start+7] = byte(c >> 24)
+	return buf
+}
+
+func appendAllocFrame(buf []byte, lsn uint64, p word.PLID, c word.Content) []byte {
+	buf, start := beginFrame(buf, lsn, recAlloc)
+	buf = appendU64(buf, uint64(p))
+	buf = append(buf, c.N)
+	for i := 0; i < int(c.N); i++ {
+		buf = append(buf, byte(c.T[i]))
+		buf = appendU64(buf, c.W[i])
+	}
+	return endFrame(buf, start)
+}
+
+func appendFreeFrame(buf []byte, lsn uint64, p word.PLID) []byte {
+	buf, start := beginFrame(buf, lsn, recFree)
+	buf = appendU64(buf, uint64(p))
+	return endFrame(buf, start)
+}
+
+func appendPublishFrame(buf []byte, lsn uint64, v word.VSID, root word.PLID, height uint32, flags uint8, size uint64) []byte {
+	buf, start := beginFrame(buf, lsn, recPublish)
+	buf = appendU64(buf, uint64(v))
+	buf = appendU64(buf, uint64(root))
+	buf = appendU32(buf, height)
+	buf = append(buf, flags)
+	buf = appendU64(buf, size)
+	return endFrame(buf, start)
+}
+
+func appendDeleteFrame(buf []byte, lsn uint64, v word.VSID) []byte {
+	buf, start := beginFrame(buf, lsn, recDelete)
+	buf = appendU64(buf, uint64(v))
+	return endFrame(buf, start)
+}
+
+func appendBindFrame(buf []byte, lsn uint64, label string, v word.VSID) []byte {
+	buf, start := beginFrame(buf, lsn, recBind)
+	buf = appendU64(buf, uint64(v))
+	buf = appendU16(buf, uint16(len(label)))
+	buf = append(buf, label...)
+	return endFrame(buf, start)
+}
+
+// frame is one decoded log record.
+type frame struct {
+	lsn  uint64
+	kind byte
+	// recAlloc
+	plid    word.PLID
+	content word.Content
+	// recPublish / recDelete / recBind
+	vsid   word.VSID
+	root   word.PLID
+	height uint32
+	flags  uint8
+	size   uint64
+	label  string
+}
+
+// parseFrame decodes the frame at the head of b. It returns the decoded
+// frame and the bytes consumed; ok=false marks a torn or corrupt head
+// (the caller stops there). A structurally valid frame with a malformed
+// payload returns an error: its CRC checked out, so the bytes were
+// durable and the log is genuinely corrupt.
+func parseFrame(b []byte) (f frame, n int, ok bool, err error) {
+	if len(b) < 8 {
+		return frame{}, 0, false, nil
+	}
+	ln := getU32(b)
+	crc := getU32(b[4:])
+	if ln < 9 || ln > maxFrameLen || len(b) < 8+int(ln) {
+		return frame{}, 0, false, nil
+	}
+	body := b[8 : 8+ln]
+	if crc32.ChecksumIEEE(body) != crc {
+		return frame{}, 0, false, nil
+	}
+	f.lsn = getU64(body)
+	f.kind = body[8]
+	p := body[9:]
+	bad := func() (frame, int, bool, error) {
+		return frame{}, 0, false, fmt.Errorf("durable: malformed %d-byte record kind %d at lsn %d", ln, f.kind, f.lsn)
+	}
+	switch f.kind {
+	case recAlloc:
+		if len(p) < 9 {
+			return bad()
+		}
+		f.plid = word.PLID(getU64(p))
+		nW := int(p[8])
+		p = p[9:]
+		if nW > word.MaxWords || len(p) != nW*9 {
+			return bad()
+		}
+		f.content.N = uint8(nW)
+		for i := 0; i < nW; i++ {
+			f.content.T[i] = word.Tag(p[0])
+			f.content.W[i] = getU64(p[1:])
+			p = p[9:]
+		}
+	case recFree:
+		if len(p) != 8 {
+			return bad()
+		}
+		f.plid = word.PLID(getU64(p))
+	case recPublish:
+		if len(p) != 8+8+4+1+8 {
+			return bad()
+		}
+		f.vsid = word.VSID(getU64(p))
+		f.root = word.PLID(getU64(p[8:]))
+		f.height = getU32(p[16:])
+		f.flags = p[20]
+		f.size = getU64(p[21:])
+	case recDelete:
+		if len(p) != 8 {
+			return bad()
+		}
+		f.vsid = word.VSID(getU64(p))
+	case recBind:
+		if len(p) < 10 {
+			return bad()
+		}
+		f.vsid = word.VSID(getU64(p))
+		l := int(getU16(p[8:]))
+		if len(p) != 10+l {
+			return bad()
+		}
+		f.label = string(p[10:])
+	default:
+		return bad()
+	}
+	return f, 8 + int(ln), true, nil
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+// Durability: the cost of making HICAMP's only mutable state — the
+// segment map — and its content-addressed lines crash-consistent. Two
+// questions, two sections of rows:
+//
+//   - Commit cost. Every acked write waits for its log records to be
+//     stable. Per-write fsync pays one disk barrier per op; the group-
+//     commit flusher aggregates every op that lands inside one bounded
+//     flush window into a single fsync, so concurrent writers share
+//     barriers (fsyncs/op drops with concurrency) while no writer ever
+//     blocks another's append.
+//
+//   - Recovery cost. A restart replays checkpoint + log tail. The
+//     checkpoint bounds the tail: rows sweep where the last checkpoint
+//     fell (never / mid-run / end-of-run) and report recovery time and
+//     replayed-record counts for the same final state.
+
+// DurabilityRow is one scenario of the durability experiment. Commit
+// rows fill the throughput columns; recovery rows fill the recovery
+// columns.
+type DurabilityRow struct {
+	Scenario    string
+	Writers     int
+	Ops         int
+	Wall        time.Duration
+	OpsPerSec   float64
+	Fsyncs      uint64
+	FsyncsPerOp float64
+	MaxGroup    uint64 // largest records-per-fsync group commit
+
+	RecoveryTime   time.Duration
+	Replayed       uint64 // log records applied at Open
+	RecoveredLines uint64
+}
+
+// durabilityServer opens a durable server in a fresh temp dir.
+func durabilityServer(flushWindow time.Duration) (*kvstore.HicampServer, string, error) {
+	dir, err := os.MkdirTemp("", "hicamp-durability-*")
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := kvstore.NewHicampServerOpts(core.TestConfig(), kvstore.ServerOptions{
+		DataDir:     dir,
+		FlushWindow: flushWindow,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	return s, dir, nil
+}
+
+// commitScenario runs ops acked writes across writers goroutines and
+// reports the fsync sharing the flush window bought.
+func commitScenario(name string, writers, ops int, flushWindow time.Duration) (DurabilityRow, error) {
+	s, dir, err := durabilityServer(flushWindow)
+	if err != nil {
+		return DurabilityRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	defer s.Close()
+
+	perWriter := ops / writers
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := []byte(fmt.Sprintf("w%02d-k%05d", w, i))
+				val := []byte(fmt.Sprintf("value %05d from writer %02d, durably acked", i, w))
+				if err := s.Set(key, val); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return DurabilityRow{}, err
+		}
+	}
+	ds := s.DurableStats()
+	total := perWriter * writers
+	row := DurabilityRow{
+		Scenario: name, Writers: writers, Ops: total, Wall: wall,
+		OpsPerSec: float64(total) / wall.Seconds(),
+		Fsyncs:    ds.Fsyncs, MaxGroup: ds.MaxGroupSize,
+	}
+	if total > 0 {
+		row.FsyncsPerOp = float64(ds.Fsyncs) / float64(total)
+	}
+	return row, nil
+}
+
+// recoveryScenario builds keys bindings, checkpoints after ckptAt of
+// them (skipped when negative), closes, and reports the reopen cost.
+func recoveryScenario(name string, keys, ckptAt int) (DurabilityRow, error) {
+	s, dir, err := durabilityServer(0)
+	if err != nil {
+		return DurabilityRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	write := func(s *kvstore.HicampServer, lo, hi int) error {
+		var b kvstore.Batch
+		for i := lo; i < hi; i++ {
+			b = b.Set([]byte(fmt.Sprintf("rk-%06d", i)),
+				[]byte(fmt.Sprintf("recovery payload %06d with some body to replay", i)))
+		}
+		return s.Write(b)
+	}
+	stop := ckptAt
+	if stop < 0 {
+		stop = keys
+	}
+	if err := write(s, 0, stop); err != nil {
+		s.Close()
+		return DurabilityRow{}, err
+	}
+	if ckptAt >= 0 {
+		if err := s.Checkpoint(); err != nil {
+			s.Close()
+			return DurabilityRow{}, err
+		}
+		if err := write(s, ckptAt, keys); err != nil {
+			s.Close()
+			return DurabilityRow{}, err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return DurabilityRow{}, err
+	}
+
+	r, err := kvstore.NewHicampServerOpts(core.TestConfig(), kvstore.ServerOptions{DataDir: dir})
+	if err != nil {
+		return DurabilityRow{}, err
+	}
+	defer r.Close()
+	ds := r.DurableStats()
+	return DurabilityRow{
+		Scenario: name, Ops: keys,
+		RecoveryTime: ds.RecoveryTime, Replayed: ds.ReplayedRecords,
+		RecoveredLines: ds.RecoveredLines,
+	}, nil
+}
+
+// RunDurability measures acked-write throughput under per-write fsync
+// vs group commit, and cold recovery time against where the last
+// checkpoint fell.
+func RunDurability(sc Scale) (Table, []DurabilityRow, error) {
+	ops, keys, window := 256, 1500, 500*time.Microsecond
+	if sc == ScalePaper {
+		ops, keys, window = 4096, 20000, 2*time.Millisecond
+	}
+
+	var rows []DurabilityRow
+	commit := []struct {
+		name    string
+		writers int
+		window  time.Duration
+	}{
+		// 1ns window: the flusher fsyncs every append on its own — the
+		// per-write-fsync baseline.
+		{"per-write fsync, 1 writer", 1, time.Nanosecond},
+		{"group commit, 1 writer", 1, window},
+		{"group commit, 4 writers", 4, window},
+		{"group commit, 16 writers", 16, window},
+	}
+	for _, c := range commit {
+		row, err := commitScenario(c.name, c.writers, ops, c.window)
+		if err != nil {
+			return Table{}, nil, err
+		}
+		rows = append(rows, row)
+	}
+	recovery := []struct {
+		name   string
+		ckptAt int
+	}{
+		{"recover: no checkpoint (full replay)", -1},
+		{"recover: checkpoint at half", keys / 2},
+		{"recover: checkpoint at end", keys},
+	}
+	for _, r := range recovery {
+		row, err := recoveryScenario(r.name, keys, r.ckptAt)
+		if err != nil {
+			return Table{}, nil, err
+		}
+		rows = append(rows, row)
+	}
+
+	t := Table{
+		Title: "Durability: group-commit acked writes and checkpoint-bounded recovery",
+		Note: fmt.Sprintf("commit rows: %d acked single-key sets, flush window %s; recovery rows: %d-key store reopened cold",
+			ops, window, keys),
+		Headers: []string{"scenario", "writers", "ops", "wall ms", "ops/s",
+			"fsyncs", "fsync/op", "max group", "recovery ms", "replayed", "lines"},
+	}
+	for _, r := range rows {
+		if r.RecoveryTime == 0 && r.Replayed == 0 && r.RecoveredLines == 0 {
+			t.AddRow(r.Scenario, fmt.Sprintf("%d", r.Writers), fmt.Sprintf("%d", r.Ops),
+				fmt.Sprintf("%.1f", float64(r.Wall.Microseconds())/1000),
+				fmt.Sprintf("%.0f", r.OpsPerSec),
+				fmt.Sprintf("%d", r.Fsyncs), fmt.Sprintf("%.3f", r.FsyncsPerOp),
+				fmt.Sprintf("%d", r.MaxGroup), "-", "-", "-")
+			continue
+		}
+		t.AddRow(r.Scenario, "-", fmt.Sprintf("%d", r.Ops), "-", "-", "-", "-", "-",
+			fmt.Sprintf("%.1f", float64(r.RecoveryTime.Microseconds())/1000),
+			fmt.Sprintf("%d", r.Replayed), fmt.Sprintf("%d", r.RecoveredLines))
+	}
+	return t, rows, nil
+}

@@ -19,8 +19,8 @@ var ErrDuplicateKey = errors.New("hds: duplicate key in batch")
 var ErrStale = errors.New("hds: snapshot is stale")
 
 // ApplyOptions configures one bulk mutation. The zero value is the
-// SetMany/PutMany behavior: later duplicates win and the commit publishes
-// with merge-update, so concurrent batches touching disjoint keys never
+// default behavior: later duplicates win and the commit publishes with
+// merge-update, so concurrent batches touching disjoint keys never
 // retry.
 type ApplyOptions struct {
 	// ErrorOnDup rejects the whole batch with ErrDuplicateKey when two
@@ -41,7 +41,7 @@ type ApplyOptions struct {
 }
 
 // Apply binds every pair in one committed update — the single bulk
-// mutation entry point SetMany and FromPairs wrap. All key and value
+// mutation entry point. All key and value
 // strings are built through one shared bulk builder (one batch-lookup
 // pipeline, memoized across pairs), every slot is buffered in one
 // iterator register, and the whole batch canonicalizes in a single
@@ -201,7 +201,7 @@ func (mp *Map) CompareApply(orig segment.Seg, size uint64, pairs []Pair, opts Ap
 }
 
 // Apply binds every item in one committed update — the bulk mutation
-// entry point PutMany wraps, with the same options as Map.Apply.
+// entry point, with the same options as Map.Apply.
 func (o *Ordered) Apply(items []Item, opts ApplyOptions) error {
 	if len(items) == 0 {
 		return nil

@@ -37,7 +37,7 @@ func NewStrings(h *Heap, bss [][]byte) []String {
 }
 
 // GetMany returns the values bound to the given keys in one consistent
-// snapshot — the read-side counterpart of SetMany and the shape of a
+// snapshot — the read-side counterpart of Apply and the shape of a
 // memcached multi-get. All slot words are resolved through one
 // level-order gather (segment.GatherWords), so the map DAG's root path
 // and the interior nodes shared between slots are fetched once per wave
@@ -172,28 +172,6 @@ func BytesManyInto(h *Heap, ss []String, flat []byte, out [][]byte) ([][]byte, [
 	return out, flat
 }
 
-// SetMany binds every pair, replacing previous bindings, in one committed
-// update. Compatibility shim: it is exactly Apply with the default
-// options (later duplicates win, merge-update publish).
-func (mp *Map) SetMany(pairs []Pair) error {
-	return mp.Apply(pairs, ApplyOptions{})
-}
-
-// FromPairs allocates a map holding the given bindings, bulk-loaded in
-// one commit. Compatibility shim over NewMap + Apply with the default
-// options.
-func FromPairs(h *Heap, pairs []Pair) (*Map, error) {
-	mp := NewMap(h)
-	if err := mp.Apply(pairs, ApplyOptions{}); err != nil {
-		mp.Release()
-		return nil, err
-	}
-	return mp, nil
-}
-
-// PutMany binds every item in one committed update, the bulk counterpart
-// of Put. Compatibility shim: it is exactly Apply with the default
-// options (later duplicates win, merge-update publish).
-func (o *Ordered) PutMany(items []Item) error {
-	return o.Apply(items, ApplyOptions{})
-}
+// Bulk mutation is Apply (apply.go) with the default options; the old
+// SetMany/FromPairs/PutMany shims that merely forwarded there are gone
+// (shimguard_test.go at the repo root keeps call sites from returning).

@@ -7,7 +7,7 @@ import (
 
 // Bulk load must land on the same canonical segment as sequential sets:
 // same bindings → same map DAG root, regardless of how it was built.
-func TestSetManyMatchesSequentialSet(t *testing.T) {
+func TestApplyMatchesSequentialSet(t *testing.T) {
 	h := heap()
 	pairs := make([]Pair, 50)
 	for i := range pairs {
@@ -27,9 +27,9 @@ func TestSetManyMatchesSequentialSet(t *testing.T) {
 		v.Release(h)
 	}
 
-	bulk, err := FromPairs(h, pairs)
-	if err != nil {
-		t.Fatalf("FromPairs: %v", err)
+	bulk := NewMap(h)
+	if err := bulk.Apply(pairs, ApplyOptions{}); err != nil {
+		t.Fatalf("Apply: %v", err)
 	}
 
 	seqSeg, err := h.SM.Load(seq.VSID())
@@ -61,14 +61,15 @@ func TestSetManyMatchesSequentialSet(t *testing.T) {
 	}
 }
 
-func TestSetManyDuplicateKeysLastWins(t *testing.T) {
+func TestApplyDuplicateKeysLastWins(t *testing.T) {
 	h := heap()
-	mp, err := FromPairs(h, []Pair{
+	mp := NewMap(h)
+	err := mp.Apply([]Pair{
 		{Key: []byte("k"), Value: []byte("first")},
 		{Key: []byte("k"), Value: []byte("second")},
-	})
+	}, ApplyOptions{})
 	if err != nil {
-		t.Fatalf("FromPairs: %v", err)
+		t.Fatalf("Apply: %v", err)
 	}
 	k := NewString(h, []byte("k"))
 	got, ok := mp.Get(k)
@@ -82,7 +83,7 @@ func TestSetManyDuplicateKeysLastWins(t *testing.T) {
 	}
 }
 
-func TestPutManyMatchesSequentialPut(t *testing.T) {
+func TestOrderedApplyMatchesSequentialPut(t *testing.T) {
 	h := heap()
 	items := make([]Item, 40)
 	for i := range items {
@@ -102,8 +103,8 @@ func TestPutManyMatchesSequentialPut(t *testing.T) {
 	}
 
 	bulk := NewOrdered(h)
-	if err := bulk.PutMany(items); err != nil {
-		t.Fatalf("PutMany: %v", err)
+	if err := bulk.Apply(items, ApplyOptions{}); err != nil {
+		t.Fatalf("Apply: %v", err)
 	}
 
 	seqSeg, _ := h.SM.Load(seq.VSID())

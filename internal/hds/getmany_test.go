@@ -18,7 +18,7 @@ func TestGetManyMatchesSequentialGet(t *testing.T) {
 			Value: bytes.Repeat([]byte(fmt.Sprintf("<val %03d>", i)), 1+i%7),
 		}
 	}
-	if err := mp.SetMany(pairs); err != nil {
+	if err := mp.Apply(pairs, ApplyOptions{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -81,11 +81,11 @@ func TestGetManyEmptyAndEmptyValue(t *testing.T) {
 	}
 }
 
-// TestConcurrentGetManySetMany is the -race stress satellite: readers
+// TestConcurrentGetManyApply is the -race stress satellite: readers
 // streaming multi-gets while a writer rebinds the same keys in bulk.
 // Every returned value must be a committed version — either the preload
 // value or some writer generation — never a torn mix.
-func TestConcurrentGetManySetMany(t *testing.T) {
+func TestConcurrentGetManyApply(t *testing.T) {
 	h := heap()
 	mp := NewMap(h)
 	const nKeys = 32
@@ -98,7 +98,7 @@ func TestConcurrentGetManySetMany(t *testing.T) {
 		keysB[i] = []byte(fmt.Sprintf("stress-key-%03d", i))
 		pairs[i] = Pair{Key: keysB[i], Value: valueOf(0, i)}
 	}
-	if err := mp.SetMany(pairs); err != nil {
+	if err := mp.Apply(pairs, ApplyOptions{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -112,8 +112,8 @@ func TestConcurrentGetManySetMany(t *testing.T) {
 			for i := range ps {
 				ps[i] = Pair{Key: keysB[i], Value: valueOf(g, i)}
 			}
-			if err := mp.SetMany(ps); err != nil {
-				t.Errorf("SetMany: %v", err)
+			if err := mp.Apply(ps, ApplyOptions{}); err != nil {
+				t.Errorf("Apply: %v", err)
 				return
 			}
 		}

@@ -35,6 +35,13 @@ func NewMap(h *Heap) *Map {
 	return &Map{h: h, vsid: v}
 }
 
+// OpenMap adopts an existing map object by its VSID — the durable
+// restart path: recovery rebuilds the segment map at exact VSIDs, the
+// persistence layer re-binds labels to them, and OpenMap wraps the
+// entry without creating anything. The caller is responsible for v
+// naming a live map entry.
+func OpenMap(h *Heap, v word.VSID) *Map { return &Map{h: h, vsid: v} }
+
 // VSID returns the map's object identity.
 func (mp *Map) VSID() word.VSID { return mp.vsid }
 

@@ -1,0 +1,222 @@
+package kvstore
+
+import (
+	"repro/internal/chunker"
+	"repro/internal/hds"
+)
+
+// The unified batch surface. The server's bulk entry points used to
+// disagree on key typing and result shape (SetMany took []string +
+// [][]byte, GetMany [][]byte returning parallel slices, DeleteMany
+// [][]byte); every batched verb now speaks one vocabulary: a Batch of
+// KV operations, routed per tenant namespace with positional results
+// written back in place. The string-map verbs (Write, Read) and the
+// blob verbs (BlobWrite, BlobRead) share the same grouping, so a batch
+// mixing tenants still costs one wave (or one gather) per namespace.
+// The old entry points survive one PR as deprecated wrappers in
+// compat.go.
+
+// KV is one key's operation — and, for reads, its result — in a Batch.
+type KV struct {
+	// Key routes the operation: a "tenant/" prefix selects the tenant's
+	// namespace, bare keys the root map.
+	Key []byte
+	// Value is the payload to store (Write, BlobWrite) or the result
+	// slot filled in place (Read, BlobRead; nil when not found).
+	Value []byte
+	// Delete marks a tombstone in a write batch: the key is unbound in
+	// the same published version that binds its siblings.
+	Delete bool
+	// Found reports, after a read batch, whether Key was bound.
+	Found bool
+}
+
+// Batch is a positional sequence of KV operations. Order is preserved:
+// results land at the same index as their key, whatever namespace each
+// key routed to.
+type Batch []KV
+
+// Set appends a binding and returns the extended batch.
+func (b Batch) Set(key, value []byte) Batch {
+	return append(b, KV{Key: key, Value: value})
+}
+
+// Del appends a tombstone and returns the extended batch.
+func (b Batch) Del(key []byte) Batch {
+	return append(b, KV{Key: key, Delete: true})
+}
+
+// Get appends a read of key and returns the extended batch.
+func (b Batch) Get(key []byte) Batch {
+	return append(b, KV{Key: key})
+}
+
+// batchGroup is one namespace's slice of a positional batch. pos maps
+// group positions back to batch indices; nil when kvs aliases the whole
+// batch in order (the common single-tenant case).
+type batchGroup struct {
+	mp  *hds.Map
+	kvs []KV
+	pos []int
+}
+
+// groupBatch partitions a batch by tenant namespace, resolving each
+// tenant through mapFor — the string-map registry for Write/Read, the
+// blob-map registry for BlobWrite/BlobRead. The uniform case (all keys
+// one namespace) returns a single group aliasing b with no copying.
+func groupBatch(b Batch, mapFor func(ns string) *hds.Map) []batchGroup {
+	first := SplitNamespace(b[0].Key)
+	uniform := true
+	for i := 1; i < len(b); i++ {
+		if SplitNamespace(b[i].Key) != first {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return []batchGroup{{mp: mapFor(first), kvs: b}}
+	}
+	order := make([]string, 0, 4)
+	groups := make(map[string]*batchGroup, 4)
+	for i, kv := range b {
+		ns := SplitNamespace(kv.Key)
+		g := groups[ns]
+		if g == nil {
+			g = &batchGroup{mp: mapFor(ns)}
+			groups[ns] = g
+			order = append(order, ns)
+		}
+		g.kvs = append(g.kvs, kv)
+		g.pos = append(g.pos, i)
+	}
+	out := make([]batchGroup, 0, len(order))
+	for _, ns := range order {
+		out = append(out, *groups[ns])
+	}
+	return out
+}
+
+// Write applies a batch of sets and tombstones: one wave commit per
+// namespace, each publishing the group's bindings and unbindings as a
+// single version (all strings built through one shared bulk builder,
+// every touched slot committed in one WriteBatch wave). Later
+// duplicates of a key win, mirroring sequential order.
+func (s *HicampServer) Write(b Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	for _, g := range groupBatch(b, s.Namespace) {
+		pairs := make([]hds.Pair, len(g.kvs))
+		for i, kv := range g.kvs {
+			pairs[i] = hds.Pair{Key: kv.Key, Value: kv.Value, Delete: kv.Delete}
+		}
+		if err := g.mp.Apply(pairs, hds.ApplyOptions{}); err != nil {
+			return err
+		}
+	}
+	return s.AckDurable()
+}
+
+// Read resolves a batch of keys in place — the memcached multi-get.
+// Per namespace it costs one snapshot, one level-order slot gather and
+// one bulk materialization, so map interiors shared between slots and
+// lines shared between values are fetched once per wave instead of once
+// per key. b[i].Value and b[i].Found carry the results positionally;
+// Value is nil when the key is unbound.
+func (s *HicampServer) Read(b Batch) {
+	if len(b) == 0 {
+		return
+	}
+	for _, g := range groupBatch(b, s.Namespace) {
+		keys := make([][]byte, len(g.kvs))
+		for i, kv := range g.kvs {
+			keys[i] = kv.Key
+		}
+		ks := hds.NewStrings(s.Heap, keys)
+		vals, oks := g.mp.GetMany(ks)
+		for i := range ks {
+			ks[i].Release(s.Heap)
+		}
+		bss := hds.BytesMany(s.Heap, vals)
+		for i, ok := range oks {
+			j := i
+			if g.pos != nil {
+				j = g.pos[i]
+			}
+			if !ok {
+				b[j].Value, b[j].Found = nil, false
+				continue
+			}
+			b[j].Value, b[j].Found = bss[i], true
+			vals[i].Release(s.Heap)
+		}
+	}
+}
+
+// BlobWrite applies a batch of blob puts and tombstones through the
+// same namespace grouping as Write, against the per-tenant blob maps.
+// Values ingest through the shared content-defined chunker (unchanged
+// chunks of near-duplicate values resolve from the warm memo) and each
+// namespace's bindings publish through its own blob map.
+func (s *HicampServer) BlobWrite(b Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	for _, g := range groupBatch(b, s.blobNamespace) {
+		for _, kv := range g.kvs {
+			k := hds.NewString(s.Heap, kv.Key)
+			var err error
+			if kv.Delete {
+				err = g.mp.Delete(k)
+			} else {
+				s.blobs.ingMu.Lock()
+				blob := s.ingestor().IngestBytes(kv.Value)
+				s.blobs.ingMu.Unlock()
+				v := hds.String{Seg: blob.Index, Len: blob.IndexBytes()}
+				err = g.mp.Set(k, v)
+				chunker.ReleaseBlob(s.Heap.M, blob)
+			}
+			k.Release(s.Heap)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return s.AckDurable()
+}
+
+// BlobRead resolves a batch of blob keys in place: per namespace one
+// snapshot gather finds every index segment, then each found blob
+// reassembles through one cross-chunk gather wave.
+func (s *HicampServer) BlobRead(b Batch) {
+	if len(b) == 0 {
+		return
+	}
+	for _, g := range groupBatch(b, s.blobNamespace) {
+		keys := make([][]byte, len(g.kvs))
+		for i, kv := range g.kvs {
+			keys[i] = kv.Key
+		}
+		ks := hds.NewStrings(s.Heap, keys)
+		vals, oks := g.mp.GetMany(ks)
+		for i := range ks {
+			ks[i].Release(s.Heap)
+		}
+		for i, ok := range oks {
+			j := i
+			if g.pos != nil {
+				j = g.pos[i]
+			}
+			b[j].Value, b[j].Found = nil, false
+			if !ok {
+				continue
+			}
+			if blob, ok := chunker.BlobFromSeg(s.Heap.M, vals[i].Seg); ok {
+				if data, ok := chunker.ReadBlob(s.Heap.M, blob); ok {
+					b[j].Value, b[j].Found = data, true
+				}
+			}
+			vals[i].Release(s.Heap)
+		}
+	}
+}

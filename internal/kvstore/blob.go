@@ -59,7 +59,7 @@ func (s *HicampServer) blobNamespace(name string) *hds.Map {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.root == nil {
-		b.root = hds.NewMap(s.Heap)
+		b.root = s.openOrBind(labelBlob)
 	}
 	if name == "" {
 		return b.root
@@ -77,7 +77,7 @@ func (s *HicampServer) blobNamespace(name string) *hds.Map {
 	if b.m == nil {
 		b.m = make(map[string]*hds.Map)
 	}
-	mp = hds.NewMap(s.Heap)
+	mp = s.openOrBind(labelBlob + name)
 	b.m[name] = mp
 	return mp
 }
@@ -105,7 +105,7 @@ func (s *HicampServer) BlobPut(key, value []byte) error {
 	// the request-local references.
 	k.Release(s.Heap)
 	chunker.ReleaseBlob(s.Heap.M, blob)
-	return err
+	return s.ackWrite(err)
 }
 
 // BlobGet reassembles the blob stored under key: one snapshot map
@@ -147,7 +147,7 @@ func (s *HicampServer) BlobStat(key []byte) (chunker.Blob, bool) {
 func (s *HicampServer) BlobDelete(key []byte) error {
 	k := hds.NewString(s.Heap, key)
 	defer k.Release(s.Heap)
-	return s.blobNamespace(SplitNamespace(key)).Delete(k)
+	return s.ackWrite(s.blobNamespace(SplitNamespace(key)).Delete(k))
 }
 
 // BlobIngestStats returns the shared ingestor's memo/build telemetry.

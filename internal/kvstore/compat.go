@@ -1,0 +1,49 @@
+package kvstore
+
+// Deprecated batch entry points, kept for one PR as thin wrappers over
+// the unified Batch surface (batch.go). They predate it and disagreed
+// on key typing and result shape; new callers use Write and Read. The
+// repo-root shim guard (shimguard_test.go) keeps call sites from
+// reappearing outside this file.
+
+// SetMany stores many key-value pairs in one wave commit per namespace.
+//
+// Deprecated: build a Batch and call Write.
+func (s *HicampServer) SetMany(keys []string, values [][]byte) error {
+	b := make(Batch, len(keys))
+	for i := range keys {
+		b[i] = KV{Key: []byte(keys[i]), Value: values[i]}
+	}
+	return s.Write(b)
+}
+
+// GetMany serves a positional multi-key GET.
+//
+// Deprecated: build a Batch and call Read.
+func (s *HicampServer) GetMany(keys [][]byte) ([][]byte, []bool) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	b := make(Batch, len(keys))
+	for i := range keys {
+		b[i] = KV{Key: keys[i]}
+	}
+	s.Read(b)
+	out := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	for i := range b {
+		out[i], found[i] = b[i].Value, b[i].Found
+	}
+	return out, found
+}
+
+// DeleteMany unbinds every key in one wave commit per namespace.
+//
+// Deprecated: build a Batch of tombstones (Batch.Del) and call Write.
+func (s *HicampServer) DeleteMany(keys [][]byte) error {
+	b := make(Batch, len(keys))
+	for i := range keys {
+		b[i] = KV{Key: keys[i], Delete: true}
+	}
+	return s.Write(b)
+}

@@ -1,0 +1,47 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestDeprecatedBatchWrappers keeps the one-PR compatibility shims
+// honest: each must behave exactly like the Batch verb it forwards to.
+// This file and compat.go are the only call sites the repo-root shim
+// guard admits.
+func TestDeprecatedBatchWrappers(t *testing.T) {
+	s := NewHicampServer(testCfg())
+	keys := make([]string, 12)
+	vals := make([][]byte, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("compat-%02d", i)
+		vals[i] = []byte(fmt.Sprintf("val-%02d", i))
+	}
+	if err := s.SetMany(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	req := [][]byte{[]byte(keys[2]), []byte("compat-missing"), []byte(keys[9])}
+	got, found := s.GetMany(req)
+	wantFound := []bool{true, false, true}
+	for i := range req {
+		if found[i] != wantFound[i] {
+			t.Fatalf("GetMany found[%d] = %v, want %v", i, found[i], wantFound[i])
+		}
+		if found[i] && !bytes.Equal(got[i], []byte("val-"+string(req[i][7:]))) {
+			t.Fatalf("GetMany[%d] = %q", i, got[i])
+		}
+	}
+	if out, ok := s.GetMany(nil); out != nil || ok != nil {
+		t.Fatal("empty GetMany must return nil slices")
+	}
+	if err := s.DeleteMany([][]byte{[]byte(keys[2]), []byte(keys[3])}); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		_, ok := s.Get([]byte(k))
+		if want := i != 2 && i != 3; ok != want {
+			t.Fatalf("after DeleteMany, Get(%s) = %v, want %v", k, ok, want)
+		}
+	}
+}

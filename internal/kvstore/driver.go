@@ -69,12 +69,21 @@ func NewWorkload(items, requests, meanSize int, seed int64) Workload {
 	}
 }
 
+// corpusBatch builds the preload batch binding every corpus key.
+func corpusBatch(c *datagen.Corpus) Batch {
+	b := make(Batch, len(c.Keys))
+	for i := range c.Keys {
+		b[i] = KV{Key: []byte(c.Keys[i]), Value: c.Items[i]}
+	}
+	return b
+}
+
 // RunHicamp preloads the corpus, then measures the trace on the HICAMP
 // server, returning the store counters accumulated during the measured
 // window (preload traffic excluded, end-of-run cache flush included).
 func RunHicamp(cfg core.Config, w Workload) (store.Stats, *HicampServer, error) {
 	srv := NewHicampServer(cfg)
-	if err := srv.SetMany(w.Corpus.Keys, w.Corpus.Items); err != nil {
+	if err := srv.Write(corpusBatch(w.Corpus)); err != nil {
 		return store.Stats{}, nil, fmt.Errorf("preload: %w", err)
 	}
 	// Drain preload writebacks before opening the measurement window so
@@ -104,8 +113,8 @@ func RunHicamp(cfg core.Config, w Workload) (store.Stats, *HicampServer, error) 
 }
 
 // RunHicampMultiGet replays the trace like RunHicamp but coalesces runs
-// of consecutive GETs into multi-key GetMany calls of up to batch keys —
-// the memcached `get k1 k2 ...` request form — so the measured window
+// of consecutive GETs into batched Read calls of up to batch keys — the
+// memcached `get k1 k2 ...` request form — so the measured window
 // exercises the bulk read pipeline. Sets still run one at a time, in
 // trace order relative to the batches they interrupt.
 func RunHicampMultiGet(cfg core.Config, w Workload, batch int) (store.Stats, *HicampServer, error) {
@@ -113,23 +122,23 @@ func RunHicampMultiGet(cfg core.Config, w Workload, batch int) (store.Stats, *Hi
 		batch = 1
 	}
 	srv := NewHicampServer(cfg)
-	if err := srv.SetMany(w.Corpus.Keys, w.Corpus.Items); err != nil {
+	if err := srv.Write(corpusBatch(w.Corpus)); err != nil {
 		return store.Stats{}, nil, fmt.Errorf("preload: %w", err)
 	}
 	srv.Heap.M.FlushCache()
 	srv.Heap.M.ResetStats()
 	versions := make(map[int]int)
-	pending := make([][]byte, 0, batch)
+	pending := make(Batch, 0, batch)
 	flush := func() {
 		if len(pending) > 0 {
-			srv.GetMany(pending)
+			srv.Read(pending)
 			pending = pending[:0]
 		}
 	}
 	for _, req := range w.Trace {
 		key := []byte(w.Corpus.Keys[req.Key])
 		if req.Get {
-			pending = append(pending, key)
+			pending = pending.Get(key)
 			if len(pending) == batch {
 				flush()
 			}

@@ -13,10 +13,12 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/hds"
 	"repro/internal/iterreg"
 	"repro/internal/pool"
 	"repro/internal/segmap"
+	"repro/internal/word"
 )
 
 // HicampServer is memcached on HICAMP (§4.4). Keys with a "tenant/"
@@ -27,12 +29,21 @@ type HicampServer struct {
 	kvp   *hds.Map
 	ns    namespaces
 	blobs blobMaps
+
+	// caps is the machine's capability probe, taken once at construction
+	// (capsguard). Its durable arm gates write acknowledgements; on a
+	// memory-only server SyncDurable is an immediate nil.
+	caps word.MemCaps
+	// db is the write-ahead persistence layer, nil on memory-only
+	// servers; see durable.go.
+	db *durable.DB
 }
 
-// NewHicampServer creates a server over a fresh machine.
+// NewHicampServer creates a memory-only server over a fresh machine.
+// NewHicampServerOpts adds persistence.
 func NewHicampServer(cfg core.Config) *HicampServer {
 	h := hds.NewHeap(cfg)
-	return &HicampServer{Heap: h, kvp: hds.NewMap(h)}
+	return &HicampServer{Heap: h, kvp: hds.NewMap(h), caps: word.Caps(h.M)}
 }
 
 // Set stores a key-value pair. Building the value into content-unique
@@ -46,35 +57,7 @@ func (s *HicampServer) Set(key, value []byte) error {
 	// content); drop the request-local references.
 	k.Release(s.Heap)
 	v.Release(s.Heap)
-	return err
-}
-
-// SetMany stores many key-value pairs through the bulk path: all strings
-// are built by one batch pipeline (shared fragments memoize) and every
-// map slot commits in a single wave — the warmup/preload counterpart of
-// per-request Set. It is a thin caller of hds.Map.Apply.
-func (s *HicampServer) SetMany(keys []string, values [][]byte) error {
-	if len(keys) == 0 {
-		return nil
-	}
-	bs := make([][]byte, len(keys))
-	for i := range keys {
-		bs[i] = []byte(keys[i])
-	}
-	for _, g := range s.groupByNamespace(bs) {
-		pairs := make([]hds.Pair, len(g.keys))
-		for i, k := range g.keys {
-			j := i
-			if g.pos != nil {
-				j = g.pos[i]
-			}
-			pairs[i] = hds.Pair{Key: k, Value: values[j]}
-		}
-		if err := g.mp.Apply(pairs, hds.ApplyOptions{}); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.ackWrite(err)
 }
 
 // Get returns the value for key. The read runs against a private
@@ -89,41 +72,6 @@ func (s *HicampServer) Get(key []byte) ([]byte, bool) {
 	out := v.Bytes(s.Heap) // stream the value out (to the NIC, in life)
 	v.Release(s.Heap)
 	return out, true
-}
-
-// GetMany serves a multi-key GET (the memcached `get k1 k2 ...` form)
-// through the bulk read pipeline: key strings are built by one shared
-// builder, all map slots resolve in one level-order gather, and the
-// found values materialize through one cross-segment bulk read — so map
-// interiors shared between slots and lines shared between values are
-// fetched once per wave instead of once per key. Results are positional;
-// out[i] is nil iff found[i] is false.
-func (s *HicampServer) GetMany(keys [][]byte) ([][]byte, []bool) {
-	if len(keys) == 0 {
-		return nil, nil
-	}
-	out := make([][]byte, len(keys))
-	found := make([]bool, len(keys))
-	for _, g := range s.groupByNamespace(keys) {
-		ks := hds.NewStrings(s.Heap, g.keys)
-		vals, oks := g.mp.GetMany(ks)
-		for i := range ks {
-			ks[i].Release(s.Heap)
-		}
-		bss := hds.BytesMany(s.Heap, vals)
-		for i, ok := range oks {
-			if !ok {
-				continue
-			}
-			j := i
-			if g.pos != nil {
-				j = g.pos[i]
-			}
-			out[j], found[j] = bss[i], true
-			vals[i].Release(s.Heap)
-		}
-	}
-	return out, found
 }
 
 // GetVia is Get through a caller-owned read-only iterator, the §4.4
@@ -149,28 +97,7 @@ func (s *HicampServer) GetVia(it *iterreg.Iterator, key []byte) ([]byte, bool) {
 func (s *HicampServer) Delete(key []byte) error {
 	k := hds.NewString(s.Heap, key)
 	defer k.Release(s.Heap)
-	return s.NamespaceFor(key).Delete(k)
-}
-
-// DeleteMany unbinds every key in one wave commit per namespace through
-// the Apply path — the batched counterpart of Delete, and what the
-// network front end's flush window uses for coalesced deletes (a
-// window's sets and deletes publish as a single version). Absent keys
-// are no-ops.
-func (s *HicampServer) DeleteMany(keys [][]byte) error {
-	if len(keys) == 0 {
-		return nil
-	}
-	for _, g := range s.groupByNamespace(keys) {
-		pairs := make([]hds.Pair, len(g.keys))
-		for i, k := range g.keys {
-			pairs[i] = hds.Pair{Key: k, Delete: true}
-		}
-		if err := g.mp.Apply(pairs, hds.ApplyOptions{}); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.ackWrite(s.NamespaceFor(key).Delete(k))
 }
 
 // OpenReader returns a read-only iterator register bound to the map, for

@@ -8,33 +8,34 @@ import (
 	"repro/internal/core"
 )
 
-func TestHicampGetManyMatchesGet(t *testing.T) {
+func TestHicampReadMatchesGet(t *testing.T) {
 	srv := NewHicampServer(core.TestConfig())
+	var wb Batch
 	keys := make([]string, 40)
-	vals := make([][]byte, 40)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("mk-%03d", i)
-		vals[i] = bytes.Repeat([]byte(fmt.Sprintf("value %03d ", i)), 1+i%5)
+		wb = wb.Set([]byte(keys[i]), bytes.Repeat([]byte(fmt.Sprintf("value %03d ", i)), 1+i%5))
 	}
-	if err := srv.SetMany(keys, vals); err != nil {
+	if err := srv.Write(wb); err != nil {
 		t.Fatal(err)
 	}
-	req := [][]byte{
-		[]byte(keys[3]), []byte("absent"), []byte(keys[17]),
-		[]byte(keys[3]), // duplicate in one batch
-		[]byte(keys[39]),
-	}
-	got, found := srv.GetMany(req)
-	for i, k := range req {
-		want, wantOK := srv.Get(k)
-		if found[i] != wantOK {
-			t.Fatalf("key %q: found=%v, want %v", k, found[i], wantOK)
+	rb := Batch{}.
+		Get([]byte(keys[3])).
+		Get([]byte("absent")).
+		Get([]byte(keys[17])).
+		Get([]byte(keys[3])). // duplicate in one batch
+		Get([]byte(keys[39]))
+	srv.Read(rb)
+	for i := range rb {
+		want, wantOK := srv.Get(rb[i].Key)
+		if rb[i].Found != wantOK {
+			t.Fatalf("key %q: found=%v, want %v", rb[i].Key, rb[i].Found, wantOK)
 		}
-		if !bytes.Equal(got[i], want) {
-			t.Fatalf("key %q: value %q, want %q", k, got[i], want)
+		if !bytes.Equal(rb[i].Value, want) {
+			t.Fatalf("key %q: value %q, want %q", rb[i].Key, rb[i].Value, want)
 		}
 	}
-	if found[1] {
+	if rb[1].Found {
 		t.Fatal("absent key reported found")
 	}
 }

@@ -76,7 +76,7 @@ func (s *HicampServer) Namespace(name string) *hds.Map {
 	if s.ns.m == nil {
 		s.ns.m = make(map[string]*hds.Map)
 	}
-	mp = hds.NewMap(s.Heap)
+	mp = s.openOrBind(labelNS + name)
 	s.ns.m[name] = mp
 	return mp
 }
@@ -135,46 +135,5 @@ func (s *HicampServer) NamespaceStats() []NamespaceInfo {
 	return out
 }
 
-// groupByNamespace partitions positional keys by tenant, preserving each
-// key's original position so grouped results reassemble positionally.
-// The common single-tenant case (every key bare, or every key one
-// tenant) stays a single group with no index copying.
-func (s *HicampServer) groupByNamespace(keys [][]byte) []nsGroup {
-	first := SplitNamespace(keys[0])
-	uniform := true
-	for _, k := range keys[1:] {
-		if SplitNamespace(k) != first {
-			uniform = false
-			break
-		}
-	}
-	if uniform {
-		return []nsGroup{{mp: s.Namespace(first), keys: keys}}
-	}
-	order := make([]string, 0, 4)
-	groups := make(map[string]*nsGroup, 4)
-	for i, k := range keys {
-		ns := SplitNamespace(k)
-		g := groups[ns]
-		if g == nil {
-			g = &nsGroup{mp: s.Namespace(ns)}
-			groups[ns] = g
-			order = append(order, ns)
-		}
-		g.keys = append(g.keys, k)
-		g.pos = append(g.pos, i)
-	}
-	out := make([]nsGroup, 0, len(order))
-	for _, ns := range order {
-		out = append(out, *groups[ns])
-	}
-	return out
-}
-
-// nsGroup is one namespace's slice of a positional batch. pos is nil
-// when the group covers the whole batch in order.
-type nsGroup struct {
-	mp   *hds.Map
-	keys [][]byte
-	pos  []int
-}
+// Batch operations route through groupBatch (batch.go), which
+// partitions a positional Batch by tenant against either map registry.

@@ -6,34 +6,33 @@ import (
 	"testing"
 )
 
-func TestDeleteManyWavePath(t *testing.T) {
+func TestBatchDeleteWavePath(t *testing.T) {
 	s := NewHicampServer(testCfg())
+	var wb Batch
 	keys := make([]string, 8)
-	vals := make([][]byte, 8)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("dm-key-%d", i)
-		vals[i] = []byte(fmt.Sprintf("dm-val-%d", i))
+		wb = wb.Set([]byte(keys[i]), []byte(fmt.Sprintf("dm-val-%d", i)))
 	}
-	if err := s.SetMany(keys, vals); err != nil {
+	if err := s.Write(wb); err != nil {
 		t.Fatal(err)
 	}
 
 	// One batch mixing present keys and absent keys: present ones unbind,
 	// absent ones are no-ops.
-	if err := s.DeleteMany([][]byte{
-		[]byte("dm-key-1"), []byte("dm-key-3"), []byte("never-set"),
-	}); err != nil {
+	db := Batch{}.Del([]byte("dm-key-1")).Del([]byte("dm-key-3")).Del([]byte("never-set"))
+	if err := s.Write(db); err != nil {
 		t.Fatal(err)
 	}
 	for i := range keys {
 		_, ok := s.Get([]byte(keys[i]))
 		want := i != 1 && i != 3
 		if ok != want {
-			t.Fatalf("after DeleteMany, Get(%s) = %v, want %v", keys[i], ok, want)
+			t.Fatalf("after batch delete, Get(%s) = %v, want %v", keys[i], ok, want)
 		}
 	}
-	if err := s.DeleteMany(nil); err != nil {
-		t.Fatalf("empty DeleteMany: %v", err)
+	if err := s.Write(nil); err != nil {
+		t.Fatalf("empty Write: %v", err)
 	}
 }
 
@@ -95,36 +94,40 @@ func TestNamespaceRoutingAndIsolation(t *testing.T) {
 func TestNamespaceBatchesSpanTenants(t *testing.T) {
 	s := NewHicampServer(testCfg())
 	keys := []string{"acme/a", "k0", "beta/b", "acme/c", "k1"}
-	vals := make([][]byte, len(keys))
+	var wb Batch
 	for i := range keys {
-		vals[i] = []byte("v-" + keys[i])
+		wb = wb.Set([]byte(keys[i]), []byte("v-"+keys[i]))
 	}
-	if err := s.SetMany(keys, vals); err != nil {
+	if err := s.Write(wb); err != nil {
 		t.Fatal(err)
 	}
 
 	// Positional multi-get across three namespaces, with a miss mixed in.
-	bk := [][]byte{[]byte("beta/b"), []byte("k1"), []byte("acme/missing"), []byte("acme/a")}
-	got, found := s.GetMany(bk)
+	rb := Batch{}.
+		Get([]byte("beta/b")).
+		Get([]byte("k1")).
+		Get([]byte("acme/missing")).
+		Get([]byte("acme/a"))
+	s.Read(rb)
 	wantFound := []bool{true, true, false, true}
-	for i := range bk {
-		if found[i] != wantFound[i] {
-			t.Fatalf("found[%d] = %v, want %v", i, found[i], wantFound[i])
+	for i := range rb {
+		if rb[i].Found != wantFound[i] {
+			t.Fatalf("found[%d] = %v, want %v", i, rb[i].Found, wantFound[i])
 		}
-		if found[i] && string(got[i]) != "v-"+string(bk[i]) {
-			t.Fatalf("GetMany[%d] = %q, want %q", i, got[i], "v-"+string(bk[i]))
+		if rb[i].Found && string(rb[i].Value) != "v-"+string(rb[i].Key) {
+			t.Fatalf("Read[%d] = %q, want %q", i, rb[i].Value, "v-"+string(rb[i].Key))
 		}
 	}
 
 	// Cross-tenant delete batch.
-	if err := s.DeleteMany([][]byte{[]byte("acme/a"), []byte("k0")}); err != nil {
+	if err := s.Write(Batch{}.Del([]byte("acme/a")).Del([]byte("k0"))); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get([]byte("acme/a")); ok {
-		t.Fatal("acme/a survived cross-tenant DeleteMany")
+		t.Fatal("acme/a survived the cross-tenant delete batch")
 	}
 	if _, ok := s.Get([]byte("k0")); ok {
-		t.Fatal("k0 survived cross-tenant DeleteMany")
+		t.Fatal("k0 survived the cross-tenant delete batch")
 	}
 	if _, ok := s.Get([]byte("acme/c")); !ok {
 		t.Fatal("acme/c lost")

@@ -309,6 +309,17 @@ func (d *dispatcher) execWriteWindow(writes []*op) {
 		}
 		g.werr = g.mp.Apply(g.pairs, hds.ApplyOptions{})
 	}
+	// One durability wait covers the whole window: every namespace's
+	// commit is journaled by now, so a single group-commit fsync makes
+	// all of them stable before any STORED/DELETED goes out. A no-op on
+	// memory-only stores.
+	if serr := s.store.AckDurable(); serr != nil {
+		for _, g := range d.order {
+			if g.werr == nil {
+				g.werr = serr
+			}
+		}
+	}
 	// In-window binding state, for delete answers after same-window sets.
 	var bound map[string]bool
 	if anyDelete {

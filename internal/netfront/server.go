@@ -670,6 +670,10 @@ func (s *Server) execCas(o *op) {
 	pairs := [1]hds.Pair{{Key: key, Value: o.val.S}}
 	err := pin.mp.CompareApply(pin.seg, pin.size, pairs[:], hds.ApplyOptions{})
 	segment.ReleaseSeg(s.store.Heap.M, pin.seg)
+	if err == nil {
+		// STORED is a durability acknowledgement like any other write's.
+		err = s.store.AckDurable()
+	}
 	switch {
 	case err == nil:
 		s.c.casStored.Add(1)
@@ -712,6 +716,15 @@ func (s *Server) appendStats(dst []byte) []byte {
 	sm := s.store.MapStats().Total
 	dst = appendStat(dst, "segmap_commits", sm.Commits)
 	dst = appendStat(dst, "segmap_conflicts", sm.Conflicts)
+
+	if s.store.Durable() {
+		ds := s.store.DurableStats()
+		dst = appendStat(dst, "durable_appends", ds.Appends)
+		dst = appendStat(dst, "durable_log_bytes", ds.LogBytes)
+		dst = appendStat(dst, "durable_fsyncs", ds.Fsyncs)
+		dst = appendStat(dst, "durable_group_commits", ds.GroupCommits)
+		dst = appendStat(dst, "durable_checkpoints", ds.Checkpoints)
+	}
 
 	for _, ns := range s.store.NamespaceStats() {
 		name := ns.Name

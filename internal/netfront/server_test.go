@@ -236,7 +236,7 @@ func TestStressSnapshotConsistentMGet(t *testing.T) {
 	pairKeys := []string{"pair/a", "pair/b"}
 	set := func(gen int) {
 		v := []byte(fmt.Sprintf("gen-%06d", gen))
-		if err := store.SetMany(pairKeys, [][]byte{v, v}); err != nil {
+		if err := store.Write(kvstore.Batch{}.Set([]byte(pairKeys[0]), v).Set([]byte(pairKeys[1]), v)); err != nil {
 			t.Error(err)
 		}
 	}

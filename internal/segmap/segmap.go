@@ -117,6 +117,10 @@ type Map struct {
 	casOK     uint64
 	casFail   uint64
 	reclaimed VSIDStats
+
+	// journal, when non-nil, observes publishes and deletes for the
+	// write-ahead log (see durable.go). Called under sm.mu.
+	journal Journal
 }
 
 // New creates an empty map over the given memory.
@@ -127,7 +131,11 @@ func New(mem word.Mem) *Map { return &Map{mem: mem} }
 func (sm *Map) Create(e Entry) word.VSID {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
-	return sm.install(slot{used: true, e: e})
+	v := sm.install(slot{used: true, e: e})
+	if sm.journal != nil {
+		sm.journal.JournalPublish(v, e)
+	}
+	return v
 }
 
 // CreateWeakAlias returns a weak VSID for target: loading through it
@@ -297,6 +305,9 @@ func (sm *Map) CAS(v word.VSID, old segment.Seg, next segment.Seg, size uint64) 
 	s.e.Size = size
 	sm.casOK++
 	s.stats.Commits++
+	if sm.journal != nil {
+		sm.journal.JournalPublish(baseID(v), s.e)
+	}
 	sm.mu.Unlock()
 	// The displaced root is released outside the lock: the new root is
 	// already published, and holding the map across the recursive
@@ -329,8 +340,12 @@ func (sm *Map) Delete(v word.VSID) error {
 		release = s.e.Seg
 	}
 	sm.reclaimed = sm.reclaimed.add(s.stats)
+	wasWeak := s.weak
 	*s = slot{gen: s.gen + 1}
 	sm.free = append(sm.free, id)
+	if sm.journal != nil && !wasWeak {
+		sm.journal.JournalDelete(id)
+	}
 	sm.mu.Unlock()
 	if doRelease {
 		segment.ReleaseSeg(sm.mem, release)
@@ -492,6 +507,9 @@ func (b *Batch) Commit() bool {
 		s.e = e
 		sm.casOK++
 		s.stats.Commits++
+		if sm.journal != nil {
+			sm.journal.JournalPublish(v, e)
+		}
 	}
 	b.writes = nil
 	sm.mu.Unlock()

@@ -201,6 +201,11 @@ type Store struct {
 	// when the line is evicted"). The callback always runs with no store
 	// lock held, so it may call back into any Store method.
 	OnRCTouch func(p word.PLID, init bool)
+
+	// journal, when non-nil, observes line liveness transitions for the
+	// write-ahead log (see durable.go). Attached before the store serves
+	// traffic and read without synchronization on the hot paths.
+	journal Journal
 }
 
 func (s *Store) bump(shard, counter int) {
@@ -678,6 +683,12 @@ func (s *Store) lookupLocked(bkt uint64, c word.Content, sig uint8, acc *[statCo
 			s.liveLines.Add(1)
 			s.rows.touchN(bkt, touches)
 			p := s.plidFor(bkt, w)
+			if s.journal != nil {
+				// Under the stripe lock: the same lock orders this PLID's
+				// free against its re-allocation, so the log records
+				// liveness transitions in application order.
+				s.journal.JournalAlloc(p, c)
+			}
 			return p, false, rcEvent{p, true}
 		}
 	}
@@ -708,7 +719,13 @@ func (s *Store) allocOverflow(c word.Content, sig uint8) word.PLID {
 		s.ovIndex = make(map[word.Content]uint32)
 	}
 	s.ovIndex[c] = slot
-	return s.overflowPLID(slot)
+	p := s.overflowPLID(slot)
+	if s.journal != nil {
+		// Under ovMu, which orders an overflow slot's free against its
+		// reuse the same way a stripe lock does for bucket ways.
+		s.journal.JournalAlloc(p, c)
+	}
+	return p
 }
 
 func (s *Store) retainChildren(c word.Content) {
@@ -899,6 +916,10 @@ func (s *Store) Release(p word.PLID) []Freed {
 			s.freeOv = append(s.freeOv, slot)
 		} else {
 			*ln = line{}
+		}
+		if s.journal != nil {
+			// Still under the line's lock, matching JournalAlloc's order.
+			s.journal.JournalFree(cur)
 		}
 		unlock()
 		freed = append(freed, Freed{P: cur, H: hash})

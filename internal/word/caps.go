@@ -42,6 +42,7 @@ type MemCaps struct {
 	reader   BatchReadMem
 	retainer ContentRetainer
 	into     BatchIntoMem
+	durable  DurableMem
 }
 
 // Caps probes m for its optional capabilities. Call it once when a bulk
@@ -53,7 +54,14 @@ func Caps(m Mem) MemCaps {
 	br, _ := m.(BatchReadMem)
 	cr, _ := m.(ContentRetainer)
 	bi, _ := m.(BatchIntoMem)
-	return MemCaps{M: m, batch: bm, reader: br, retainer: cr, into: bi}
+	dm, _ := m.(DurableMem)
+	if dm != nil && !dm.DurableEnabled() {
+		// A machine without persistence attached implements the interface
+		// but has nothing to sync; treat the capability as absent so
+		// HasDurable answers what callers actually want to know.
+		dm = nil
+	}
+	return MemCaps{M: m, batch: bm, reader: br, retainer: cr, into: bi, durable: dm}
 }
 
 // HasBatchLookup reports whether LookupBatch routes to a native batched
@@ -154,4 +162,21 @@ func (c MemCaps) RetainIfContent(p PLID, ct Content) bool {
 		return false
 	}
 	return c.retainer.RetainIfContent(p, ct)
+}
+
+// HasDurable reports whether the memory system has active write-ahead
+// persistence — i.e. whether SyncDurable actually waits for stable
+// storage. Servers use it to decide whether a write needs a durability
+// acknowledgement before answering.
+func (c MemCaps) HasDurable() bool { return c.durable != nil }
+
+// SyncDurable blocks until every mutation issued before the call is
+// durable. On a memory system without persistence it returns nil
+// immediately — the simulation-only semantics, where every commit is
+// "durable" the moment it publishes.
+func (c MemCaps) SyncDurable() error {
+	if c.durable == nil {
+		return nil
+	}
+	return c.durable.SyncDurable()
 }

@@ -234,6 +234,20 @@ type ContentRetainer interface {
 	RetainIfContent(p PLID, c Content) bool
 }
 
+// DurableMem is implemented by memory systems backed by a write-ahead
+// persistence layer (internal/durable). SyncDurable blocks until every
+// mutation issued before the call — line commits and segment-map
+// publishes — has reached stable storage; it is the acknowledgement
+// point a durable server awaits before answering a write. A memory
+// system may implement the interface without persistence attached:
+// DurableEnabled reports whether SyncDurable actually waits on anything,
+// and Caps treats a disabled implementation as absent, so simulation-only
+// machines keep their zero-cost paths.
+type DurableMem interface {
+	DurableEnabled() bool
+	SyncDurable() error
+}
+
 func le64(b []byte) uint64 {
 	var v uint64
 	for i := 0; i < len(b) && i < 8; i++ {

@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The bulk-mutation surface is one vocabulary now: hds.Map.Apply /
+// hds.Ordered.Apply for heap structures, kvstore.Batch with Write/Read
+// for the server. The old forwarding shims (hds.FromPairs, Map.SetMany,
+// Ordered.PutMany) are deleted, and the server's SetMany/GetMany/
+// DeleteMany survive exactly one PR as deprecated wrappers in
+// internal/kvstore/compat.go. This guard keeps call sites from
+// reappearing anywhere else.
+func TestNoDeprecatedBulkShimCallers(t *testing.T) {
+	// Banned everywhere outside the compat wrappers and their coverage:
+	// the deleted hds shims and the deprecated kvstore wrappers.
+	shimRE := regexp.MustCompile(`\.SetMany\(|\.DeleteMany\(|\.PutMany\(|hds\.FromPairs\(`)
+	// .GetMany( is also the name of hds's legitimate bulk-read pipeline
+	// (Map.GetMany/GetManyAt), so the server-wrapper ban applies only
+	// outside the packages that implement and exercise that pipeline.
+	getManyRE := regexp.MustCompile(`\.GetMany\(`)
+	allowGetMany := func(path string) bool {
+		return strings.HasPrefix(path, filepath.Join("internal", "hds")+string(os.PathSeparator)) ||
+			strings.HasPrefix(path, filepath.Join("internal", "kvstore")+string(os.PathSeparator)) ||
+			strings.HasPrefix(path, filepath.Join("internal", "netfront")+string(os.PathSeparator))
+	}
+	compat := func(path string) bool {
+		return path == filepath.Join("internal", "kvstore", "compat.go") ||
+			path == filepath.Join("internal", "kvstore", "compat_test.go")
+	}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || path == "shimguard_test.go" || compat(path) {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if shimRE.MatchString(line) {
+				t.Errorf("%s:%d: deprecated bulk shim call %q — build a kvstore.Batch (Write) or use hds Apply",
+					path, i+1, strings.TrimSpace(line))
+			}
+			if !allowGetMany(path) && getManyRE.MatchString(line) {
+				t.Errorf("%s:%d: deprecated GetMany call %q — build a kvstore.Batch and call Read",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+}
